@@ -1,0 +1,39 @@
+// Reproduces Figure 19 of the paper: elapsed time vs number of workers
+// for static load balancing (diamonds in the paper), dynamic load
+// balancing (triangles) and the theoretical ideal (line).
+//
+// Output is a CSV series (workers, ideal, static, dynamic) in seconds --
+// the same three curves the figure plots.  The signature feature is the
+// static curve's *increase* from 7 to 8 workers, where the first slow
+// class-C CPU joins the fleet.
+
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dpn;
+  const auto workload = bench::Workload::standard();
+  const double class_c = bench::run_sequential(workload, 1.0);
+
+  std::printf("=== Figure 19: Elapsed time vs workers ===\n");
+  std::printf("workers,ideal_s,static_s,dynamic_s\n");
+
+  double static_7 = 0.0, static_8 = 0.0;
+  for (const int workers : {1, 2, 4, 6, 7, 8, 10, 12, 16, 24, 32}) {
+    const auto w = static_cast<std::size_t>(workers);
+    const double ideal = cluster::ideal_time(class_c, w);
+    const double stat = bench::run_parallel(workload, w, false);
+    const double dyn = bench::run_parallel(workload, w, true);
+    std::printf("%d,%.3f,%.3f,%.3f\n", workers, ideal, stat, dyn);
+    if (workers == 7) static_7 = stat;
+    if (workers == 8) static_8 = stat;
+  }
+
+  std::printf("\nShape check: static elapsed time at 8 workers (%.3f s) "
+              "should EXCEED 7 workers (%.3f s): %s\n",
+              static_8, static_7,
+              static_8 > static_7 ? "yes" : "NO -- check the fleet model");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Figure 20 of the paper: speedup (normalized to a 1 GHz
+// Pentium III, class C) vs number of workers, for static and dynamic load
+// balancing against the ideal curve, over the full 34-CPU fleet.
+//
+// The ideal curve has two inflection points (paper Section 5.2): at
+// worker 8, where the first class-C CPU (much slower than A/B) joins, and
+// at worker 27, where the first class-E CPU (the slowest) joins.
+
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dpn;
+  // A slightly lighter workload: this figure sweeps many worker counts.
+  const auto workload = bench::Workload::standard(/*tasks=*/136,
+                                                  /*task_seconds=*/0.003);
+  const double class_c = bench::run_sequential(workload, 1.0);
+
+  std::printf("=== Figure 20: Speedup vs workers ===\n");
+  std::printf("workers,ideal_speed,static_speed,dynamic_speed\n");
+
+  for (int workers = 1; workers <= 34; ++workers) {
+    const auto w = static_cast<std::size_t>(workers);
+    const double ideal = cluster::ideal_speed(w);
+    const double stat =
+        bench::speed_of(class_c, bench::run_parallel(workload, w, false));
+    const double dyn =
+        bench::speed_of(class_c, bench::run_parallel(workload, w, true));
+    std::printf("%d,%.2f,%.2f,%.2f\n", workers, ideal, stat, dyn);
+  }
+
+  // The two inflection points are a property of the fleet model; report
+  // the marginal ideal-speed increments around them.
+  const auto gain = [](int w) {
+    return cluster::ideal_speed(static_cast<std::size_t>(w)) -
+           cluster::ideal_speed(static_cast<std::size_t>(w - 1));
+  };
+  std::printf("\nIdeal-curve slope: worker 7 adds %.2f, worker 8 adds %.2f "
+              "(first class C -> first inflection)\n",
+              gain(7), gain(8));
+  std::printf("                   worker 26 adds %.2f, worker 27 adds %.2f "
+              "(first class E -> second inflection)\n",
+              gain(26), gain(27));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "harness.hpp"
+
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "par/schema.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dpn::bench {
+
+Workload Workload::standard(std::uint64_t tasks, double task_seconds) {
+  Workload workload;
+  workload.tasks = tasks;
+  workload.task_seconds = task_seconds;
+  workload.problem =
+      factor::FactorProblem::generate(/*seed=*/1974, /*prime_bits=*/96,
+                                      tasks, workload.batch);
+  return workload;
+}
+
+double run_sequential(const Workload& workload, double speed) {
+  return cluster::run_sequential_throttled(workload.problem.n, workload.tasks,
+                                           workload.batch, speed,
+                                           workload.task_seconds);
+}
+
+double run_parallel(const Workload& workload, std::size_t workers,
+                    bool dynamic) {
+  const auto speeds = cluster::fleet_speeds();
+  auto factory = cluster::throttled_factory(speeds, workload.task_seconds);
+
+  std::mutex mutex;
+  std::optional<bigint::BigInt> found;
+  auto observer = [&](const std::shared_ptr<core::Task>& task) {
+    auto result = std::dynamic_pointer_cast<factor::FactorResultTask>(task);
+    if (result && result->found) {
+      std::scoped_lock lock{mutex};
+      found = result->p;
+    }
+  };
+
+  Stopwatch watch;
+  auto graph = par::pipeline(
+      std::make_shared<factor::FactorProducerTask>(
+          workload.problem.n, workload.tasks, workload.batch,
+          /*announce=*/false),
+      observer, [&](auto in, auto out) {
+        return dynamic
+                   ? par::meta_dynamic(std::move(in), std::move(out), workers,
+                                       factory)
+                   : par::meta_static(std::move(in), std::move(out), workers,
+                                      factory);
+      });
+  graph->run();
+  const double elapsed = watch.elapsed_seconds();
+
+  if (!found || *found != workload.problem.p) {
+    throw std::runtime_error{"benchmark run failed to find the factor"};
+  }
+  return elapsed;
+}
+
+}  // namespace dpn::bench

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "factor/factor.hpp"
+
+/// Shared harness for the paper-reproduction benchmarks (Tables 1/2,
+/// Figures 19/20 of "Distributed Process Networks in Java").
+///
+/// The workload is the Section 5.2 weak-RSA factor search, scaled down so
+/// a full sweep runs in seconds: fewer/smaller batches than the paper's
+/// 2048 x 32 x 1024-bit setup, with each batch's nominal class-C cost
+/// fixed at `task_seconds` by the throttled-worker cluster simulation.
+/// Because every configuration scales identically, normalized *speeds*
+/// (class-C-sequential-time / elapsed) are directly comparable with the
+/// paper's numbers even though absolute times are not.
+namespace dpn::bench {
+
+struct Workload {
+  factor::FactorProblem problem;
+  std::uint64_t tasks = 192;    // paper: 2048
+  std::uint64_t batch = 32;     // as in the paper
+  double task_seconds = 0.003;  // nominal class-C cost per batch
+
+  static Workload standard(std::uint64_t tasks = 192,
+                           double task_seconds = 0.003);
+};
+
+/// Sequential baseline at a given CPU-class speed (Table 1 rows).
+/// Returns elapsed wall seconds.
+double run_sequential(const Workload& workload, double speed);
+
+/// Parallel run on the simulated heterogeneous fleet (fastest CPUs
+/// first), with static (Fig 16) or dynamic (Fig 17) load balancing.
+/// Returns elapsed wall seconds; verifies the factor was found.
+double run_parallel(const Workload& workload, std::size_t workers,
+                    bool dynamic);
+
+/// Normalized speed as the paper reports it: class-C sequential time over
+/// elapsed time.
+inline double speed_of(double class_c_seconds, double elapsed) {
+  return elapsed > 0 ? class_c_seconds / elapsed : 0.0;
+}
+
+}  // namespace dpn::bench

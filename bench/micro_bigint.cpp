@@ -1,0 +1,104 @@
+// Micro-benchmarks for the arbitrary-precision substrate behind the
+// Section 5.2 workload: multiplication (schoolbook vs Karatsuba sizes),
+// Knuth-D division, integer square roots and the perfect-square test that
+// dominates each factor-search step, and Miller-Rabin primality.
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.hpp"
+
+namespace {
+
+using dpn::Xoshiro256;
+using dpn::bigint::BigInt;
+
+void BM_Multiply(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng{bits};
+  const BigInt a = BigInt::random_bits(rng, bits);
+  const BigInt b = BigInt::random_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Multiply)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DivMod(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng{bits + 1};
+  const BigInt a = BigInt::random_bits(rng, bits);
+  const BigInt b = BigInt::random_bits(rng, bits / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::divmod(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DivMod)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Isqrt(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng{bits + 2};
+  const BigInt n = BigInt::random_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::isqrt(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Isqrt)->Arg(192)->Arg(1024)->Arg(2048);
+
+void BM_PerfectSquareTest(benchmark::State& state) {
+  // The inner loop of the factor scan: ~15/16 of candidates fail the
+  // cheap mod-16 filter; this measures the blended cost.
+  Xoshiro256 rng{9};
+  const BigInt base = BigInt::random_bits(rng, 192);
+  std::int64_t d = 1;
+  for (auto _ : state) {
+    BigInt root;
+    benchmark::DoNotOptimize(
+        BigInt::perfect_square(base + BigInt{d}, &root));
+    d += 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerfectSquareTest);
+
+void BM_ModPow(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng{bits + 3};
+  const BigInt base = BigInt::random_bits(rng, bits);
+  const BigInt exponent = BigInt::random_bits(rng, bits);
+  const BigInt modulus = BigInt::random_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::mod_pow(base, exponent, modulus));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModPow)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_MillerRabin(benchmark::State& state) {
+  // Cost of certifying one random odd 128-bit composite/prime mix.
+  Xoshiro256 rng{11};
+  for (auto _ : state) {
+    BigInt candidate = BigInt::random_bits(rng, 128);
+    if (candidate.is_even()) candidate += BigInt{1};
+    benchmark::DoNotOptimize(
+        BigInt::is_probable_prime(candidate, rng, /*rounds=*/8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MillerRabin)->Unit(benchmark::kMicrosecond);
+
+void BM_DecimalConversion(benchmark::State& state) {
+  Xoshiro256 rng{13};
+  const BigInt n = BigInt::random_bits(rng, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.to_decimal());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecimalConversion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Micro-benchmarks for the channel stack of paper Section 3.1 (Figure 3):
+// raw pipe throughput, the cost of each stream layer, element round-trips
+// through full channel endpoints, and the local-pipe vs TCP-socket
+// transport gap that distribution pays for.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/channel.hpp"
+#include "io/blocking.hpp"
+#include "io/data.hpp"
+#include "io/memory.hpp"
+#include "io/pipe.hpp"
+#include "io/sequence.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using namespace dpn;
+
+void BM_PipeThroughput(benchmark::State& state) {
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  auto pipe = std::make_shared<io::Pipe>(1 << 16);
+  ByteVector data(chunk, 0xab);
+  ByteVector sink(chunk);
+  std::jthread reader{[&, pipe] {
+    ByteVector buffer(chunk);
+    try {
+      for (;;) {
+        std::size_t got = pipe->read_some({buffer.data(), buffer.size()});
+        if (got == 0) return;
+      }
+    } catch (const IoError&) {
+    }
+  }};
+  for (auto _ : state) {
+    pipe->write({data.data(), data.size()});
+  }
+  pipe->close_write();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_PipeThroughput)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ChannelElementRoundTrip(benchmark::State& state) {
+  // One i64 element producer->consumer through full channel endpoints
+  // (Sequence layer included), alternating like a ping to measure
+  // per-element latency of the stack.
+  core::Channel channel{4096};
+  io::DataOutputStream out{channel.output()};
+  io::DataInputStream in{channel.input()};
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    out.write_i64(value);
+    benchmark::DoNotOptimize(in.read_i64());
+    ++value;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelElementRoundTrip);
+
+void BM_DataStreamOverMemory(benchmark::State& state) {
+  // The serialization layer alone, no synchronization.
+  for (auto _ : state) {
+    auto sink = std::make_shared<io::MemoryOutputStream>();
+    io::DataOutputStream out{sink};
+    for (int i = 0; i < 64; ++i) out.write_i64(i);
+    io::DataInputStream in{
+        std::make_shared<io::MemoryInputStream>(sink->take())};
+    std::int64_t sum = 0;
+    for (int i = 0; i < 64; ++i) sum += in.read_i64();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_DataStreamOverMemory);
+
+void BM_SequenceLayerOverhead(benchmark::State& state) {
+  // Reading through SequenceInputStream vs the raw pipe: the price of the
+  // splice point every channel carries.
+  auto pipe = std::make_shared<io::Pipe>(1 << 16);
+  auto seq = std::make_shared<io::SequenceInputStream>(
+      std::make_shared<io::LocalInputStream>(pipe));
+  ByteVector chunk(1024, 1);
+  std::jthread writer{[&, pipe] {
+    try {
+      for (;;) pipe->write({chunk.data(), chunk.size()});
+    } catch (const IoError&) {
+    }
+  }};
+  ByteVector buffer(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq->read_some({buffer.data(), buffer.size()}));
+  }
+  pipe->abort();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_SequenceLayerOverhead);
+
+void BM_SocketThroughput(benchmark::State& state) {
+  // The remote-channel transport floor: raw TCP over loopback.
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  net::ServerSocket server{0};
+  std::jthread sink_thread{[&] {
+    net::Socket peer = server.accept();
+    ByteVector buffer(1 << 16);
+    try {
+      while (peer.read_some({buffer.data(), buffer.size()}) > 0) {
+      }
+    } catch (const IoError&) {
+    }
+  }};
+  net::Socket client = net::Socket::connect("127.0.0.1", server.port());
+  ByteVector data(chunk, 0xcd);
+  for (auto _ : state) {
+    client.write_all({data.data(), data.size()});
+  }
+  client.close();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_SocketThroughput)->Arg(1024)->Arg(16384);
+
+void BM_ChannelCreation(benchmark::State& state) {
+  // Cost of materializing a channel (pipe + both endpoint stacks);
+  // self-reconfiguring graphs (Sift) create one per inserted process.
+  for (auto _ : state) {
+    core::Channel channel{4096};
+    benchmark::DoNotOptimize(channel.input().get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelCreation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

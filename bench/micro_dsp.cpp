@@ -1,0 +1,94 @@
+// Micro-benchmarks for the signal-processing substrate (the application
+// class the paper positions process networks for): FFT throughput across
+// sizes, windowed bin power (one beamformer frame), and the sustained
+// sample rate of a complete streaming delay-and-sum beam as a process
+// network.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+#include <thread>
+
+#include "core/network.hpp"
+#include "dsp/beam.hpp"
+#include "dsp/fft.hpp"
+#include "processes/basic.hpp"
+
+namespace {
+
+using namespace dpn;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng{n};
+  std::vector<dsp::Complex> data(n);
+  for (auto& value : data) {
+    value = dsp::Complex{rng.unit() - 0.5, rng.unit() - 0.5};
+  }
+  for (auto _ : state) {
+    std::vector<dsp::Complex> work = data;
+    dsp::fft(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_BinPower(benchmark::State& state) {
+  // One beam-scoring step: Hann window + FFT + one bin, on a 64-sample
+  // frame (the beamformer example's configuration).
+  constexpr std::size_t kFrame = 64;
+  std::vector<double> frame(kFrame);
+  for (std::size_t t = 0; t < kFrame; ++t) {
+    frame[t] = std::sin(2.0 * std::numbers::pi * 4.0 *
+                        static_cast<double>(t) / kFrame);
+  }
+  const auto window = dsp::hann_window(kFrame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::bin_power(frame, 4, window));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinPower);
+
+void BM_BeamSampleRate(benchmark::State& state) {
+  // Sustained samples/second through one complete beam: S sensor sources
+  // -> DelaySum -> SpectralPower -> sink, as a running process network.
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kFrame = 64;
+  const long frames = 40;
+  const long samples = (frames + 1) * static_cast<long>(kFrame) + 16;
+
+  for (auto _ : state) {
+    core::Network network;
+    std::vector<std::shared_ptr<core::ChannelInputStream>> taps;
+    for (std::size_t s = 0; s < sensors; ++s) {
+      auto raw = network.make_channel(1 << 14);
+      network.add(std::make_shared<dsp::PlaneWaveSource>(
+          raw->output(), 1.0 / 16.0, static_cast<double>(s) * 1.5, 0.1,
+          100 + s, samples));
+      taps.push_back(raw->input());
+    }
+    auto summed = network.make_channel(1 << 14);
+    auto power = network.make_channel(1 << 14);
+    auto sink = std::make_shared<processes::CollectSink<double>>();
+    network.add(std::make_shared<dsp::DelaySum>(
+        taps, summed->output(),
+        dsp::steering_delays(sensors, 1.5, 0.3)));
+    network.add(std::make_shared<dsp::SpectralPower>(
+        summed->input(), power->output(), kFrame, 4));
+    network.add(std::make_shared<processes::CollectF64>(power->input(), sink,
+                                                        frames));
+    network.run();
+    benchmark::DoNotOptimize(sink->size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          samples * static_cast<std::int64_t>(sensors));
+}
+BENCHMARK(BM_BeamSampleRate)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Micro-benchmarks for object serialization (paper Section 4.2) and the
+// cost of shipping live process graphs: the per-task serialization the
+// parallel framework pays, and the full ship/receive round trip including
+// automatic connection establishment over loopback sockets.
+
+#include <benchmark/benchmark.h>
+
+#include "core/process.hpp"
+#include "dist/node.hpp"
+#include "dist/ship.hpp"
+#include "factor/factor.hpp"
+#include "par/generic.hpp"
+#include "processes/copy.hpp"
+#include "serial/serial.hpp"
+
+namespace {
+
+using namespace dpn;
+
+void BM_TaskSerialize(benchmark::State& state) {
+  // A worker task as the parallel framework ships it (Section 5.1):
+  // one 192-bit modulus plus the batch description.
+  const auto problem = factor::FactorProblem::generate(7, 96, 16);
+  auto task = std::make_shared<factor::FactorWorkerTask>(problem.n, 0, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::to_bytes(task));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskSerialize);
+
+void BM_TaskRoundTrip(benchmark::State& state) {
+  const auto problem = factor::FactorProblem::generate(7, 96, 16);
+  auto task = std::make_shared<factor::FactorWorkerTask>(problem.n, 0, 32);
+  const ByteVector bytes = serial::to_bytes(task);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serial::from_bytes({bytes.data(), bytes.size()}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskRoundTrip);
+
+void BM_WorkerTaskExecution(benchmark::State& state) {
+  // The real compute kernel behind every benchmark task: scanning one
+  // batch of 32 even differences against a 192-bit modulus.
+  const auto problem = factor::FactorProblem::generate(7, 96, 1u << 20);
+  std::uint64_t d = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factor::scan_differences(problem.n, d, 32));
+    d += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_WorkerTaskExecution);
+
+void BM_ShipProcessGraph(benchmark::State& state) {
+  // Full Section 4.2 cycle: serialize a process with two live channel
+  // endpoints (opening rendezvous registrations and switching the staying
+  // endpoints), then reconstruct it on a second node, dialing back over
+  // loopback TCP.  This is the per-process cost of distribution.
+  auto node_a = dist::NodeContext::create();
+  auto node_b = dist::NodeContext::create();
+  for (auto _ : state) {
+    auto ch1 = std::make_shared<core::Channel>(4096);
+    auto ch2 = std::make_shared<core::Channel>(4096);
+    auto middle =
+        std::make_shared<processes::Identity>(ch1->input(), ch2->output());
+    const ByteVector shipment = dist::ship_process(node_a, middle);
+    auto remote =
+        dist::receive_process(node_b, {shipment.data(), shipment.size()});
+    benchmark::DoNotOptimize(remote.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShipProcessGraph)->Unit(benchmark::kMicrosecond);
+
+void BM_ShipInternalComposite(benchmark::State& state) {
+  // A composite whose internal channel stays a local pipe: serialization
+  // without any socket work, for comparison with BM_ShipProcessGraph.
+  auto node_a = dist::NodeContext::create();
+  for (auto _ : state) {
+    auto mid = std::make_shared<core::Channel>(4096);
+    auto tie_in = std::make_shared<core::Channel>(4096);
+    auto tie_out = std::make_shared<core::Channel>(4096);
+    // Close the boundary channels' far ends so no sockets are opened.
+    tie_in->output()->close();
+    tie_out->input()->close();
+    auto composite = std::make_shared<core::CompositeProcess>();
+    composite->add(
+        std::make_shared<processes::Identity>(tie_in->input(), mid->output()));
+    composite->add(std::make_shared<processes::Identity>(mid->input(),
+                                                         tie_out->output()));
+    benchmark::DoNotOptimize(dist::ship_process(node_a, composite));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShipInternalComposite)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// The unbounded process network of paper Figure 12: the ordered sequence
+// of integers of the form 2^k 3^m 5^n (Hamming numbers), the example Kahn
+// attributes to Dijkstra/Hamming.
+//
+// Every element the merge emits feeds 1-3 new elements back into the
+// cycle, so channel storage grows without bound; with bounded channels
+// the graph deadlocks on blocking writes (Section 3.5).  The deadlock
+// monitor implements the bounded-scheduling rule of [13]: it detects the
+// stall and grows the smallest write-blocked channel, repeatedly, until
+// the Print's iteration limit terminates the run.
+//
+//   ./hamming [count]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/network.hpp"
+#include "processes/arith.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "processes/merge.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpn;
+  const long count = argc > 1 ? std::atol(argv[1]) : 40;
+
+  core::Network network;
+  // Deliberately tiny channels: let the monitor do the sizing.
+  const std::size_t cap = 64;
+  auto out = network.make_channel(cap, "out");
+  auto seed = network.make_channel(cap, "seed");
+  auto stream = network.make_channel(cap, "stream");
+  auto printed = network.make_channel(cap, "printed");
+  auto c2 = network.make_channel(cap, "c2");
+  auto c3 = network.make_channel(cap, "c3");
+  auto c5 = network.make_channel(cap, "c5");
+  auto s2 = network.make_channel(cap, "s2");
+  auto s3 = network.make_channel(cap, "s3");
+  auto s5 = network.make_channel(cap, "s5");
+
+  network.add(std::make_shared<processes::Constant>(1, seed->output(), 1));
+  network.add(std::make_shared<processes::Cons>(seed->input(), out->input(),
+                                                stream->output()));
+  network.add(std::make_shared<processes::Duplicate>(
+      stream->input(), std::vector{printed->output(), c2->output(),
+                                   c3->output(), c5->output()}));
+  network.add(std::make_shared<processes::Scale>(c2->input(), s2->output(), 2));
+  network.add(std::make_shared<processes::Scale>(c3->input(), s3->output(), 3));
+  network.add(std::make_shared<processes::Scale>(c5->input(), s5->output(), 5));
+  network.add(std::make_shared<processes::OrderedMerge>(
+      std::vector{s2->input(), s3->input(), s5->input()}, out->output()));
+  network.add(std::make_shared<processes::Print>(printed->input(), count));
+
+  network.enable_monitor(core::MonitorOptions{});
+  network.run();
+
+  std::printf("channel growths performed by the monitor: %zu\n",
+              network.growth_events());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The Newton square-root network of paper Figure 11:
+//
+//   r_n = (x / r_{n-1} + r_{n-1}) / 2
+//
+// A feedback cycle refines the estimate; the Equal process detects when
+// floating-point precision is exhausted (the estimate stops changing) and
+// the Guard then passes exactly one value to Print and stops, triggering
+// data-dependent termination of the whole network (Section 3.4).
+//
+//   ./newton_sqrt [x...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/network.hpp"
+#include "processes/arith.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+
+namespace {
+
+double network_sqrt(double x) {
+  using namespace dpn;
+  core::Network network;
+  auto xs = network.make_channel(4096, "x");
+  auto r_init = network.make_channel(64, "r0");
+  auto r_feedback = network.make_channel(4096, "feedback");
+  auto r = network.make_channel(4096, "r");
+  auto r_div = network.make_channel(4096);
+  auto r_avg = network.make_channel(4096);
+  auto r_eq = network.make_channel(4096);
+  auto quotient = network.make_channel(4096);
+  auto r_next = network.make_channel(4096);
+  auto loop_copy = network.make_channel(4096);
+  auto eq_copy = network.make_channel(4096);
+  auto guard_copy = network.make_channel(4096);
+  auto control = network.make_channel(4096);
+  auto result = network.make_channel(64);
+  auto sink = std::make_shared<processes::CollectSink<double>>();
+
+  network.add(std::make_shared<processes::ConstantF64>(x, xs->output()));
+  network.add(
+      std::make_shared<processes::ConstantF64>(1.0, r_init->output(), 1));
+  network.add(std::make_shared<processes::Cons>(
+      r_init->input(), r_feedback->input(), r->output()));
+  network.add(std::make_shared<processes::Duplicate>(
+      r->input(),
+      std::vector{r_div->output(), r_avg->output(), r_eq->output()}));
+  network.add(std::make_shared<processes::Divide>(
+      xs->input(), r_div->input(), quotient->output()));
+  network.add(std::make_shared<processes::Average>(
+      quotient->input(), r_avg->input(), r_next->output()));
+  network.add(std::make_shared<processes::Duplicate>(
+      r_next->input(), std::vector{loop_copy->output(), eq_copy->output(),
+                                   guard_copy->output()}));
+  network.add(std::make_shared<processes::Identity>(loop_copy->input(),
+                                                    r_feedback->output()));
+  network.add(std::make_shared<processes::Equal>(
+      eq_copy->input(), r_eq->input(), control->output()));
+  network.add(std::make_shared<processes::Guard>(
+      guard_copy->input(), control->input(), result->output(),
+      /*stop_after_pass=*/true));
+  network.add(std::make_shared<processes::CollectF64>(result->input(), sink));
+  network.run();
+  return sink->values().at(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> inputs;
+  for (int i = 1; i < argc; ++i) inputs.push_back(std::atof(argv[i]));
+  if (inputs.empty()) inputs = {2.0, 10.0, 12345.678};
+
+  for (const double x : inputs) {
+    std::printf("sqrt(%g) = %.17g\n", x, network_sqrt(x));
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// A standalone name registry (paper Section 4.1's RMI registry stand-in):
+// compute servers register here; clients look them up by name.
+//
+//   ./pn_registry [port]
+//
+// Stop with SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rmi/registry.hpp"
+#include "support/sync.hpp"
+
+namespace {
+dpn::Event g_stop;
+void handle_signal(int) { g_stop.set(); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto port =
+      static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 0);
+  dpn::rmi::Registry registry{port};
+  std::printf("registry listening on port %u\n", registry.port());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  g_stop.wait();
+
+  std::printf("registry shutting down; entries at exit:\n");
+  for (const auto& [name, endpoint] : registry.entries()) {
+    std::printf("  %s -> %s:%u\n", name.c_str(), endpoint.host.c_str(),
+                endpoint.port);
+  }
+  registry.stop();
+  return 0;
+}

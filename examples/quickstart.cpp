@@ -1,0 +1,131 @@
+// Quickstart: the Figure 1 pipeline -- Producer -> Worker -> Consumer --
+// built from the generic task framework (paper Section 5.1).
+//
+// The computation lives in Task objects: the producer task yields work
+// items, each work item computes its square, and the consumer observer
+// prints results.  Swap the single worker for meta_static/meta_dynamic
+// (see parallel_factor.cpp) without touching any task code.
+//
+//   ./quickstart [count]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "par/generic.hpp"
+#include "par/schema.hpp"
+
+namespace {
+
+using dpn::par::Task;
+
+/// Work item: squares its id.
+class SquareTask final : public Task {
+ public:
+  SquareTask() = default;
+  explicit SquareTask(std::int64_t id) : id_(id) {}
+
+  std::shared_ptr<Task> run() override;
+
+  std::string type_name() const override { return "quickstart.Square"; }
+  void write_fields(dpn::serial::ObjectOutputStream& out) const override {
+    out.write_i64(id_);
+  }
+  static std::shared_ptr<SquareTask> read_object(
+      dpn::serial::ObjectInputStream& in) {
+    auto task = std::make_shared<SquareTask>();
+    task->id_ = in.read_i64();
+    return task;
+  }
+
+ private:
+  std::int64_t id_ = 0;
+};
+
+/// Result: prints itself when the consumer runs it.
+class SquareResult final : public Task {
+ public:
+  SquareResult() = default;
+  SquareResult(std::int64_t id, std::int64_t square)
+      : id_(id), square_(square) {}
+
+  std::shared_ptr<Task> run() override {
+    std::printf("%lld^2 = %lld\n", static_cast<long long>(id_),
+                static_cast<long long>(square_));
+    return nullptr;
+  }
+
+  std::string type_name() const override { return "quickstart.Result"; }
+  void write_fields(dpn::serial::ObjectOutputStream& out) const override {
+    out.write_i64(id_);
+    out.write_i64(square_);
+  }
+  static std::shared_ptr<SquareResult> read_object(
+      dpn::serial::ObjectInputStream& in) {
+    auto task = std::make_shared<SquareResult>();
+    task->id_ = in.read_i64();
+    task->square_ = in.read_i64();
+    return task;
+  }
+
+ private:
+  std::int64_t id_ = 0;
+  std::int64_t square_ = 0;
+};
+
+std::shared_ptr<Task> SquareTask::run() {
+  return std::make_shared<SquareResult>(id_, id_ * id_);
+}
+
+/// Producer task: yields SquareTasks 0..count-1, then null.
+class CountTask final : public Task {
+ public:
+  CountTask() = default;
+  explicit CountTask(std::int64_t count) : remaining_(count) {}
+
+  std::shared_ptr<Task> run() override {
+    if (remaining_-- <= 0) return nullptr;
+    return std::make_shared<SquareTask>(next_++);
+  }
+
+  std::string type_name() const override { return "quickstart.Count"; }
+  void write_fields(dpn::serial::ObjectOutputStream& out) const override {
+    out.write_i64(next_);
+    out.write_i64(remaining_);
+  }
+  static std::shared_ptr<CountTask> read_object(
+      dpn::serial::ObjectInputStream& in) {
+    auto task = std::make_shared<CountTask>();
+    task->next_ = in.read_i64();
+    task->remaining_ = in.read_i64();
+    return task;
+  }
+
+ private:
+  std::int64_t next_ = 0;
+  std::int64_t remaining_ = 0;
+};
+
+[[maybe_unused]] const bool kRegistered =
+    dpn::serial::register_type<SquareTask>("quickstart.Square") &&
+    dpn::serial::register_type<SquareResult>("quickstart.Result") &&
+    dpn::serial::register_type<CountTask>("quickstart.Count");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t count = argc > 1 ? std::atoll(argv[1]) : 10;
+
+  // Producer -> Worker -> Consumer, each on its own thread, connected by
+  // bounded FIFO channels with blocking reads (Kahn semantics).
+  auto graph = dpn::par::pipeline(
+      std::make_shared<CountTask>(count), /*observer=*/{},
+      [](auto in, auto out) {
+        return std::make_shared<dpn::par::Worker>(std::move(in),
+                                                  std::move(out));
+      });
+  graph->run();
+  std::printf("done: %lld tasks through the pipeline\n",
+              static_cast<long long>(count));
+  return 0;
+}

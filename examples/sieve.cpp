@@ -1,0 +1,48 @@
+// The self-modifying Sieve of Eratosthenes of paper Figures 7/8: the Sift
+// process inserts a Modulo filter into the running graph for every prime
+// it discovers.
+//
+// Demonstrates both termination modes of Section 3.4:
+//   ./sieve below 100    -- all primes below 100: the integer source
+//                           stops and the sieve drains (every produced
+//                           element is consumed);
+//   ./sieve first 100    -- the first 100 primes: the printer stops and
+//                           kills the unbounded upstream via the
+//                           cascading channel-close exceptions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/network.hpp"
+#include "processes/basic.hpp"
+#include "processes/sieve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpn;
+  const bool first_mode = argc > 1 && std::strcmp(argv[1], "first") == 0;
+  const long n = argc > 2 ? std::atol(argv[2]) : 100;
+
+  core::Network network;
+  auto numbers = network.make_channel(4096, "numbers");
+  auto primes = network.make_channel(4096, "primes");
+  auto sift = std::make_shared<processes::Sift>(numbers->input(),
+                                                primes->output());
+
+  if (first_mode) {
+    // Unbounded source; the Print's iteration limit terminates the run.
+    network.add(std::make_shared<processes::Sequence>(2, numbers->output()));
+    network.add(std::make_shared<processes::Print>(primes->input(), n));
+  } else {
+    // Source limit: integers 2..n; everything downstream drains.
+    network.add(
+        std::make_shared<processes::Sequence>(2, numbers->output(), n - 1));
+    network.add(std::make_shared<processes::Print>(primes->input()));
+  }
+  network.add(sift);
+  network.run();
+
+  std::printf("filters inserted into the running graph: %zu\n",
+              sift->filters_inserted());
+  return 0;
+}

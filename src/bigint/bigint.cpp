@@ -1,0 +1,637 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace dpn::bigint {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude));
+    magnitude >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_parts(Limbs limbs, bool negative) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.negative_ = negative;
+  out.normalize();
+  return out;
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t index) const {
+  const std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+std::int64_t BigInt::to_i64() const {
+  if (bit_length() > 63) {
+    if (negative_ && bit_length() == 64 && *this == BigInt{INT64_MIN}) {
+      return INT64_MIN;
+    }
+    throw UsageError{"BigInt does not fit in int64"};
+  }
+  std::int64_t value = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = (value << 32) | limbs_[i];
+  }
+  return negative_ ? -value : value;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (negative_ || bit_length() > 64) {
+    throw UsageError{"BigInt does not fit in uint64"};
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = (value << 32) | limbs_[i];
+  }
+  return value;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+int BigInt::cmp_mag(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt::Limbs BigInt::add_mag(const Limbs& a, const Limbs& b) {
+  const Limbs& longer = a.size() >= b.size() ? a : b;
+  const Limbs& shorter = a.size() >= b.size() ? b : a;
+  Limbs out;
+  out.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt::Limbs BigInt::sub_mag(const Limbs& a, const Limbs& b) {
+  Limbs out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt::Limbs BigInt::mul_schoolbook(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + b.size()] = static_cast<std::uint32_t>(carry);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt::Limbs BigInt::mul_karatsuba(const Limbs& a, const Limbs& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    return mul_schoolbook(a, b);
+  }
+  const std::size_t half = n / 2;
+  const auto split = [half](const Limbs& x) {
+    Limbs lo{x.begin(), x.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(half, x.size()))};
+    Limbs hi;
+    if (x.size() > half) {
+      hi.assign(x.begin() + static_cast<std::ptrdiff_t>(half), x.end());
+    }
+    while (!lo.empty() && lo.back() == 0) lo.pop_back();
+    return std::pair{std::move(lo), std::move(hi)};
+  };
+  const auto [a_lo, a_hi] = split(a);
+  const auto [b_lo, b_hi] = split(b);
+
+  Limbs z0 = mul_karatsuba(a_lo, b_lo);
+  Limbs z2 = mul_karatsuba(a_hi, b_hi);
+  Limbs a_sum = add_mag(a_lo, a_hi);
+  Limbs b_sum = add_mag(b_lo, b_hi);
+  Limbs z1 = mul_karatsuba(a_sum, b_sum);
+  z1 = sub_mag(z1, z0);
+  z1 = sub_mag(z1, z2);
+
+  // result = z2 << (2*half*32) + z1 << (half*32) + z0
+  Limbs out = z0;
+  if (!z1.empty()) {
+    Limbs shifted(half, 0);
+    shifted.insert(shifted.end(), z1.begin(), z1.end());
+    out = add_mag(out, shifted);
+  }
+  if (!z2.empty()) {
+    Limbs shifted(2 * half, 0);
+    shifted.insert(shifted.end(), z2.begin(), z2.end());
+    out = add_mag(out, shifted);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt::Limbs BigInt::mul_mag(const Limbs& a, const Limbs& b) {
+  if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold) {
+    return mul_karatsuba(a, b);
+  }
+  return mul_schoolbook(a, b);
+}
+
+BigInt::Limbs BigInt::shl_mag(const Limbs& a, std::size_t bits) {
+  if (a.empty()) return {};
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Limbs out(limb_shift, 0);
+  if (bit_shift == 0) {
+    out.insert(out.end(), a.begin(), a.end());
+    return out;
+  }
+  std::uint32_t carry = 0;
+  for (const std::uint32_t limb : a) {
+    out.push_back((limb << bit_shift) | carry);
+    carry = static_cast<std::uint32_t>(limb >> (32 - bit_shift));
+  }
+  if (carry != 0) out.push_back(carry);
+  return out;
+}
+
+BigInt::Limbs BigInt::shr_mag(const Limbs& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= a.size()) return {};
+  const std::size_t bit_shift = bits % 32;
+  Limbs out{a.begin() + static_cast<std::ptrdiff_t>(limb_shift), a.end()};
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] >>= bit_shift;
+      if (i + 1 < out.size()) {
+        out[i] |= out[i + 1] << (32 - bit_shift);
+      }
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::pair<BigInt::Limbs, BigInt::Limbs> BigInt::divmod_mag(const Limbs& u_in,
+                                                           const Limbs& v_in) {
+  if (v_in.empty()) throw UsageError{"BigInt division by zero"};
+  if (cmp_mag(u_in, v_in) < 0) return {Limbs{}, u_in};
+
+  // Single-limb divisor fast path.
+  if (v_in.size() == 1) {
+    const std::uint64_t divisor = v_in[0];
+    Limbs quotient(u_in.size(), 0);
+    std::uint64_t remainder = 0;
+    for (std::size_t i = u_in.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | u_in[i];
+      quotient[i] = static_cast<std::uint32_t>(cur / divisor);
+      remainder = cur % divisor;
+    }
+    while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+    Limbs rem;
+    if (remainder != 0) rem.push_back(static_cast<std::uint32_t>(remainder));
+    return {std::move(quotient), std::move(rem)};
+  }
+
+  // Knuth TAOCP Vol. 2, Algorithm D.
+  // D1: normalize so the divisor's top limb has its high bit set.
+  std::size_t shift = 0;
+  {
+    std::uint32_t top = v_in.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  Limbs u = shl_mag(u_in, shift);
+  const Limbs v = shl_mag(v_in, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u_in.size() - v_in.size() + 1;  // quotient limbs bound
+  u.resize(std::max(u.size(), u_in.size() + 1), 0);     // u[n+m-1] exists
+  if (u.size() < n + m) u.resize(n + m, 0);
+
+  Limbs quotient(m, 0);
+  const std::uint64_t v_top = v[n - 1];
+  const std::uint64_t v_second = n >= 2 ? v[n - 2] : 0;
+
+  for (std::size_t j = m; j-- > 0;) {
+    // D3: estimate q_hat from the top two limbs of the current remainder.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v_top;
+    std::uint64_t r_hat = numerator % v_top;
+    while (q_hat >= kBase ||
+           q_hat * v_second >
+               ((r_hat << 32) | (j + n >= 2 ? u[j + n - 2] : 0))) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kBase) break;
+    }
+    // D4: multiply and subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                                static_cast<std::int64_t>(product & 0xffffffffu) -
+                                borrow;
+      u[i + j] = static_cast<std::uint32_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+    const std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) -
+                                  static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(top_diff);
+
+    if (top_diff < 0) {
+      // D6: q_hat was one too large; add v back.
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+    }
+    quotient[j] = static_cast<std::uint32_t>(q_hat);
+  }
+
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+  u.resize(n);
+  Limbs remainder = shr_mag(u, shift);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  if (a.negative_ == b.negative_) {
+    return BigInt::from_parts(BigInt::add_mag(a.limbs_, b.limbs_),
+                              a.negative_);
+  }
+  const int cmp = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  if (cmp == 0) return BigInt{};
+  if (cmp > 0) {
+    return BigInt::from_parts(BigInt::sub_mag(a.limbs_, b.limbs_),
+                              a.negative_);
+  }
+  return BigInt::from_parts(BigInt::sub_mag(b.limbs_, a.limbs_), b.negative_);
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  return BigInt::from_parts(BigInt::mul_mag(a.limbs_, b.limbs_),
+                            a.negative_ != b.negative_);
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& a, const BigInt& b) {
+  auto [q, r] = divmod_mag(a.limbs_, b.limbs_);
+  BigInt quotient = from_parts(std::move(q), a.negative_ != b.negative_);
+  BigInt remainder = from_parts(std::move(r), a.negative_);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).first;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).second;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  return from_parts(shl_mag(limbs_, bits), negative_);
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  return from_parts(shr_mag(limbs_, bits), negative_);
+}
+
+bool operator==(const BigInt& a, const BigInt& b) {
+  return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  const int cmp = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  const int signed_cmp = a.negative_ ? -cmp : cmp;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::pow(const BigInt& base, std::uint64_t exponent) {
+  BigInt result{1};
+  BigInt acc = base;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exponent,
+                       const BigInt& modulus) {
+  if (modulus.is_zero() || modulus.is_negative()) {
+    throw UsageError{"mod_pow needs a positive modulus"};
+  }
+  if (exponent.is_negative()) {
+    throw UsageError{"mod_pow needs a non-negative exponent"};
+  }
+  BigInt result{1};
+  BigInt acc = base % modulus;
+  if (acc.is_negative()) acc += modulus;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = (result * acc) % modulus;
+    acc = (acc * acc) % modulus;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::isqrt(const BigInt& n) {
+  if (n.is_negative()) throw UsageError{"isqrt of a negative number"};
+  if (n.is_zero()) return BigInt{};
+  // Newton's method with an over-estimate start: x = 2^ceil(bits/2).
+  BigInt x = BigInt{1} << ((n.bit_length() + 1) / 2);
+  for (;;) {
+    BigInt y = (x + n / x) >> 1;
+    if (y >= x) break;
+    x = std::move(y);
+  }
+  return x;
+}
+
+bool BigInt::perfect_square(const BigInt& n, BigInt* root) {
+  if (n.is_negative()) return false;
+  // Cheap filter: squares mod 16 are in {0,1,4,9}.
+  if (!n.is_zero()) {
+    const std::uint32_t low = n.limbs_[0] & 0xf;
+    if (low != 0 && low != 1 && low != 4 && low != 9) return false;
+  }
+  BigInt r = isqrt(n);
+  if (r * r == n) {
+    if (root != nullptr) *root = std::move(r);
+    return true;
+  }
+  return false;
+}
+
+BigInt BigInt::random_bits(Xoshiro256& rng, std::size_t bits) {
+  if (bits == 0) return BigInt{};
+  Limbs limbs((bits + 31) / 32, 0);
+  for (auto& limb : limbs) limb = static_cast<std::uint32_t>(rng.next());
+  const std::size_t top_bit = (bits - 1) % 32;
+  limbs.back() &= (top_bit == 31) ? 0xffffffffu : ((1u << (top_bit + 1)) - 1);
+  limbs.back() |= 1u << top_bit;  // exactly `bits` bits
+  return from_parts(std::move(limbs), false);
+}
+
+BigInt BigInt::random_below(Xoshiro256& rng, const BigInt& bound) {
+  if (bound.is_zero() || bound.is_negative()) {
+    throw UsageError{"random_below needs a positive bound"};
+  }
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    Limbs limbs((bits + 31) / 32, 0);
+    for (auto& limb : limbs) limb = static_cast<std::uint32_t>(rng.next());
+    const std::size_t excess = limbs.size() * 32 - bits;
+    if (excess > 0) limbs.back() >>= excess;
+    BigInt candidate = from_parts(std::move(limbs), false);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::is_probable_prime(const BigInt& n, Xoshiro256& rng, int rounds) {
+  if (n < BigInt{2}) return false;
+  for (const std::int64_t p : {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}) {
+    const BigInt small{p};
+    if (n == small) return true;
+    if ((n % small).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = BigInt{2} + random_below(rng, n - BigInt{4});
+    BigInt x = mod_pow(a, d, n);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::random_prime(Xoshiro256& rng, std::size_t bits) {
+  if (bits < 2) throw UsageError{"random_prime needs >= 2 bits"};
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigInt{1};
+    if (candidate.bit_length() != bits) continue;  // odd bump overflowed
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt BigInt::from_decimal(std::string_view text) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size()) throw UsageError{"empty decimal BigInt"};
+  BigInt out;
+  const BigInt ten{10};
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (c < '0' || c > '9') {
+      throw UsageError{"bad decimal digit in BigInt literal"};
+    }
+    out = out * ten + BigInt{c - '0'};
+  }
+  if (negative && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view text) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (text.substr(pos, 2) == "0x" || text.substr(pos, 2) == "0X") pos += 2;
+  if (pos >= text.size()) throw UsageError{"empty hex BigInt"};
+  BigInt out;
+  for (; pos < text.size(); ++pos) {
+    const char c = static_cast<char>(std::tolower(text[pos]));
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      throw UsageError{"bad hex digit in BigInt literal"};
+    }
+    out = (out << 4) + BigInt{digit};
+  }
+  if (negative && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  // Peel 9 decimal digits at a time with the single-limb fast path.
+  constexpr std::uint32_t kChunk = 1000000000u;
+  Limbs value = limbs_;
+  std::string digits;
+  while (!value.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = value.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | value[i];
+      value[i] = static_cast<std::uint32_t>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    while (!value.empty() && value.back() == 0) value.pop_back();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0x0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  out = out.substr(first);
+  return (negative_ ? "-0x" : "0x") + out;
+}
+
+void BigInt::write_to(io::DataOutputStream& out) const {
+  out.write_u8(negative_ ? 1 : 0);
+  out.write_varint(limbs_.size());
+  for (const std::uint32_t limb : limbs_) out.write_u32(limb);
+}
+
+BigInt BigInt::read_from(io::DataInputStream& in) {
+  BigInt out;
+  out.negative_ = in.read_u8() != 0;
+  const std::uint64_t n = in.read_varint();
+  constexpr std::uint64_t kLimbLimit = 1u << 20;  // 32 Mbit sanity bound
+  if (n > kLimbLimit) throw SerializationError{"BigInt too large"};
+  out.limbs_.resize(static_cast<std::size_t>(n));
+  for (auto& limb : out.limbs_) limb = in.read_u32();
+  out.normalize();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_decimal();
+}
+
+}  // namespace dpn::bigint

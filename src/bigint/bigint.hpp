@@ -1,0 +1,121 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "io/data.hpp"
+#include "support/rng.hpp"
+
+/// Arbitrary-precision signed integers, built for the paper's weak-RSA
+/// factoring workload (Section 5.2): 512-bit primes, 1024-bit products,
+/// integer square roots, Miller-Rabin primality.
+///
+/// Representation: sign-magnitude, 32-bit limbs, little-endian, always
+/// normalized (no leading zero limbs; zero has no limbs and positive
+/// sign).  Division is truncated (C++ semantics): the remainder carries
+/// the dividend's sign.
+namespace dpn::bigint {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  static BigInt from_decimal(std::string_view text);
+  static BigInt from_hex(std::string_view text);
+  std::string to_decimal() const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u) != 0; }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  bool bit(std::size_t index) const;
+
+  /// Checked conversions; throw UsageError when out of range.
+  std::int64_t to_i64() const;
+  std::uint64_t to_u64() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b);
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Quotient and remainder in one division.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& a, const BigInt& b);
+
+  static BigInt pow(const BigInt& base, std::uint64_t exponent);
+  /// (base^exponent) mod modulus, modulus > 0.
+  static BigInt mod_pow(const BigInt& base, const BigInt& exponent,
+                        const BigInt& modulus);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// floor(sqrt(n)), n >= 0.
+  static BigInt isqrt(const BigInt& n);
+  /// True if n is a perfect square; if so *root is set to sqrt(n).
+  static bool perfect_square(const BigInt& n, BigInt* root = nullptr);
+
+  /// Uniform in [0, 2^bits) with the top bit set (exactly `bits` bits).
+  static BigInt random_bits(Xoshiro256& rng, std::size_t bits);
+  /// Uniform in [0, bound), bound > 0.
+  static BigInt random_below(Xoshiro256& rng, const BigInt& bound);
+
+  /// Miller-Rabin with `rounds` random bases (error < 4^-rounds).
+  static bool is_probable_prime(const BigInt& n, Xoshiro256& rng,
+                                int rounds = 32);
+  /// Random probable prime with exactly `bits` bits.
+  static BigInt random_prime(Xoshiro256& rng, std::size_t bits);
+
+  /// Wire encoding (sign byte + varint limb count + limbs).
+  void write_to(io::DataOutputStream& out) const;
+  static BigInt read_from(io::DataInputStream& in);
+
+  /// Raw limb access for tests.
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  using Limbs = std::vector<std::uint32_t>;
+
+  static BigInt from_parts(Limbs limbs, bool negative);
+  void normalize();
+
+  static int cmp_mag(const Limbs& a, const Limbs& b);
+  static Limbs add_mag(const Limbs& a, const Limbs& b);
+  static Limbs sub_mag(const Limbs& a, const Limbs& b);  // requires a >= b
+  static Limbs mul_mag(const Limbs& a, const Limbs& b);
+  static Limbs mul_schoolbook(const Limbs& a, const Limbs& b);
+  static Limbs mul_karatsuba(const Limbs& a, const Limbs& b);
+  static std::pair<Limbs, Limbs> divmod_mag(const Limbs& u, const Limbs& v);
+  static Limbs shl_mag(const Limbs& a, std::size_t bits);
+  static Limbs shr_mag(const Limbs& a, std::size_t bits);
+
+  Limbs limbs_;
+  bool negative_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace dpn::bigint

@@ -1,0 +1,104 @@
+#include "core/channel.hpp"
+
+#include <mutex>
+
+namespace dpn::core {
+
+namespace {
+DistributionHooks g_hooks;
+std::mutex g_hooks_mutex;
+}  // namespace
+
+void set_distribution_hooks(DistributionHooks hooks) {
+  std::scoped_lock lock{g_hooks_mutex};
+  g_hooks = std::move(hooks);
+}
+
+const DistributionHooks& distribution_hooks() {
+  std::scoped_lock lock{g_hooks_mutex};
+  return g_hooks;
+}
+
+ChannelInputStream::ChannelInputStream(
+    std::shared_ptr<ChannelState> state,
+    std::shared_ptr<io::SequenceInputStream> sequence)
+    : state_(std::move(state)), sequence_(std::move(sequence)) {}
+
+std::size_t ChannelInputStream::read_some(MutableByteSpan out) {
+  return sequence_->read_some(out);
+}
+
+int ChannelInputStream::read() { return sequence_->read(); }
+
+void ChannelInputStream::close() { sequence_->close(); }
+
+void ChannelInputStream::read_fully(MutableByteSpan out) {
+  io::read_fully(*sequence_, out);
+}
+
+void ChannelInputStream::write_fields(serial::ObjectOutputStream&) const {
+  throw SerializationError{
+      "ChannelInputStream is serialized via its write_replace hook"};
+}
+
+std::shared_ptr<serial::Serializable> ChannelInputStream::write_replace(
+    serial::ObjectOutputStream& out) {
+  const auto& hooks = distribution_hooks();
+  if (!hooks.replace_input) {
+    throw UsageError{
+        "serializing a channel endpoint requires the distribution layer "
+        "(link dpn_dist and create a NodeContext)"};
+  }
+  return hooks.replace_input(shared_from_this(), out);
+}
+
+ChannelOutputStream::ChannelOutputStream(
+    std::shared_ptr<ChannelState> state,
+    std::shared_ptr<io::SequenceOutputStream> sequence)
+    : state_(std::move(state)), sequence_(std::move(sequence)) {}
+
+void ChannelOutputStream::write(ByteSpan data) { sequence_->write(data); }
+
+void ChannelOutputStream::write_byte(std::uint8_t b) {
+  sequence_->write_byte(b);
+}
+
+void ChannelOutputStream::flush() { sequence_->flush(); }
+
+void ChannelOutputStream::close() { sequence_->close(); }
+
+void ChannelOutputStream::write_fields(serial::ObjectOutputStream&) const {
+  throw SerializationError{
+      "ChannelOutputStream is serialized via its write_replace hook"};
+}
+
+std::shared_ptr<serial::Serializable> ChannelOutputStream::write_replace(
+    serial::ObjectOutputStream& out) {
+  const auto& hooks = distribution_hooks();
+  if (!hooks.replace_output) {
+    throw UsageError{
+        "serializing a channel endpoint requires the distribution layer "
+        "(link dpn_dist and create a NodeContext)"};
+  }
+  return hooks.replace_output(shared_from_this(), out);
+}
+
+Channel::Channel(std::size_t capacity, std::string label) {
+  state_ = std::make_shared<ChannelState>();
+  state_->pipe = std::make_shared<io::Pipe>(capacity);
+  state_->capacity = capacity;
+  state_->label = std::move(label);
+
+  auto in_seq = std::make_shared<io::SequenceInputStream>(
+      std::make_shared<io::LocalInputStream>(state_->pipe));
+  in_ = std::make_shared<ChannelInputStream>(state_, std::move(in_seq));
+
+  auto out_seq = std::make_shared<io::SequenceOutputStream>(
+      std::make_shared<io::LocalOutputStream>(state_->pipe));
+  out_ = std::make_shared<ChannelOutputStream>(state_, std::move(out_seq));
+
+  state_->input = in_;
+  state_->output = out_;
+}
+
+}  // namespace dpn::core

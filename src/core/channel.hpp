@@ -1,0 +1,167 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "io/blocking.hpp"
+#include "io/pipe.hpp"
+#include "io/sequence.hpp"
+#include "serial/serial.hpp"
+
+/// Channels: the operational embodiment of Kahn's streams (paper
+/// Section 3.1, Figure 3).
+///
+/// A Channel connects exactly one producing process to one consuming
+/// process.  Each endpoint is a stream object a process holds on to:
+///
+///   ChannelOutputStream -> SequenceOutputStream -> Local/Frame output
+///   ChannelInputStream  -> SequenceInputStream  -> Local/Memory/Frame input
+///
+/// The Sequence layer is what allows the transport underneath a live
+/// channel to be swapped -- pipe to socket when an endpoint is shipped to
+/// another server, upstream channel spliced in when a process removes
+/// itself -- while preserving FIFO order and losing no bytes.
+///
+/// Serializing an endpoint (that is, shipping the process that owns it)
+/// triggers automatic connection establishment; the hooks live in
+/// dpn::dist and are installed through set_distribution_hooks below, so a
+/// purely local program never pays for the networking machinery.
+namespace dpn::core {
+
+class ChannelInputStream;
+class ChannelOutputStream;
+
+/// State shared by the two endpoints of a channel while they can still see
+/// each other (i.e. until one of them is shipped away).
+struct ChannelState {
+  /// The local pipe between the endpoints; null for an endpoint
+  /// reconstructed on a remote server (its peer is behind a socket).
+  std::shared_ptr<io::Pipe> pipe;
+  std::weak_ptr<ChannelInputStream> input;
+  std::weak_ptr<ChannelOutputStream> output;
+  std::size_t capacity = io::Pipe::kDefaultCapacity;
+  std::string label;
+  /// Set by the distribution layer when an endpoint has been shipped to
+  /// another server; the remaining local endpoint then knows its peer is
+  /// no longer reachable in this address space (used e.g. by Cons to
+  /// decide whether self-removal splicing is possible).
+  bool input_remote = false;
+  bool output_remote = false;
+};
+
+/// Consuming endpoint of a channel.
+class ChannelInputStream final
+    : public io::InputStream,
+      public serial::Serializable,
+      public std::enable_shared_from_this<ChannelInputStream> {
+ public:
+  /// Used by Channel and by the distribution machinery; user code obtains
+  /// endpoints from Channel::input().
+  ChannelInputStream(std::shared_ptr<ChannelState> state,
+                     std::shared_ptr<io::SequenceInputStream> sequence);
+
+  // --- io::InputStream (blocking reads; short reads allowed for byte
+  // copies, full reads available via read_fully / DataInputStream) ---
+  std::size_t read_some(MutableByteSpan out) override;
+  int read() override;
+  void close() override;
+
+  /// Reads exactly out.size() bytes or throws EndOfStream (the blocking
+  /// read discipline used by all element-structured processes).
+  void read_fully(MutableByteSpan out);
+
+  /// The splice point used by reconfiguration (Section 3.3) and by the
+  /// remote machinery: streams appended here are drained after everything
+  /// currently queued.
+  io::SequenceInputStream& sequence() { return *sequence_; }
+  const std::shared_ptr<io::SequenceInputStream>& sequence_ptr() const {
+    return sequence_;
+  }
+
+  const std::shared_ptr<ChannelState>& state() const { return state_; }
+
+  // --- serial::Serializable (serialization ships the endpoint) ---
+  std::string type_name() const override { return "dpn.ChannelInputStream"; }
+  void write_fields(serial::ObjectOutputStream&) const override;
+  std::shared_ptr<serial::Serializable> write_replace(
+      serial::ObjectOutputStream& out) override;
+
+ private:
+  std::shared_ptr<ChannelState> state_;
+  std::shared_ptr<io::SequenceInputStream> sequence_;
+};
+
+/// Producing endpoint of a channel.
+class ChannelOutputStream final
+    : public io::OutputStream,
+      public serial::Serializable,
+      public std::enable_shared_from_this<ChannelOutputStream> {
+ public:
+  ChannelOutputStream(std::shared_ptr<ChannelState> state,
+                      std::shared_ptr<io::SequenceOutputStream> sequence);
+
+  // --- io::OutputStream (writes block while the channel is full --
+  // Section 3.5's fairness mechanism -- and throw ChannelClosed once the
+  // reader has closed -- Section 3.4's termination mechanism) ---
+  void write(ByteSpan data) override;
+  void write_byte(std::uint8_t b) override;
+  void flush() override;
+  void close() override;
+
+  io::SequenceOutputStream& sequence() { return *sequence_; }
+  const std::shared_ptr<io::SequenceOutputStream>& sequence_ptr() const {
+    return sequence_;
+  }
+
+  const std::shared_ptr<ChannelState>& state() const { return state_; }
+
+  // --- serial::Serializable ---
+  std::string type_name() const override { return "dpn.ChannelOutputStream"; }
+  void write_fields(serial::ObjectOutputStream&) const override;
+  std::shared_ptr<serial::Serializable> write_replace(
+      serial::ObjectOutputStream& out) override;
+
+ private:
+  std::shared_ptr<ChannelState> state_;
+  std::shared_ptr<io::SequenceOutputStream> sequence_;
+};
+
+/// A first-in first-out connection between two processes.
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = io::Pipe::kDefaultCapacity,
+                   std::string label = {});
+
+  /// The producing endpoint (paper: getOutputStream).  Exactly one process
+  /// should hold it.
+  const std::shared_ptr<ChannelOutputStream>& output() const { return out_; }
+
+  /// The consuming endpoint (paper: getInputStream).
+  const std::shared_ptr<ChannelInputStream>& input() const { return in_; }
+
+  const std::shared_ptr<ChannelState>& state() const { return state_; }
+  const std::shared_ptr<io::Pipe>& pipe() const { return state_->pipe; }
+
+ private:
+  std::shared_ptr<ChannelState> state_;
+  std::shared_ptr<ChannelInputStream> in_;
+  std::shared_ptr<ChannelOutputStream> out_;
+};
+
+/// Hooks installed by dpn::dist.  Serializing a channel endpoint without
+/// hooks installed is a usage error: a purely local program has no business
+/// shipping endpoints, and the core library does not depend on sockets.
+struct DistributionHooks {
+  std::function<std::shared_ptr<serial::Serializable>(
+      const std::shared_ptr<ChannelInputStream>&, serial::ObjectOutputStream&)>
+      replace_input;
+  std::function<std::shared_ptr<serial::Serializable>(
+      const std::shared_ptr<ChannelOutputStream>&,
+      serial::ObjectOutputStream&)>
+      replace_output;
+};
+
+void set_distribution_hooks(DistributionHooks hooks);
+const DistributionHooks& distribution_hooks();
+
+}  // namespace dpn::core

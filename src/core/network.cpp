@@ -1,0 +1,243 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/log.hpp"
+
+namespace dpn::core {
+
+Network::~Network() {
+  // jthread members join on destruction; nothing else to do.
+}
+
+void Network::add(std::shared_ptr<Process> process) {
+  if (started_) throw UsageError{"Network::add after start"};
+  if (!process) throw UsageError{"Network::add(nullptr)"};
+  processes_.push_back(std::move(process));
+}
+
+std::shared_ptr<Channel> Network::make_channel(std::size_t capacity,
+                                               std::string label) {
+  auto channel = std::make_shared<Channel>(capacity, std::move(label));
+  watch(channel);
+  return channel;
+}
+
+void Network::watch(const std::shared_ptr<Channel>& channel) {
+  std::scoped_lock lock{channels_mutex_};
+  channels_.push_back(channel->state());
+}
+
+void Network::enable_monitor(MonitorOptions options) {
+  monitor_enabled_ = true;
+  options_ = options;
+}
+
+void Network::start() {
+  if (started_) throw UsageError{"Network::start called twice"};
+  started_ = true;
+
+  // Discover channels referenced by the processes (deduplicated with any
+  // explicitly watched ones).
+  {
+    std::scoped_lock lock{channels_mutex_};
+    std::set<const ChannelState*> seen;
+    for (const auto& state : channels_) seen.insert(state.get());
+    for (const auto& process : processes_) {
+      for (const auto& in : process->channel_inputs()) {
+        if (seen.insert(in->state().get()).second) {
+          channels_.push_back(in->state());
+        }
+      }
+      for (const auto& out : process->channel_outputs()) {
+        if (seen.insert(out->state().get()).second) {
+          channels_.push_back(out->state());
+        }
+      }
+    }
+  }
+
+  live_.store(processes_.size());
+  threads_.reserve(processes_.size());
+  for (const auto& process : processes_) {
+    threads_.emplace_back([this, process] {
+      try {
+        process->run();
+      } catch (const IoError&) {
+        // Graceful stop.
+      } catch (...) {
+        std::scoped_lock lock{failures_mutex_};
+        failures_.push_back(std::current_exception());
+      }
+      live_.fetch_sub(1);
+    });
+  }
+  if (monitor_enabled_) {
+    monitor_thread_ = std::jthread{[this](std::stop_token st) {
+      monitor_loop(st);
+    }};
+  }
+}
+
+void Network::join() {
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  if (monitor_thread_.joinable()) {
+    monitor_thread_.request_stop();
+    monitor_thread_.join();
+  }
+  std::scoped_lock lock{failures_mutex_};
+  if (!failures_.empty()) std::rethrow_exception(failures_.front());
+}
+
+std::string Network::channel_report() const {
+  std::string out;
+  std::scoped_lock lock{channels_mutex_};
+  for (const auto& state : channels_) {
+    out += state->label.empty() ? "<unnamed>" : state->label;
+    if (!state->pipe) {
+      out += ": remote\n";
+      continue;
+    }
+    out += ": " + std::to_string(state->pipe->size()) + "/" +
+           std::to_string(state->pipe->capacity()) + " bytes";
+    const std::size_t readers = state->pipe->blocked_readers();
+    const std::size_t writers = state->pipe->blocked_writers();
+    if (readers > 0) {
+      out += ", " + std::to_string(readers) + " blocked reader(s)";
+    }
+    if (writers > 0) {
+      out += ", " + std::to_string(writers) + " blocked writer(s)";
+    }
+    if (state->pipe->write_closed()) out += ", writer closed";
+    if (state->pipe->read_closed()) out += ", reader closed";
+    out += "\n";
+  }
+  return out;
+}
+
+Network::BlockedCounts Network::blocked_counts() const {
+  BlockedCounts counts;
+  counts.live = live_.load();
+  std::scoped_lock lock{channels_mutex_};
+  for (const auto& state : channels_) {
+    if (!state->pipe) continue;
+    counts.blocked_readers += state->pipe->blocked_readers();
+    const std::size_t writers = state->pipe->blocked_writers();
+    counts.blocked_writers += writers;
+    if (writers > 0) {
+      const std::size_t capacity = state->pipe->capacity();
+      if (!counts.has_write_blocked ||
+          capacity < counts.smallest_blocked_capacity) {
+        counts.smallest_blocked_capacity = capacity;
+      }
+      counts.has_write_blocked = true;
+    }
+  }
+  return counts;
+}
+
+bool Network::grow_smallest_blocked(double factor, std::size_t max_capacity) {
+  std::shared_ptr<io::Pipe> victim;
+  {
+    std::scoped_lock lock{channels_mutex_};
+    for (const auto& state : channels_) {
+      if (!state->pipe || state->pipe->blocked_writers() == 0) continue;
+      if (!victim || state->pipe->capacity() < victim->capacity()) {
+        victim = state->pipe;
+      }
+    }
+  }
+  if (!victim) return false;
+  const std::size_t old_capacity = victim->capacity();
+  const auto grown =
+      static_cast<std::size_t>(static_cast<double>(old_capacity) * factor);
+  const std::size_t new_capacity =
+      std::min(std::max(grown, old_capacity + 1), max_capacity);
+  if (new_capacity <= old_capacity) return false;
+  victim->grow(new_capacity);
+  growth_events_.fetch_add(1);
+  return true;
+}
+
+void Network::abort() {
+  std::scoped_lock lock{channels_mutex_};
+  for (const auto& state : channels_) {
+    if (state->pipe) state->pipe->abort();
+  }
+}
+
+void Network::monitor_loop(std::stop_token stop) {
+  bool stalled_last_poll = false;
+  while (!stop.stop_requested() && live_.load() > 0) {
+    std::this_thread::sleep_for(options_.poll_interval);
+
+    std::size_t blocked = 0;
+    {
+      std::scoped_lock lock{channels_mutex_};
+      for (const auto& state : channels_) {
+        if (!state->pipe) continue;
+        blocked += state->pipe->blocked_readers();
+        blocked += state->pipe->blocked_writers();
+      }
+    }
+    const std::size_t live = live_.load();
+    const bool stalled = live > 0 && blocked >= live;
+    if (stalled && stalled_last_poll) {
+      // Confirmed on two consecutive polls: act.
+      if (!try_resolve_stall()) return;  // true deadlock handled
+      stalled_last_poll = false;
+    } else {
+      stalled_last_poll = stalled;
+    }
+  }
+}
+
+bool Network::try_resolve_stall() {
+  // Find the write-blocked pipe with the smallest capacity.
+  std::shared_ptr<io::Pipe> victim;
+  std::string victim_label;
+  {
+    std::scoped_lock lock{channels_mutex_};
+    for (const auto& state : channels_) {
+      if (!state->pipe) continue;
+      if (state->pipe->blocked_writers() == 0) continue;
+      if (!victim || state->pipe->capacity() < victim->capacity()) {
+        victim = state->pipe;
+        victim_label = state->label;
+      }
+    }
+  }
+  if (!victim) {
+    // Everyone is blocked reading: Kahn-style true deadlock.  Nothing the
+    // scheduler can do; report (and optionally abort so join() returns).
+    outcome_.store(DeadlockOutcome::kTrueDeadlock);
+    log::warn("network: true deadlock (all processes blocked reading)");
+    if (options_.abort_on_true_deadlock) abort();
+    return false;
+  }
+  const std::size_t old_capacity = victim->capacity();
+  const auto grown = static_cast<std::size_t>(
+      static_cast<double>(old_capacity) * options_.growth_factor);
+  const std::size_t new_capacity = std::max(grown, old_capacity + 1);
+  if (new_capacity > options_.max_channel_capacity) {
+    outcome_.store(DeadlockOutcome::kTrueDeadlock);
+    log::warn("network: channel '", victim_label, "' hit the capacity cap (",
+              options_.max_channel_capacity, " bytes); treating as deadlock");
+    if (options_.abort_on_true_deadlock) abort();
+    return false;
+  }
+  victim->grow(new_capacity);
+  growth_events_.fetch_add(1);
+  if (outcome_.load() == DeadlockOutcome::kNone) {
+    outcome_.store(DeadlockOutcome::kGrown);
+  }
+  log::debug("network: grew channel '", victim_label, "' ", old_capacity,
+             " -> ", new_capacity, " bytes");
+  return true;
+}
+
+}  // namespace dpn::core

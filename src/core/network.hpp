@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/process.hpp"
+
+/// Top-level execution of a process network, plus the buffer-management
+/// procedure of paper Section 3.5 / [13] (Parks' bounded scheduling).
+namespace dpn::core {
+
+/// Outcome of a monitored run.
+enum class DeadlockOutcome {
+  kNone,          // network completed (or is still running) without stalls
+  kGrown,         // at least one artificial (write-blocked) deadlock was
+                  // resolved by growing a channel
+  kTrueDeadlock,  // every process was blocked reading: unresolvable
+};
+
+struct MonitorOptions {
+  /// Polling cadence.  Detection needs two consecutive all-blocked
+  /// observations, so worst-case latency is ~2 polls.
+  std::chrono::milliseconds poll_interval{2};
+  /// Growth factor applied to the smallest write-blocked channel.
+  double growth_factor = 2.0;
+  /// Hard ceiling on any single channel's capacity; exceeding it is
+  /// treated as a true deadlock (unbounded accumulation, e.g. Fig 12 run
+  /// without a consumer limit).
+  std::size_t max_channel_capacity = 1u << 24;
+  /// Abort the network (wake every waiter with Interrupted) when a true
+  /// deadlock is found.  Otherwise the monitor just records it.
+  bool abort_on_true_deadlock = true;
+};
+
+/// Runs a set of processes, one thread per process, and optionally watches
+/// their channels for artificial deadlock.
+///
+/// Determining buffer capacities that avoid artificial deadlock is
+/// undecidable (Section 3.5), so the monitor implements the dynamic rule
+/// from [13]: when every process is blocked and at least one is blocked
+/// *writing*, grow the smallest full channel and continue; when every
+/// process is blocked *reading*, the network is truly deadlocked.
+class Network {
+ public:
+  Network() = default;
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a process to run.  Its channel endpoints are discovered through
+  /// Process::channel_inputs/outputs for monitoring.
+  void add(std::shared_ptr<Process> process);
+
+  /// Convenience: creates a channel and registers it with the monitor.
+  std::shared_ptr<Channel> make_channel(
+      std::size_t capacity = io::Pipe::kDefaultCapacity,
+      std::string label = {});
+
+  /// Registers an externally created channel for monitoring.
+  void watch(const std::shared_ptr<Channel>& channel);
+
+  /// Enables the deadlock monitor for the next start().
+  void enable_monitor(MonitorOptions options = {});
+
+  /// Starts every process (and the monitor, if enabled).
+  void start();
+
+  /// Waits for every process to finish.  Rethrows the first non-IoError
+  /// process failure.
+  void join();
+
+  /// start() + join().
+  void run() {
+    start();
+    join();
+  }
+
+  /// Wakes every blocked channel operation with Interrupted.
+  void abort();
+
+  DeadlockOutcome outcome() const { return outcome_.load(); }
+  std::size_t growth_events() const { return growth_events_.load(); }
+
+  /// Number of processes that have not finished yet.
+  std::size_t live_processes() const { return live_.load(); }
+
+  /// Human-readable snapshot of every watched channel: label, fill,
+  /// capacity, and who is blocked on it.  The deadlock monitor's victim
+  /// choice can be audited with this; tests and operators use it to see
+  /// where a graph is stuck.
+  std::string channel_report() const;
+
+  /// Machine-readable stall state (used by the distributed deadlock
+  /// detector, paper Section 6.2).
+  struct BlockedCounts {
+    std::size_t live = 0;              // unfinished processes
+    std::size_t blocked_readers = 0;   // blocked on local pipes
+    std::size_t blocked_writers = 0;
+    bool has_write_blocked = false;
+    std::size_t smallest_blocked_capacity = 0;  // of a write-blocked pipe
+  };
+  BlockedCounts blocked_counts() const;
+
+  /// Applies Parks' rule once: grows the smallest write-blocked local
+  /// channel.  Returns false when no local channel is write-blocked.
+  bool grow_smallest_blocked(double factor = 2.0,
+                             std::size_t max_capacity = 1u << 24);
+
+ private:
+  void monitor_loop(std::stop_token stop);
+  bool try_resolve_stall();
+
+  std::vector<std::shared_ptr<Process>> processes_;
+  std::vector<std::shared_ptr<ChannelState>> channels_;
+  mutable std::mutex channels_mutex_;
+
+  std::vector<std::jthread> threads_;
+  std::jthread monitor_thread_;
+  bool monitor_enabled_ = false;
+  MonitorOptions options_;
+  bool started_ = false;
+
+  std::atomic<std::size_t> live_{0};
+  std::atomic<DeadlockOutcome> outcome_{DeadlockOutcome::kNone};
+  std::atomic<std::size_t> growth_events_{0};
+
+  std::mutex failures_mutex_;
+  std::vector<std::exception_ptr> failures_;
+};
+
+}  // namespace dpn::core

@@ -1,0 +1,231 @@
+#include "core/process.hpp"
+
+#include <exception>
+#include <mutex>
+
+#include "support/log.hpp"
+
+namespace dpn::core {
+
+namespace {
+
+/// Runs on_stop + close_all on every exit path (the paper's `finally`).
+class StopGuard {
+ public:
+  explicit StopGuard(std::function<void()> action)
+      : action_(std::move(action)) {}
+  ~StopGuard() {
+    try {
+      action_();
+    } catch (...) {
+      // Cleanup must not mask the original failure.
+    }
+  }
+
+ private:
+  std::function<void()> action_;
+};
+
+}  // namespace
+
+void IterativeProcess::run() {
+  bool abandoned = false;
+  StopGuard guard{[this, &abandoned] {
+    if (abandoned) return;  // endpoints belong to the migrated successor
+    on_stop();
+    close_all();
+  }};
+  try {
+    on_start();
+    if (iterations_ > 0) {
+      // iterations_ is decremented as steps run so that a process paused
+      // and shipped mid-run carries exactly its remaining budget.
+      while (iterations_ > 0) {
+        if (!pause_point()) {
+          abandoned = true;
+          return;
+        }
+        --iterations_;
+        step();
+      }
+    } else {
+      for (;;) {
+        if (!pause_point()) {
+          abandoned = true;
+          return;
+        }
+        step();
+      }
+    }
+  } catch (const IoError&) {
+    // Graceful stop: a neighbour closed a channel (Section 3.4), or the
+    // deadlock monitor aborted the network.  The guard closes our
+    // endpoints, continuing the cascade.
+    log::debug("process ", name(), " stopped by I/O");
+  }
+  std::scoped_lock lock{state_mutex_};
+  state_ = RunState::kFinished;
+  state_cv_.notify_all();
+}
+
+void IterativeProcess::request_pause() {
+  std::scoped_lock lock{state_mutex_};
+  if (state_ == RunState::kIdle) {
+    state_ = RunState::kPauseRequested;
+    state_cv_.notify_all();
+  }
+}
+
+bool IterativeProcess::await_pause() {
+  std::unique_lock lock{state_mutex_};
+  state_cv_.wait(lock, [&] {
+    return state_ == RunState::kPaused || state_ == RunState::kFinished;
+  });
+  return state_ == RunState::kPaused;
+}
+
+void IterativeProcess::resume() {
+  {
+    std::scoped_lock lock{state_mutex_};
+    if (state_ != RunState::kPaused) {
+      throw UsageError{"resume() on a process that is not paused"};
+    }
+    state_ = RunState::kIdle;
+  }
+  state_cv_.notify_all();
+}
+
+void IterativeProcess::abandon() {
+  {
+    std::scoped_lock lock{state_mutex_};
+    if (state_ != RunState::kPaused) {
+      throw UsageError{"abandon() on a process that is not paused"};
+    }
+    state_ = RunState::kAbandoned;
+  }
+  state_cv_.notify_all();
+}
+
+bool IterativeProcess::paused() const {
+  std::scoped_lock lock{state_mutex_};
+  return state_ == RunState::kPaused;
+}
+
+bool IterativeProcess::pause_point() {
+  std::unique_lock lock{state_mutex_};
+  if (state_ != RunState::kPauseRequested) return true;
+  state_ = RunState::kPaused;
+  state_cv_.notify_all();
+  state_cv_.wait(lock, [&] {
+    return state_ == RunState::kIdle || state_ == RunState::kAbandoned;
+  });
+  return state_ != RunState::kAbandoned;
+}
+
+void IterativeProcess::close_all() {
+  for (const auto& in : inputs_) {
+    try {
+      in->close();
+    } catch (...) {
+    }
+  }
+  for (const auto& out : outputs_) {
+    try {
+      out->close();
+    } catch (...) {
+    }
+  }
+}
+
+void IterativeProcess::write_base(serial::ObjectOutputStream& out) const {
+  out.write_i64(iterations_);
+  out.write_varint(inputs_.size());
+  for (const auto& in : inputs_) out.write_object(in);
+  out.write_varint(outputs_.size());
+  for (const auto& o : outputs_) out.write_object(o);
+}
+
+void IterativeProcess::read_base(serial::ObjectInputStream& in) {
+  iterations_ = in.read_i64();
+  const std::uint64_t n_in = in.read_varint();
+  inputs_.clear();
+  inputs_.reserve(n_in);
+  for (std::uint64_t i = 0; i < n_in; ++i) {
+    inputs_.push_back(in.read_object_as<ChannelInputStream>());
+  }
+  const std::uint64_t n_out = in.read_varint();
+  outputs_.clear();
+  outputs_.reserve(n_out);
+  for (std::uint64_t i = 0; i < n_out; ++i) {
+    outputs_.push_back(in.read_object_as<ChannelOutputStream>());
+  }
+}
+
+void CompositeProcess::add(std::shared_ptr<Process> process) {
+  if (!process) throw UsageError{"CompositeProcess::add(nullptr)"};
+  processes_.push_back(std::move(process));
+}
+
+void CompositeProcess::run() {
+  std::mutex failures_mutex;
+  std::vector<std::exception_ptr> failures;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(processes_.size());
+    for (const auto& process : processes_) {
+      threads.emplace_back([&failures_mutex, &failures, process] {
+        try {
+          process->run();
+        } catch (const IoError&) {
+          // Graceful stop for raw Process implementations too.
+        } catch (...) {
+          std::scoped_lock lock{failures_mutex};
+          failures.push_back(std::current_exception());
+        }
+      });
+    }
+  }  // jthreads join here
+  if (!failures.empty()) std::rethrow_exception(failures.front());
+}
+
+std::vector<std::shared_ptr<ChannelInputStream>>
+CompositeProcess::channel_inputs() const {
+  std::vector<std::shared_ptr<ChannelInputStream>> all;
+  for (const auto& process : processes_) {
+    auto ins = process->channel_inputs();
+    all.insert(all.end(), ins.begin(), ins.end());
+  }
+  return all;
+}
+
+std::vector<std::shared_ptr<ChannelOutputStream>>
+CompositeProcess::channel_outputs() const {
+  std::vector<std::shared_ptr<ChannelOutputStream>> all;
+  for (const auto& process : processes_) {
+    auto outs = process->channel_outputs();
+    all.insert(all.end(), outs.begin(), outs.end());
+  }
+  return all;
+}
+
+void CompositeProcess::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_varint(processes_.size());
+  for (const auto& process : processes_) out.write_object(process);
+}
+
+std::shared_ptr<CompositeProcess> CompositeProcess::read_object(
+    serial::ObjectInputStream& in) {
+  auto composite = std::make_shared<CompositeProcess>();
+  const std::uint64_t n = in.read_varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    composite->add(in.read_object_as<Process>());
+  }
+  return composite;
+}
+
+namespace {
+[[maybe_unused]] const bool kCompositeRegistered =
+    serial::register_type<CompositeProcess>("dpn.CompositeProcess");
+}
+
+}  // namespace dpn::core

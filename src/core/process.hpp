@@ -1,0 +1,222 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "serial/serial.hpp"
+
+/// Processes (paper Section 3.2).
+///
+/// Every process executes in its own thread; the only blocking operations
+/// a determinate process may perform are channel reads and writes.
+/// IterativeProcess supplies the paper's onStart/step/onStop skeleton
+/// (Figure 4) and the cascading-termination behaviour of Section 3.4: any
+/// IoError stops the process, and a stopping process closes all of its
+/// channel endpoints, which in turn stops its neighbours.
+namespace dpn::core {
+
+class Process : public serial::Serializable {
+ public:
+  /// Executes the process to completion.  Called on the process's own
+  /// thread (CompositeProcess / Network arrange this).
+  virtual void run() = 0;
+
+  /// Diagnostic name (thread tags, deadlock reports).
+  virtual std::string name() const { return type_name(); }
+
+  /// Channel endpoints this process reads from / writes to.  Used for
+  /// auto-close on stop and for the internal/boundary channel cut when a
+  /// process graph is shipped to another server.
+  virtual std::vector<std::shared_ptr<ChannelInputStream>> channel_inputs()
+      const {
+    return {};
+  }
+  virtual std::vector<std::shared_ptr<ChannelOutputStream>> channel_outputs()
+      const {
+    return {};
+  }
+};
+
+/// Base class for the common iterative process shape: one-time setup, a
+/// step repeated until an iteration limit or an I/O-signalled stop, then
+/// cleanup that closes every tracked stream.
+///
+/// Iterative processes can also be *paused* at a step boundary, which is
+/// the foundation for migrating a process that has already begun
+/// executing (the paper's Section 6.1 future work): pause, serialize the
+/// parked process (its remaining iteration budget and all mutable state
+/// ship with it), start it elsewhere, and abandon the local instance --
+/// whose run() then returns without closing the endpoints it no longer
+/// owns.  dpn::rmi::migrate() packages this sequence.
+class IterativeProcess : public Process {
+ public:
+  /// iterations <= 0 means "run until stopped by channel closure".
+  explicit IterativeProcess(long iterations = 0) : iterations_(iterations) {}
+
+  void run() final;
+
+  /// Asks the process to park at its next step boundary.  Non-blocking;
+  /// the process cannot observe the request while blocked inside a
+  /// channel operation, so parking happens once the current step's I/O
+  /// completes.
+  void request_pause();
+
+  /// Blocks until the process is parked (returns true) or it finished
+  /// first (returns false).
+  bool await_pause();
+
+  /// Continues a parked process in place.
+  void resume();
+
+  /// Releases a parked process: its run() returns *without* running
+  /// on_stop or closing any endpoint.  Use after the process has been
+  /// shipped elsewhere -- the endpoints now belong to its successor.
+  void abandon();
+
+  /// True while parked at a step boundary.
+  bool paused() const;
+
+  long iterations() const { return iterations_; }
+
+  std::vector<std::shared_ptr<ChannelInputStream>> channel_inputs()
+      const override {
+    return inputs_;
+  }
+  std::vector<std::shared_ptr<ChannelOutputStream>> channel_outputs()
+      const override {
+    return outputs_;
+  }
+
+ protected:
+  /// One-time initialization; default does nothing.
+  virtual void on_start() {}
+
+  /// One unit of work.  Throwing IoError (end of stream, channel closed)
+  /// is the normal way a process learns it should stop.
+  virtual void step() = 0;
+
+  /// One-time cleanup; default does nothing.  Tracked streams are closed
+  /// after on_stop regardless of how the process ended.
+  virtual void on_stop() {}
+
+  /// Registers a consuming endpoint for auto-close and distribution.
+  const std::shared_ptr<ChannelInputStream>& track_input(
+      std::shared_ptr<ChannelInputStream> in) {
+    inputs_.push_back(std::move(in));
+    return inputs_.back();
+  }
+
+  /// Registers a producing endpoint for auto-close and distribution.
+  const std::shared_ptr<ChannelOutputStream>& track_output(
+      std::shared_ptr<ChannelOutputStream> out) {
+    outputs_.push_back(std::move(out));
+    return outputs_.back();
+  }
+
+  /// Swaps a tracked input endpoint (used by self-reconfiguring processes
+  /// such as Sift, which hands its input to a newly inserted process and
+  /// adopts a fresh channel -- paper Figure 8).
+  void replace_input(std::size_t index,
+                     std::shared_ptr<ChannelInputStream> in) {
+    inputs_.at(index) = std::move(in);
+  }
+
+  void replace_output(std::size_t index,
+                      std::shared_ptr<ChannelOutputStream> out) {
+    outputs_.at(index) = std::move(out);
+  }
+
+  /// Removes a tracked input from this process without closing it (used
+  /// when an endpoint is handed to another process, e.g. Cons splicing its
+  /// source directly to its consumer).
+  std::shared_ptr<ChannelInputStream> release_input(std::size_t index) {
+    auto in = std::move(inputs_.at(index));
+    inputs_.erase(inputs_.begin() + static_cast<std::ptrdiff_t>(index));
+    return in;
+  }
+
+  std::shared_ptr<ChannelOutputStream> release_output(std::size_t index) {
+    auto out = std::move(outputs_.at(index));
+    outputs_.erase(outputs_.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+
+  const std::shared_ptr<ChannelInputStream>& input(std::size_t index) const {
+    return inputs_.at(index);
+  }
+  const std::shared_ptr<ChannelOutputStream>& output(
+      std::size_t index) const {
+    return outputs_.at(index);
+  }
+  std::size_t input_count() const { return inputs_.size(); }
+  std::size_t output_count() const { return outputs_.size(); }
+
+  /// Closes all tracked endpoints; called automatically after on_stop but
+  /// available to steps that terminate early.
+  void close_all();
+
+  /// Serialization helper for subclasses: writes iteration limit and the
+  /// tracked endpoints; mirror with read_base in a read_object factory.
+  void write_base(serial::ObjectOutputStream& out) const;
+  void read_base(serial::ObjectInputStream& in);
+
+ private:
+  enum class RunState : std::uint8_t {
+    kIdle,            // not started (or started and not asked to pause)
+    kPauseRequested,  // will park at the next step boundary
+    kPaused,          // parked; waiting for resume or abandon
+    kAbandoned,       // shipped away; run() exits without cleanup
+    kFinished,        // run() completed
+  };
+
+  /// Parks if a pause was requested; returns false when the process was
+  /// abandoned while parked (run() must exit silently).
+  bool pause_point();
+
+  long iterations_;
+  std::vector<std::shared_ptr<ChannelInputStream>> inputs_;
+  std::vector<std::shared_ptr<ChannelOutputStream>> outputs_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  RunState state_ = RunState::kIdle;
+};
+
+/// Hierarchical composition (paper Section 3.2): each component keeps its
+/// own thread, so composing processes can never introduce deadlock.
+class CompositeProcess final : public Process {
+ public:
+  CompositeProcess() = default;
+
+  void add(std::shared_ptr<Process> process);
+
+  /// Runs every component on its own thread and waits for all of them.
+  /// The first non-IoError failure is rethrown after all threads join.
+  void run() override;
+
+  const std::vector<std::shared_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  std::vector<std::shared_ptr<ChannelInputStream>> channel_inputs()
+      const override;
+  std::vector<std::shared_ptr<ChannelOutputStream>> channel_outputs()
+      const override;
+
+  // --- serialization (shipping a composite ships the whole subgraph) ---
+  std::string type_name() const override { return "dpn.CompositeProcess"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<CompositeProcess> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  std::vector<std::shared_ptr<Process>> processes_;
+};
+
+}  // namespace dpn::core

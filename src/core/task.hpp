@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+
+#include "serial/serial.hpp"
+
+namespace dpn::core {
+
+/// A unit of work that can be shipped to a compute server (paper Sections
+/// 4.1 and 5.1).  `run` does the work and returns its result -- which is
+/// itself a Task, so results can be shipped onward: a producer Task yields
+/// a worker Task, a worker Task yields a consumer Task.  The computation
+/// is defined by the objects carrying the data, not by the processes,
+/// which is what makes the paper's Producer/Worker/Consumer processes and
+/// the MetaStatic/MetaDynamic compositions fully generic.
+class Task : public serial::Serializable {
+ public:
+  virtual std::shared_ptr<Task> run() = 0;
+};
+
+}  // namespace dpn::core

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/network.hpp"
+#include "dist/node.hpp"
+#include "net/socket.hpp"
+
+/// Distributed deadlock management -- the paper's Section 6.2 future work
+/// ("we plan to apply those ideas [Parks' bounded scheduling] to our
+/// distributed Java implementation"), implemented.
+///
+/// A local deadlock monitor cannot act on a distributed graph: a process
+/// blocked reading a socket is indistinguishable from one waiting for a
+/// peer that is happily computing.  The detector therefore aggregates
+/// fleet-wide state through a small coordinator:
+///
+///  * every participating Network runs a MonitorAgent that keeps one TCP
+///    connection to the DeadlockCoordinator and answers polls with its
+///    local stall state: live processes, processes blocked on local
+///    channels, processes blocked inside remote channel reads/writes, and
+///    the node's cumulative remote-channel bytes sent/received;
+///  * the coordinator declares a *global stall* when (a) every live
+///    process in the fleet is blocked, (b) fleet-wide bytes sent equal
+///    bytes received (no frame in flight that could unblock a reader --
+///    the Mattern-style quiescence test), and (c) the same state was
+///    observed on two consecutive polls;
+///  * a stall with at least one write-blocked *local* channel somewhere is
+///    artificial: the coordinator tells the node owning the smallest such
+///    channel to grow it (Parks' rule, applied fleet-wide);
+///  * a stall with only blocked readers is a true distributed deadlock:
+///    the coordinator tells every agent to abort its network, so the
+///    fleet terminates with Interrupted instead of hanging forever.
+namespace dpn::dist {
+
+enum class FleetOutcome : std::uint8_t {
+  kNone = 0,
+  kGrown = 1,         // at least one artificial stall was resolved
+  kTrueDeadlock = 2,  // a global read-only stall was detected
+};
+
+/// Per-node stall report (one poll reply).
+struct AgentState {
+  std::uint64_t live = 0;
+  std::uint64_t blocked_local_readers = 0;
+  std::uint64_t blocked_local_writers = 0;
+  std::uint64_t blocked_remote_readers = 0;
+  std::uint64_t blocked_remote_writers = 0;
+  bool has_write_blocked = false;
+  std::uint64_t smallest_blocked_capacity = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  bool operator==(const AgentState&) const = default;
+};
+
+/// The fleet-wide detector.  Owns a listening socket; agents dial in.
+class DeadlockCoordinator {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll_interval{5};
+    double growth_factor = 2.0;
+    std::size_t max_channel_capacity = 1u << 24;
+    /// Abort the fleet when a true deadlock is found (otherwise just
+    /// record it).
+    bool abort_on_true_deadlock = true;
+  };
+
+  DeadlockCoordinator() : DeadlockCoordinator(Options{}) {}
+  explicit DeadlockCoordinator(Options options);
+  ~DeadlockCoordinator();
+
+  DeadlockCoordinator(const DeadlockCoordinator&) = delete;
+  DeadlockCoordinator& operator=(const DeadlockCoordinator&) = delete;
+
+  std::uint16_t port() const { return server_.port(); }
+
+  FleetOutcome outcome() const { return outcome_.load(); }
+  std::size_t growth_commands() const { return growth_commands_.load(); }
+  std::size_t agents_connected() const;
+
+  /// Stops polling and disconnects every agent.
+  void stop();
+
+ private:
+  struct Agent;
+
+  void accept_loop();
+  void poll_loop();
+  bool poll_round();
+
+  Options options_;
+  net::ServerSocket server_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<FleetOutcome> outcome_{FleetOutcome::kNone};
+  std::atomic<std::size_t> growth_commands_{0};
+
+  mutable std::mutex agents_mutex_;
+  std::vector<std::shared_ptr<Agent>> agents_;
+  std::vector<AgentState> previous_states_;
+  bool previous_valid_ = false;
+  std::size_t stable_rounds_ = 0;
+
+  std::jthread acceptor_;
+  std::jthread poller_;
+};
+
+/// The per-node participant: connects a Network (and its NodeContext's
+/// remote-channel counters) to a coordinator.  Construct after the
+/// network is built; keep alive for the run.
+class MonitorAgent {
+ public:
+  MonitorAgent(std::string name, core::Network& network,
+               std::shared_ptr<NodeContext> node,
+               const std::string& coordinator_host,
+               std::uint16_t coordinator_port);
+  ~MonitorAgent();
+
+  MonitorAgent(const MonitorAgent&) = delete;
+  MonitorAgent& operator=(const MonitorAgent&) = delete;
+
+  void stop();
+
+ private:
+  void serve();
+  AgentState snapshot() const;
+
+  std::string name_;
+  core::Network& network_;
+  std::shared_ptr<NodeContext> node_;
+  std::shared_ptr<net::Socket> socket_;
+  std::atomic<bool> stopping_{false};
+  std::jthread server_;
+};
+
+}  // namespace dpn::dist

@@ -1,0 +1,269 @@
+#include "dist/node.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "dist/remote_streams.hpp"
+
+#include "io/data.hpp"
+#include "io/memory.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace dpn::dist {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x44504e43;  // "DPNC"
+
+/// HELLO: magic, token, dialer rendezvous host + port.
+void write_hello(net::Socket& socket, std::uint64_t token,
+                 const PeerAddress& self) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  io::DataOutputStream data{sink};
+  data.write_u32(kHelloMagic);
+  data.write_u64(token);
+  data.write_string(self.host);
+  data.write_u16(self.port);
+  const ByteVector& bytes = sink->data();
+  socket.write_all({bytes.data(), bytes.size()});
+}
+
+struct Hello {
+  std::uint64_t token = 0;
+  PeerAddress dialer;
+};
+
+Hello read_hello(net::Socket& socket) {
+  // Sockets are handed to us freshly accepted; the dialer writes the
+  // HELLO immediately, so a blocking read here is fine.
+  class SocketReader final : public io::InputStream {
+   public:
+    explicit SocketReader(net::Socket& s) : socket_(s) {}
+    std::size_t read_some(MutableByteSpan out) override {
+      return socket_.read_some(out);
+    }
+    void close() override {}
+
+   private:
+    net::Socket& socket_;
+  };
+  auto reader = std::make_shared<SocketReader>(socket);
+  io::DataInputStream data{reader};
+  const std::uint32_t magic = data.read_u32();
+  if (magic != kHelloMagic) {
+    throw NetError{"rendezvous: bad HELLO magic"};
+  }
+  Hello hello;
+  hello.token = data.read_u64();
+  hello.dialer.host = data.read_string();
+  hello.dialer.port = data.read_u16();
+  return hello;
+}
+
+}  // namespace
+
+bool SocketPromise::fulfill(net::Socket socket, PeerAddress dialer) {
+  {
+    std::scoped_lock lock{mutex_};
+    if (cancelled_ || fulfilled_) return false;
+    socket_ = std::move(socket);
+    dialer_ = std::move(dialer);
+    fulfilled_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+net::Socket SocketPromise::wait() {
+  std::unique_lock lock{mutex_};
+  cv_.wait(lock, [&] { return fulfilled_ || cancelled_; });
+  if (cancelled_ && !fulfilled_) {
+    throw NetError{"pending channel connection cancelled"};
+  }
+  return std::move(socket_);
+}
+
+void SocketPromise::cancel() {
+  {
+    std::scoped_lock lock{mutex_};
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool SocketPromise::fulfilled() const {
+  std::scoped_lock lock{mutex_};
+  return fulfilled_;
+}
+
+RendezvousService::RendezvousService() : server_(0) {
+  acceptor_ = std::jthread{[this] { accept_loop(); }};
+}
+
+RendezvousService::~RendezvousService() {
+  shutting_down_.store(true);
+  server_.close();  // wakes the acceptor
+  if (acceptor_.joinable()) acceptor_.join();
+  std::scoped_lock lock{mutex_};
+  for (auto& [token, promise] : pending_) promise->cancel();
+  pending_.clear();
+}
+
+std::shared_ptr<SocketPromise> RendezvousService::expect(std::uint64_t token) {
+  auto promise = std::make_shared<SocketPromise>();
+  std::scoped_lock lock{mutex_};
+  if (const auto parked = parked_.find(token); parked != parked_.end()) {
+    promise->fulfill(std::move(parked->second.socket),
+                     std::move(parked->second.dialer));
+    parked_.erase(parked);
+    return promise;
+  }
+  const auto [it, inserted] = pending_.emplace(token, promise);
+  (void)it;
+  if (!inserted) {
+    throw UsageError{"rendezvous token registered twice"};
+  }
+  return promise;
+}
+
+void RendezvousService::forget(std::uint64_t token) {
+  std::shared_ptr<SocketPromise> promise;
+  {
+    std::scoped_lock lock{mutex_};
+    parked_.erase(token);
+    const auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    promise = it->second;
+    pending_.erase(it);
+  }
+  promise->cancel();
+}
+
+net::Socket RendezvousService::dial(const std::string& host,
+                                    std::uint16_t port, std::uint64_t token,
+                                    const PeerAddress& self) {
+  net::Socket socket = net::Socket::connect(host, port);
+  write_hello(socket, token, self);
+  return socket;
+}
+
+void RendezvousService::accept_loop() {
+  for (;;) {
+    net::Socket socket;
+    try {
+      socket = server_.accept();
+    } catch (const NetError&) {
+      if (shutting_down_.load()) return;
+      continue;
+    }
+    try {
+      const Hello hello = read_hello(socket);
+      std::shared_ptr<SocketPromise> promise;
+      {
+        std::scoped_lock lock{mutex_};
+        const auto it = pending_.find(hello.token);
+        if (it != pending_.end()) {
+          promise = it->second;
+          pending_.erase(it);
+        }
+      }
+      if (!promise) {
+        // No one expects this token yet; a redirected producer can dial
+        // before the consumer's lazy frame reader sees the REDIRECT.
+        // Park the connection for the expect() that is on its way.
+        std::scoped_lock lock{mutex_};
+        parked_.emplace(hello.token,
+                        Parked{std::move(socket), hello.dialer});
+        continue;
+      }
+      promise->fulfill(std::move(socket), hello.dialer);
+    } catch (const std::exception& e) {
+      log::warn("rendezvous: handshake failed: ", e.what());
+    }
+  }
+}
+
+namespace {
+std::uint64_t random_seed() {
+  std::random_device rd;
+  return (std::uint64_t{rd()} << 32) ^ rd();
+}
+}  // namespace
+
+NodeContext::NodeContext(std::string advertised_host)
+    : host_(std::move(advertised_host)), token_state_(random_seed()) {}
+
+std::shared_ptr<NodeContext> NodeContext::create(std::string advertised_host) {
+  // Installs the channel-endpoint serialization hooks on first use.
+  extern void ensure_hooks_installed();
+  ensure_hooks_installed();
+  return std::shared_ptr<NodeContext>(
+      new NodeContext{std::move(advertised_host)});
+}
+
+std::shared_ptr<NodeContext> NodeContext::default_node() {
+  static std::shared_ptr<NodeContext>* node =
+      new std::shared_ptr<NodeContext>(create());
+  return *node;
+}
+
+void NodeContext::register_remote_socket(
+    const std::shared_ptr<net::Socket>& socket) {
+  std::scoped_lock lock{sockets_mutex_};
+  std::erase_if(remote_sockets_,
+                [](const std::weak_ptr<net::Socket>& weak) {
+                  return weak.expired();
+                });
+  remote_sockets_.push_back(socket);
+}
+
+void NodeContext::abort_remote_channels() {
+  std::scoped_lock lock{sockets_mutex_};
+  for (const auto& weak : remote_sockets_) {
+    if (auto socket = weak.lock()) {
+      // shutdown (not close) so a concurrently blocked recv/send wakes
+      // without racing on descriptor reuse.
+      socket->shutdown_read();
+      socket->shutdown_write();
+    }
+  }
+}
+
+void NodeContext::park_socket(std::shared_ptr<net::Socket> socket) {
+  std::scoped_lock lock{sockets_mutex_};
+  parked_sockets_.push_back(std::move(socket));
+}
+
+void NodeContext::register_remote_input(
+    const std::shared_ptr<FrameChannelInput>& input) {
+  std::scoped_lock lock{sockets_mutex_};
+  std::erase_if(remote_inputs_,
+                [](const std::weak_ptr<FrameChannelInput>& weak) {
+                  return weak.expired();
+                });
+  remote_inputs_.push_back(input);
+}
+
+void NodeContext::grant_remote_credits() {
+  std::vector<std::shared_ptr<FrameChannelInput>> inputs;
+  {
+    std::scoped_lock lock{sockets_mutex_};
+    for (const auto& weak : remote_inputs_) {
+      if (auto input = weak.lock()) inputs.push_back(std::move(input));
+    }
+  }
+  const auto bonus = static_cast<std::uint32_t>(
+      std::min<std::size_t>(remote_window(), ~std::uint32_t{0}));
+  for (const auto& input : inputs) input->grant_bonus_credits(bonus);
+}
+
+std::uint64_t NodeContext::next_token() {
+  std::scoped_lock lock{token_mutex_};
+  SplitMix64 mix{token_state_};
+  const std::uint64_t token = mix.next();
+  token_state_ = token ^ 0x5bd1e995;
+  return token;
+}
+
+}  // namespace dpn::dist

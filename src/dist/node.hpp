@@ -1,0 +1,199 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/socket.hpp"
+#include "support/sync.hpp"
+
+/// Per-server infrastructure for distributed channels.
+///
+/// When a channel endpoint is shipped to another server, the endpoint that
+/// stays behind must accept exactly one incoming connection for that
+/// channel (paper Section 4.2), and a redirected endpoint must accept a
+/// connection from a third server it has never heard of (Section 4.3).
+/// Rather than opening one listening socket per pending channel, each
+/// logical server (NodeContext) runs a single *rendezvous* listener:
+///
+///   * the staying side registers a fresh random token and gets a
+///     SocketPromise;
+///   * the stub shipped with the moving endpoint carries
+///     (host, rendezvous port, token);
+///   * the moving side dials the rendezvous and opens with a HELLO
+///     carrying the token (plus its own rendezvous address, which the
+///     receiver remembers in case *it* needs to redirect later);
+///   * the rendezvous acceptor matches the token and hands the socket to
+///     the waiting endpoint.
+///
+/// Multiple NodeContexts may coexist in one OS process, which is how the
+/// tests and examples run "server A / B / C" topologies over real sockets
+/// on one machine.
+namespace dpn::dist {
+
+/// Advertised rendezvous coordinates of some node.
+struct PeerAddress {
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool valid() const { return port != 0; }
+};
+
+/// One-shot handoff of an accepted, handshaken socket.
+class SocketPromise {
+ public:
+  /// Fulfills the promise (acceptor side).  Returns false if the promise
+  /// was cancelled, in which case the caller keeps the socket.
+  bool fulfill(net::Socket socket, PeerAddress dialer);
+
+  /// Blocks until fulfilled or cancelled; throws NetError on cancel.
+  net::Socket wait();
+
+  /// The dialer's rendezvous address; valid after wait() returns.
+  const PeerAddress& dialer() const { return dialer_; }
+
+  /// Wakes any waiter with an error and refuses future fulfillment.
+  void cancel();
+
+  bool fulfilled() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  net::Socket socket_;
+  PeerAddress dialer_;
+  bool fulfilled_ = false;
+  bool cancelled_ = false;
+};
+
+/// The node-wide channel listener.
+class RendezvousService {
+ public:
+  RendezvousService();
+  ~RendezvousService();
+
+  RendezvousService(const RendezvousService&) = delete;
+  RendezvousService& operator=(const RendezvousService&) = delete;
+
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Registers a token and returns the promise its connection will arrive
+  /// on.  Tokens are single-use.  If the connection already arrived (a
+  /// dialer can race ahead of a lazily-read REDIRECT frame) the promise is
+  /// fulfilled immediately from the parked connection.
+  std::shared_ptr<SocketPromise> expect(std::uint64_t token);
+
+  /// Drops a registration (e.g. a discarded never-connected endpoint).
+  void forget(std::uint64_t token);
+
+  /// Dials a remote rendezvous and performs the HELLO handshake.
+  /// `self` is this node's own rendezvous address, told to the peer.
+  static net::Socket dial(const std::string& host, std::uint16_t port,
+                          std::uint64_t token, const PeerAddress& self);
+
+ private:
+  void accept_loop();
+
+  struct Parked {
+    net::Socket socket;
+    PeerAddress dialer;
+  };
+
+  net::ServerSocket server_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SocketPromise>> pending_;
+  std::unordered_map<std::uint64_t, Parked> parked_;
+  std::jthread acceptor_;
+  std::atomic<bool> shutting_down_{false};
+};
+
+/// Aggregate traffic/blocking counters for all remote channel segments of
+/// one node.  The distributed deadlock detector (paper Section 6.2) uses
+/// them for a Mattern-style global quiescence test: when every process on
+/// every node is blocked AND the fleet-wide bytes sent equal bytes
+/// received (no frame in flight), the stall is real.
+struct TrafficStats {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  /// Processes currently blocked inside a remote read / write.
+  std::atomic<std::int64_t> blocked_remote_readers{0};
+  std::atomic<std::int64_t> blocked_remote_writers{0};
+};
+
+/// A logical server: advertised address + rendezvous listener + token
+/// source.  Creating the first NodeContext installs the distribution
+/// hooks into dpn::core.
+class NodeContext : public std::enable_shared_from_this<NodeContext> {
+ public:
+  static std::shared_ptr<NodeContext> create(
+      std::string advertised_host = "127.0.0.1");
+
+  /// Process-wide fallback node, created on first use.  Used when objects
+  /// are deserialized outside any compute server.
+  static std::shared_ptr<NodeContext> default_node();
+
+  const std::string& host() const { return host_; }
+  RendezvousService& rendezvous() { return rendezvous_; }
+
+  PeerAddress address() const {
+    return PeerAddress{host_, rendezvous_.port()};
+  }
+
+  /// Fresh random token for a pending channel connection.
+  std::uint64_t next_token();
+
+  /// Remote-channel counters for this node's endpoints.
+  const std::shared_ptr<TrafficStats>& traffic() const { return traffic_; }
+
+  /// Registers a live remote-channel socket so abort_remote_channels()
+  /// can reach it.  Dead entries are pruned opportunistically.
+  void register_remote_socket(const std::shared_ptr<net::Socket>& socket);
+
+  /// Shuts down every registered remote-channel socket, waking processes
+  /// blocked in remote reads/writes (they stop via the normal
+  /// end-of-stream / ChannelClosed paths).  Used by the distributed
+  /// deadlock detector's fleet abort.
+  void abort_remote_channels();
+
+  /// Flow-control window (bytes) that remote producers writing *from*
+  /// this node start with, and the bonus this node's consumers grant when
+  /// the distributed deadlock detector orders a window grow.  Remote
+  /// channels are bounded (Section 3.5 across machines); the default is
+  /// generous enough that healthy graphs never notice.
+  std::size_t remote_window() const { return remote_window_.load(); }
+  void set_remote_window(std::size_t bytes) { remote_window_.store(bytes); }
+
+  /// Keeps a half-closed producer-side socket alive until this node is
+  /// destroyed.  Closing it earlier could turn unread credit frames into
+  /// a TCP RST that destroys in-flight channel data at the consumer.
+  void park_socket(std::shared_ptr<net::Socket> socket);
+
+  /// Registers a consumer-side remote segment for credit bonuses.
+  void register_remote_input(const std::shared_ptr<class FrameChannelInput>&
+                                 input);
+
+  /// Grants one bonus window of credits on every live consumer-side
+  /// segment of this node -- the distributed equivalent of growing a full
+  /// channel's buffer (Parks' rule applied to a remote channel).
+  void grant_remote_credits();
+
+ private:
+  explicit NodeContext(std::string advertised_host);
+
+  std::string host_;
+  RendezvousService rendezvous_;
+  std::mutex token_mutex_;
+  std::uint64_t token_state_;
+  std::shared_ptr<TrafficStats> traffic_ = std::make_shared<TrafficStats>();
+  std::atomic<std::size_t> remote_window_{1u << 18};
+  std::mutex sockets_mutex_;
+  std::vector<std::weak_ptr<net::Socket>> remote_sockets_;
+  std::vector<std::shared_ptr<net::Socket>> parked_sockets_;
+  std::vector<std::weak_ptr<class FrameChannelInput>> remote_inputs_;
+};
+
+}  // namespace dpn::dist

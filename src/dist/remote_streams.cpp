@@ -1,0 +1,276 @@
+#include "dist/remote_streams.hpp"
+
+#include <cstring>
+
+#include "support/log.hpp"
+
+namespace dpn::dist {
+
+FrameChannelInput::FrameChannelInput(std::shared_ptr<net::Socket> socket,
+                                     std::shared_ptr<NodeContext> node)
+    : node_(std::move(node)), socket_(std::move(socket)) {
+  if (node_) node_->register_remote_socket(socket_);
+  reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+}
+
+FrameChannelInput::FrameChannelInput(std::shared_ptr<SocketPromise> promise,
+                                     std::uint64_t token,
+                                     std::shared_ptr<NodeContext> node)
+    : node_(std::move(node)),
+      promise_(std::move(promise)),
+      pending_token_(token) {}
+
+namespace {
+
+/// Increments a blocked counter for the duration of a scope.
+class BlockedScope {
+ public:
+  explicit BlockedScope(std::atomic<std::int64_t>* counter)
+      : counter_(counter) {
+    if (counter_ != nullptr) counter_->fetch_add(1);
+  }
+  ~BlockedScope() {
+    if (counter_ != nullptr) counter_->fetch_sub(1);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  std::atomic<std::int64_t>* counter_;
+};
+
+}  // namespace
+
+void FrameChannelInput::ensure_connected() {
+  if (reader_) return;
+  socket_ = std::make_shared<net::Socket>(promise_->wait());
+  promise_.reset();
+  if (node_) node_->register_remote_socket(socket_);
+  reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+}
+
+std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
+  if (out.empty()) return 0;
+  if (closed_.load()) throw IoError{"read from closed remote channel"};
+  for (;;) {
+    if (position_ < buffer_.size()) {
+      const std::size_t n = std::min(out.size(), buffer_.size() - position_);
+      std::memcpy(out.data(), buffer_.data() + position_, n);
+      position_ += n;
+      // Consumption frees window.  Credits are batched, but always flushed
+      // when the buffer empties: the consumer is about to block on the
+      // socket, so nothing may be withheld from the producer.
+      pending_credit_ += static_cast<std::uint32_t>(n);
+      if (position_ >= buffer_.size() || pending_credit_ >= 4096) {
+        send_credit(pending_credit_);
+        pending_credit_ = 0;
+      }
+      return n;
+    }
+    if (eof_) return 0;
+    TrafficStats* stats = node_ ? node_->traffic().get() : nullptr;
+    net::Frame frame = [&] {
+      // Waiting for the next frame is this node "blocked on a remote
+      // read" for the distributed deadlock detector.
+      BlockedScope blocked{stats ? &stats->blocked_remote_readers : nullptr};
+      ensure_connected();
+      return reader_->read_frame();
+    }();
+    switch (frame.type) {
+      case net::FrameType::kData:
+        if (stats != nullptr) {
+          stats->bytes_received.fetch_add(frame.payload.size());
+        }
+        buffer_ = std::move(frame.payload);
+        position_ = 0;
+        break;
+      case net::FrameType::kFin:
+        eof_ = true;
+        return 0;
+      case net::FrameType::kRedirect:
+        handle_redirect(net::RedirectInfo::decode(
+            {frame.payload.data(), frame.payload.size()}));
+        break;
+      case net::FrameType::kRst:
+        throw ChannelClosed{"remote reader reset the channel"};
+      case net::FrameType::kCredit:
+        // Credits belong to the reverse direction; one arriving here is a
+        // protocol violation.
+        throw IoError{"credit frame on the data direction"};
+    }
+  }
+}
+
+void FrameChannelInput::handle_redirect(const net::RedirectInfo& info) {
+  // The producer moved to a new server; it (or rather its reincarnation)
+  // will dial our node's rendezvous with `info.token`.  Splice the
+  // successor segment after ourselves so the consumer keeps reading
+  // without interruption once this segment's FIN arrives.
+  auto parent = parent_.lock();
+  if (!parent) {
+    throw IoError{"REDIRECT received but the channel sequence is gone"};
+  }
+  auto promise = node_->rendezvous().expect(info.token);
+  auto successor =
+      std::make_shared<FrameChannelInput>(promise, info.token, node_);
+  successor->set_parent_sequence(parent_);
+  if (node_) node_->register_remote_input(successor);
+  parent->append(successor);
+  log::debug("channel segment redirected; awaiting token ", info.token);
+}
+
+void FrameChannelInput::send_credit(std::uint32_t bytes) {
+  if (bytes == 0) return;
+  std::scoped_lock lock{credit_mutex_};
+  if (credit_channel_dead_ || !socket_) return;
+  try {
+    if (!credit_writer_) {
+      credit_writer_.emplace(
+          std::make_shared<net::SocketOutputStream>(socket_));
+    }
+    credit_writer_->write_credit(bytes);
+  } catch (const IoError&) {
+    // Producer already gone; it no longer needs credits.
+    credit_channel_dead_ = true;
+  }
+}
+
+void FrameChannelInput::grant_bonus_credits(std::uint32_t bytes) {
+  send_credit(bytes);
+}
+
+void FrameChannelInput::close() {
+  if (closed_.exchange(true)) return;
+  if (promise_) {
+    node_->rendezvous().forget(pending_token_);
+    promise_->cancel();
+  }
+  if (socket_) {
+    // Full close: the producer's next write fails with ChannelClosed,
+    // propagating termination upstream across the network (Section 3.4).
+    socket_->close();
+  }
+}
+
+FrameChannelOutput::FrameChannelOutput(std::shared_ptr<net::Socket> socket,
+                                       PeerAddress peer,
+                                       std::shared_ptr<NodeContext> node)
+    : node_(std::move(node)), socket_(std::move(socket)),
+      peer_(std::move(peer)) {
+  window_ = static_cast<std::int64_t>(node_ ? node_->remote_window()
+                                            : (std::size_t{1} << 18));
+  if (node_) node_->register_remote_socket(socket_);
+  writer_.emplace(std::make_shared<net::SocketOutputStream>(socket_));
+}
+
+FrameChannelOutput::FrameChannelOutput(std::shared_ptr<SocketPromise> promise,
+                                       std::uint64_t token,
+                                       std::shared_ptr<NodeContext> node)
+    : node_(std::move(node)),
+      promise_(std::move(promise)),
+      pending_token_(token) {
+  window_ = static_cast<std::int64_t>(node_ ? node_->remote_window()
+                                            : (std::size_t{1} << 18));
+}
+
+void FrameChannelOutput::ensure_connected_locked() {
+  if (writer_) return;
+  socket_ = std::make_shared<net::Socket>(promise_->wait());
+  peer_ = promise_->dialer();
+  promise_.reset();
+  if (node_) node_->register_remote_socket(socket_);
+  writer_.emplace(std::make_shared<net::SocketOutputStream>(socket_));
+}
+
+void FrameChannelOutput::write(ByteSpan data) {
+  std::scoped_lock lock{mutex_};
+  if (closed_) throw IoError{"write to closed remote channel"};
+  TrafficStats* stats = node_ ? node_->traffic().get() : nullptr;
+  {
+    BlockedScope blocked{stats ? &stats->blocked_remote_writers : nullptr};
+    ensure_connected_locked();
+    // Bounded remote channel: send at most window_ bytes, then block for
+    // consumer credits -- the cross-machine equivalent of a full pipe.
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      while (window_ <= 0) await_credit_locked();
+      const std::size_t chunk = std::min<std::size_t>(
+          static_cast<std::size_t>(window_), data.size() - offset);
+      writer_->write_data(data.subspan(offset, chunk));
+      window_ -= static_cast<std::int64_t>(chunk);
+      offset += chunk;
+    }
+  }
+  if (stats != nullptr) stats->bytes_sent.fetch_add(data.size());
+}
+
+void FrameChannelOutput::await_credit_locked() {
+  if (!credit_reader_) {
+    credit_reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+  }
+  const net::Frame frame = credit_reader_->read_frame();
+  switch (frame.type) {
+    case net::FrameType::kCredit:
+      if (frame.payload.size() != 4) {
+        throw IoError{"malformed credit frame"};
+      }
+      window_ += get_u32(frame.payload.data());
+      break;
+    case net::FrameType::kFin:
+      // The consumer is gone (orderly close or synthetic on shutdown):
+      // the writer's turn to terminate.
+      throw ChannelClosed{"remote reader closed while writer awaited credit"};
+    default:
+      throw IoError{"unexpected frame on the credit channel"};
+  }
+}
+
+void FrameChannelOutput::close() {
+  std::scoped_lock lock{mutex_};
+  if (closed_) return;
+  closed_ = true;
+  try {
+    // Deliver FIN even if the consumer has not dialed in yet: the stream
+    // contract promises the consumer an explicit end-of-stream.
+    ensure_connected_locked();
+    writer_->write_fin();
+    socket_->shutdown_write();
+    park_socket_locked();
+  } catch (const IoError&) {
+    // Consumer already gone; nothing to tell it.
+  }
+}
+
+void FrameChannelOutput::park_socket_locked() {
+  // Closing a TCP descriptor with unread data (late credit frames) in its
+  // receive buffer makes the kernel send RST, which would discard our own
+  // in-flight data at the consumer.  Instead of closing, park the socket
+  // with the node: the descriptor stays open (harmless) until the node
+  // itself is torn down, long after the consumer has drained our FIN.
+  if (node_ && socket_) node_->park_socket(socket_);
+}
+
+void FrameChannelOutput::connect_now() {
+  std::scoped_lock lock{mutex_};
+  ensure_connected_locked();
+}
+
+bool FrameChannelOutput::connected() const {
+  std::scoped_lock lock{mutex_};
+  return writer_.has_value();
+}
+
+void FrameChannelOutput::redirect_and_finish(std::uint64_t successor_token) {
+  std::scoped_lock lock{mutex_};
+  if (closed_) throw IoError{"redirect on closed remote channel"};
+  ensure_connected_locked();
+  net::RedirectInfo info;
+  info.token = successor_token;
+  writer_->write_redirect(info);
+  writer_->write_fin();
+  socket_->shutdown_write();
+  park_socket_locked();
+  closed_ = true;
+}
+
+}  // namespace dpn::dist

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "dist/node.hpp"
+#include "io/sequence.hpp"
+#include "io/stream.hpp"
+#include "net/frames.hpp"
+#include "net/socket.hpp"
+
+/// The socket-backed stream segments that sit underneath a distributed
+/// channel (the paper's RemoteInputStream / RemoteOutputStream /
+/// RedirectedInputStream, Sections 4.2-4.3).
+///
+/// A remote channel segment is one TCP connection carrying frames in the
+/// producer->consumer direction:
+///   DATA     -- payload bytes;
+///   FIN      -- producer closed: consumer sees end-of-stream after drain;
+///   REDIRECT -- "the stream continues on a new connection; expect a
+///               rendezvous with this token" (sent when the producing
+///               endpoint is shipped onward to a third server, so traffic
+///               stops relaying through the middle man -- Figure 15).
+/// Consumer-side close simply closes the socket, which surfaces as
+/// ChannelClosed on the producer's next write: the cascade of Section 3.4
+/// crosses machine boundaries.
+namespace dpn::dist {
+
+/// Consumer side of a remote channel segment.  Lives inside a
+/// ChannelInputStream's SequenceInputStream; when a REDIRECT arrives it
+/// appends the successor segment to that same sequence and lets the
+/// current segment run out.
+class FrameChannelInput final : public io::InputStream {
+ public:
+  /// An established connection (this endpoint dialed the producer's node).
+  FrameChannelInput(std::shared_ptr<net::Socket> socket,
+                    std::shared_ptr<NodeContext> node);
+
+  /// A connection that will arrive at this node's rendezvous (this
+  /// endpoint stayed put / was redirected to).  The first read blocks
+  /// until the producer dials in.
+  FrameChannelInput(std::shared_ptr<SocketPromise> promise,
+                    std::uint64_t token, std::shared_ptr<NodeContext> node);
+
+  /// The sequence to splice successor segments into on REDIRECT.
+  void set_parent_sequence(std::weak_ptr<io::SequenceInputStream> parent) {
+    parent_ = std::move(parent);
+  }
+
+  std::size_t read_some(MutableByteSpan out) override;
+  void close() override;
+
+  /// Grants the producer extra window beyond normal consumption credits.
+  /// The distributed deadlock detector uses this as the remote analogue
+  /// of growing a full local channel.  Thread-safe; a no-op until the
+  /// segment has a live socket.
+  void grant_bonus_credits(std::uint32_t bytes);
+
+ private:
+  void ensure_connected();
+  void handle_redirect(const net::RedirectInfo& info);
+  void send_credit(std::uint32_t bytes);
+
+  std::shared_ptr<NodeContext> node_;
+  std::weak_ptr<io::SequenceInputStream> parent_;
+
+  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<SocketPromise> promise_;
+  std::uint64_t pending_token_ = 0;
+  std::optional<net::FrameReader> reader_;
+
+  // Reverse-direction flow control (see net::FrameType::kCredit).
+  std::mutex credit_mutex_;
+  std::optional<net::FrameWriter> credit_writer_;
+  bool credit_channel_dead_ = false;
+  std::uint32_t pending_credit_ = 0;
+
+  ByteVector buffer_;
+  std::size_t position_ = 0;
+  bool eof_ = false;
+  std::atomic<bool> closed_{false};
+};
+
+/// Producer side of a remote channel segment.
+class FrameChannelOutput final : public io::OutputStream {
+ public:
+  /// An established connection; `peer` is the consumer node's rendezvous
+  /// address (kept so this endpoint can orchestrate a redirect if it is
+  /// shipped again).  `node` attributes traffic to the hosting node's
+  /// counters (may be null in tests).
+  FrameChannelOutput(std::shared_ptr<net::Socket> socket, PeerAddress peer,
+                     std::shared_ptr<NodeContext> node = nullptr);
+
+  /// A connection that will arrive at this node's rendezvous (this
+  /// endpoint stayed put while its consumer shipped out).  The first
+  /// write blocks until the consumer dials in; the consumer's rendezvous
+  /// address is learned from its HELLO.
+  FrameChannelOutput(std::shared_ptr<SocketPromise> promise,
+                     std::uint64_t token, std::shared_ptr<NodeContext> node);
+
+  void write(ByteSpan data) override;
+  void flush() override {}
+  void close() override;
+
+  /// Blocks until the segment has a live socket (no-op if it already
+  /// does).  Used before a redirect.
+  void connect_now();
+
+  bool connected() const;
+
+  /// The consumer node's rendezvous address (valid once connected).
+  const PeerAddress& peer() const { return peer_; }
+
+  /// Tells the consumer the stream continues elsewhere (paper Figure 15),
+  /// then ends this segment with a FIN.  The endpoint is unusable after.
+  void redirect_and_finish(std::uint64_t successor_token);
+
+ private:
+  void ensure_connected_locked();
+  void await_credit_locked();
+  void park_socket_locked();
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<NodeContext> node_;
+  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<SocketPromise> promise_;
+  std::uint64_t pending_token_ = 0;
+  std::optional<net::FrameWriter> writer_;
+  // Flow-control window: payload bytes this producer may still send
+  // before it must block for consumer credits (bounded remote channels).
+  std::int64_t window_ = 0;
+  std::optional<net::FrameReader> credit_reader_;
+  PeerAddress peer_;
+  bool closed_ = false;
+};
+
+/// Output whose reader is already gone: every write throws ChannelClosed.
+/// Used when an endpoint is shipped after its consumer terminated.
+class DeadOutputStream final : public io::OutputStream {
+ public:
+  void write(ByteSpan) override { throw ChannelClosed{}; }
+  void close() override {}
+};
+
+}  // namespace dpn::dist

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+#include "dsp/fft.hpp"
+#include "support/rng.hpp"
+
+/// Streaming delay-and-sum beamforming as a process network -- the sonar
+/// application the paper points to (reference [1], Allen et al.: real-time
+/// sonar beamforming with process networks and POSIX threads).
+///
+/// A linear array of sensors receives a plane wave; each sensor's stream
+/// is duplicated to a bank of beams, each beam delays the sensor streams
+/// by its steering vector and sums them, and a spectral-power stage scores
+/// each beam.  The beam whose steering matches the source bearing adds the
+/// sensor signals coherently and wins.
+///
+/// Everything is an ordinary dpn process over f64 element streams;
+/// steering delays are whole samples, applied Kahn-style by discarding a
+/// per-sensor prefix (no timing, no shared state -- determinate by
+/// construction).
+namespace dpn::dsp {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+
+/// One sensor of a linear array observing a noisy plane wave.  The
+/// per-sensor arrival delay (in samples, possibly fractional) is folded
+/// into the phase of the narrowband source.
+class PlaneWaveSource final : public IterativeProcess {
+ public:
+  /// frequency is in cycles/sample; delay_samples shifts the waveform as
+  /// the wavefront reaches this sensor later/earlier.
+  PlaneWaveSource(std::shared_ptr<ChannelOutputStream> out, double frequency,
+                  double delay_samples, double noise_amplitude,
+                  std::uint64_t seed, long iterations);
+
+  std::string type_name() const override { return "dpn.dsp.PlaneWaveSource"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<PlaneWaveSource> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  PlaneWaveSource() = default;
+  double frequency_ = 0.1;
+  double delay_samples_ = 0.0;
+  double noise_amplitude_ = 0.0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t t_ = 0;
+  std::unique_ptr<dpn::Xoshiro256> rng_;  // rebuilt from seed_+t_ on arrival
+};
+
+/// Delay-and-sum: discards delay[i] samples from input i once at start
+/// (aligning the wavefronts for its steering direction), then emits the
+/// sum of one sample from every input per step.
+class DelaySum final : public IterativeProcess {
+ public:
+  DelaySum(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+           std::shared_ptr<ChannelOutputStream> out,
+           std::vector<std::uint32_t> delays, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.dsp.DelaySum"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<DelaySum> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void on_start() override;
+  void step() override;
+
+ private:
+  DelaySum() = default;
+  std::vector<std::uint32_t> delays_;
+  bool aligned_ = false;
+};
+
+/// Reads frames of `frame_size` samples and emits the signal power in the
+/// given FFT bin (Hann-windowed) -- one f64 per frame.
+class SpectralPower final : public IterativeProcess {
+ public:
+  SpectralPower(std::shared_ptr<ChannelInputStream> in,
+                std::shared_ptr<ChannelOutputStream> out,
+                std::size_t frame_size, std::size_t bin, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.dsp.SpectralPower"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<SpectralPower> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  SpectralPower() = default;
+  std::size_t frame_size_ = 64;
+  std::size_t bin_ = 1;
+  std::vector<double> window_;
+};
+
+/// Steering delays (whole samples, all >= 0) for a linear array of
+/// `sensors` elements with `spacing_samples` inter-sensor wave travel
+/// time, steered to `bearing` radians off broadside.
+std::vector<std::uint32_t> steering_delays(std::size_t sensors,
+                                           double spacing_samples,
+                                           double bearing);
+
+/// Per-sensor *source* delays for a plane wave arriving from `bearing`.
+std::vector<double> arrival_delays(std::size_t sensors,
+                                   double spacing_samples, double bearing);
+
+}  // namespace dpn::dsp

@@ -1,0 +1,118 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dpn::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+/// Bit-reversal permutation.
+void bit_reverse(std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void transform(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!is_power_of_two(n)) {
+    throw UsageError{"FFT size must be a power of two"};
+  }
+  bit_reverse(data);
+  for (std::size_t length = 2; length <= n; length <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(length);
+    const Complex w_len{std::cos(angle), std::sin(angle)};
+    for (std::size_t start = 0; start < n; start += length) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < length / 2; ++k) {
+        const Complex even = data[start + k];
+        const Complex odd = data[start + k + length / 2] * w;
+        data[start + k] = even + odd;
+        data[start + k + length / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& value : data) value /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data) { transform(data, false); }
+
+void ifft(std::vector<Complex>& data) { transform(data, true); }
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      sum += data[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<double> hann_window(std::size_t length) {
+  std::vector<double> window(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    window[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                     static_cast<double>(i) /
+                                     static_cast<double>(length));
+  }
+  return window;
+}
+
+double bin_power(const std::vector<double>& frame, std::size_t bin,
+                 const std::vector<double>& window) {
+  if (window.size() != frame.size()) {
+    throw UsageError{"window length must match frame length"};
+  }
+  std::vector<Complex> data(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    data[i] = Complex{frame[i] * window[i], 0.0};
+  }
+  fft(data);
+  if (bin >= data.size()) throw UsageError{"bin out of range"};
+  return std::norm(data[bin]);
+}
+
+std::size_t peak_bin(const std::vector<double>& frame) {
+  std::vector<Complex> data(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    data[i] = Complex{frame[i], 0.0};
+  }
+  fft(data);
+  std::size_t best = 1;
+  double best_power = 0.0;
+  for (std::size_t k = 1; k < data.size() / 2; ++k) {
+    const double power = std::norm(data[k]);
+    if (power > best_power) {
+      best_power = power;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace dpn::dsp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+/// Small DSP substrate for the signal-processing applications the paper
+/// motivates (Section 1: "well suited to a variety of signal processing
+/// ... applications such as embedded signal processing, sonar beam
+/// forming"): an iterative radix-2 FFT, window functions, and spectral
+/// helpers.
+namespace dpn::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+void fft(std::vector<Complex>& data);
+
+/// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<Complex>& data);
+
+/// Reference O(N^2) DFT, for testing.
+std::vector<Complex> naive_dft(const std::vector<Complex>& data);
+
+/// Hann window coefficients of the given length.
+std::vector<double> hann_window(std::size_t length);
+
+/// Power (|X_k|^2) of one bin of the windowed FFT of a real frame.
+double bin_power(const std::vector<double>& frame, std::size_t bin,
+                 const std::vector<double>& window);
+
+/// Index of the strongest bin in the first half of the spectrum
+/// (excluding DC) of a real frame.
+std::size_t peak_bin(const std::vector<double>& frame);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace dpn::dsp

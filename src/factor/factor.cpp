@@ -1,0 +1,151 @@
+#include "factor/factor.hpp"
+
+#include <cstdio>
+
+namespace dpn::factor {
+
+FactorProblem FactorProblem::generate(std::uint64_t seed,
+                                      std::size_t prime_bits,
+                                      std::uint64_t total_tasks,
+                                      std::uint64_t batch) {
+  if (total_tasks == 0 || batch == 0) {
+    throw UsageError{"FactorProblem needs at least one task and batch"};
+  }
+  Xoshiro256 rng{seed};
+  const BigInt p = BigInt::random_prime(rng, prime_bits);
+  // Place the true difference inside the *last* batch so the search runs
+  // the full task count, as in the paper's experiment.
+  const std::uint64_t last_batch_start = 2 * batch * (total_tasks - 1);
+  const std::uint64_t offset = 2 * rng.below(batch);
+  FactorProblem problem;
+  problem.d_true = last_batch_start + offset;
+  problem.p = p;
+  problem.n = p * (p + BigInt{static_cast<std::int64_t>(problem.d_true)});
+  return problem;
+}
+
+std::optional<BigInt> scan_differences(const BigInt& n, std::uint64_t d_start,
+                                       std::uint64_t count) {
+  const BigInt four_n = n << 2;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t d = d_start + 2 * i;
+    const BigInt big_d{static_cast<std::int64_t>(d)};
+    const BigInt discriminant = big_d * big_d + four_n;
+    BigInt root;
+    if (!BigInt::perfect_square(discriminant, &root)) continue;
+    const BigInt p = (root - big_d) >> 1;
+    if (p.is_zero() || p.is_negative()) continue;
+    if (p * (p + big_d) == n) return p;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<core::Task> FactorResultTask::run() {
+  if (!found) return nullptr;
+  if (announce) std::printf("factor: N = P * Q with P = %s, Q = %s (D = %llu)\n",
+              p.to_decimal().c_str(), q.to_decimal().c_str(),
+              static_cast<unsigned long long>((q - p).to_u64()));
+  std::fflush(stdout);
+  return std::make_shared<par::StopSignal>();
+}
+
+void FactorResultTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_bool(found);
+  out.write_u64(d_start);
+  out.write_bool(announce);
+  // BigInts as decimal strings keeps the wire format simple and testable.
+  out.write_string(p.to_hex());
+  out.write_string(q.to_hex());
+}
+
+std::shared_ptr<FactorResultTask> FactorResultTask::read_object(
+    serial::ObjectInputStream& in) {
+  auto task = std::make_shared<FactorResultTask>();
+  task->found = in.read_bool();
+  task->d_start = in.read_u64();
+  task->announce = in.read_bool();
+  task->p = BigInt::from_hex(in.read_string());
+  task->q = BigInt::from_hex(in.read_string());
+  return task;
+}
+
+std::shared_ptr<core::Task> FactorWorkerTask::run() {
+  auto result = std::make_shared<FactorResultTask>();
+  result->d_start = d_start_;
+  result->announce = announce_;
+  if (auto p = scan_differences(n_, d_start_, count_)) {
+    result->found = true;
+    result->p = *p;
+    result->q = n_ / *p;
+  }
+  return result;
+}
+
+void FactorWorkerTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_string(n_.to_hex());
+  out.write_u64(d_start_);
+  out.write_u64(count_);
+  out.write_bool(announce_);
+}
+
+std::shared_ptr<FactorWorkerTask> FactorWorkerTask::read_object(
+    serial::ObjectInputStream& in) {
+  auto task = std::make_shared<FactorWorkerTask>();
+  task->n_ = BigInt::from_hex(in.read_string());
+  task->d_start_ = in.read_u64();
+  task->count_ = in.read_u64();
+  task->announce_ = in.read_bool();
+  return task;
+}
+
+std::shared_ptr<core::Task> FactorProducerTask::run() {
+  if (remaining_ == 0) return nullptr;
+  --remaining_;
+  auto task =
+      std::make_shared<FactorWorkerTask>(n_, next_d_, batch_, announce_);
+  next_d_ += 2 * batch_;
+  return task;
+}
+
+void FactorProducerTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_string(n_.to_hex());
+  out.write_u64(next_d_);
+  out.write_u64(remaining_);
+  out.write_u64(batch_);
+  out.write_bool(announce_);
+}
+
+std::shared_ptr<FactorProducerTask> FactorProducerTask::read_object(
+    serial::ObjectInputStream& in) {
+  auto task = std::make_shared<FactorProducerTask>();
+  task->n_ = BigInt::from_hex(in.read_string());
+  task->next_d_ = in.read_u64();
+  task->remaining_ = in.read_u64();
+  task->batch_ = in.read_u64();
+  task->announce_ = in.read_bool();
+  return task;
+}
+
+std::optional<BigInt> run_sequential(const BigInt& n,
+                                     std::uint64_t total_tasks,
+                                     std::uint64_t batch) {
+  FactorProducerTask producer{n, total_tasks, batch};
+  std::optional<BigInt> found;
+  for (;;) {
+    auto worker_task = producer.run();
+    if (!worker_task) break;
+    auto result = std::dynamic_pointer_cast<FactorResultTask>(
+        worker_task->run());
+    if (result && result->found && !found) found = result->p;
+  }
+  return found;
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<FactorResultTask>("dpn.factor.Result") &&
+    serial::register_type<FactorWorkerTask>("dpn.factor.Worker") &&
+    serial::register_type<FactorProducerTask>("dpn.factor.Producer");
+}
+
+}  // namespace dpn::factor

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bigint/bigint.hpp"
+#include "core/task.hpp"
+#include "par/generic.hpp"
+
+/// The brute-force weak-RSA-key search of paper Section 5.2.
+///
+/// A "weak" RSA modulus is N = P * (P + D) with a small difference D.
+/// Given N, a candidate difference D yields P directly:
+///
+///   P^2 + D*P - N = 0   =>   P = (sqrt(D^2 + 4N) - D) / 2,
+///
+/// which is an integer exactly when D^2 + 4N is a perfect square.  The
+/// search space of even differences is split into batches (the paper uses
+/// 32 even values of D per worker task); each worker task scans its batch,
+/// and the consumer task reports success.
+namespace dpn::factor {
+
+using bigint::BigInt;
+
+/// A generated test instance with known ground truth.
+struct FactorProblem {
+  BigInt n;              // public modulus, P * (P + d_true)
+  BigInt p;              // ground truth
+  std::uint64_t d_true;  // even difference between the factors
+
+  /// Builds an instance whose factor is found in the final batch of
+  /// `total_tasks` tasks of `batch` even differences each, matching the
+  /// paper's setup ("the factor P would be found after executing 2048
+  /// worker tasks", batch 32).
+  static FactorProblem generate(std::uint64_t seed, std::size_t prime_bits,
+                                std::uint64_t total_tasks,
+                                std::uint64_t batch = 32);
+};
+
+/// Scans even differences d_start, d_start+2, ..., (count values) for a
+/// factorization of n.  Returns the factor if found.
+std::optional<BigInt> scan_differences(const BigInt& n, std::uint64_t d_start,
+                                       std::uint64_t count);
+
+/// Result of a worker task; consumed by FactorConsumerTask.
+class FactorResultTask final : public core::Task {
+ public:
+  bool found = false;
+  BigInt p;  // valid when found
+  BigInt q;
+  std::uint64_t d_start = 0;  // batch identity (for order verification)
+  bool announce = true;       // print on success (benchmarks turn this off)
+
+  /// Consumer side: prints on success (if announcing) and requests stop.
+  std::shared_ptr<core::Task> run() override;
+
+  std::string type_name() const override { return "dpn.factor.Result"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<FactorResultTask> read_object(
+      serial::ObjectInputStream& in);
+};
+
+/// Worker side: scans one batch of differences.
+class FactorWorkerTask final : public core::Task {
+ public:
+  FactorWorkerTask() = default;
+  FactorWorkerTask(BigInt n, std::uint64_t d_start, std::uint64_t count,
+                   bool announce = true)
+      : n_(std::move(n)), d_start_(d_start), count_(count),
+        announce_(announce) {}
+
+  std::shared_ptr<core::Task> run() override;
+
+  std::uint64_t d_start() const { return d_start_; }
+  std::uint64_t count() const { return count_; }
+
+  std::string type_name() const override { return "dpn.factor.Worker"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<FactorWorkerTask> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  BigInt n_;
+  std::uint64_t d_start_ = 0;
+  std::uint64_t count_ = 32;
+  bool announce_ = true;
+};
+
+/// Producer side: splits the difference space into batches.  Yields
+/// `total_tasks` worker tasks, then null (ending the search).
+class FactorProducerTask final : public core::Task {
+ public:
+  FactorProducerTask() = default;
+  FactorProducerTask(BigInt n, std::uint64_t total_tasks,
+                     std::uint64_t batch = 32, bool announce = true)
+      : n_(std::move(n)), remaining_(total_tasks), batch_(batch),
+        announce_(announce) {}
+
+  std::shared_ptr<core::Task> run() override;
+
+  std::string type_name() const override { return "dpn.factor.Producer"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<FactorProducerTask> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  BigInt n_;
+  std::uint64_t next_d_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t batch_ = 32;
+  bool announce_ = true;
+};
+
+/// Reference implementation without process networks: directly invokes
+/// the producer/worker/consumer task run() methods in a loop, as the
+/// paper's Table 1 sequential baseline does.  Returns the found factor.
+std::optional<BigInt> run_sequential(const BigInt& n,
+                                     std::uint64_t total_tasks,
+                                     std::uint64_t batch = 32);
+
+}  // namespace dpn::factor

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "image/image.hpp"
+#include "support/bytes.hpp"
+
+/// A small lossless block codec: left/up predictive coding followed by
+/// the better of two residual encodings, with a raw fallback for
+/// incompressible blocks.  Deliberately simple -- the point of the
+/// Section 5 application is the parallel structure, not the codec -- but
+/// real enough that compression work scales with content.
+///
+/// Block wire format:
+///   mode:u8 (0 = raw, 1 = predicted+RLE, 2 = predicted+nibbles)
+///   width:u8 height:u8
+///   payload:
+///     raw:     width*height pixel bytes
+///     rle:     tokens -- 0x00 <runlen:u8> encodes 1..255 zero residuals,
+///              any other byte is a literal residual (flat regions)
+///     nibbles: every residual is in [-8, 7] and packed two per byte,
+///              first residual in the low nibble (smooth gradients)
+namespace dpn::image {
+
+/// Compresses one block of pixels (row-major, rect.width x rect.height).
+ByteVector compress_block(ByteSpan pixels, std::size_t width,
+                          std::size_t height);
+
+/// Decompresses a block; throws SerializationError on malformed input.
+ByteVector decompress_block(ByteSpan compressed, std::size_t* width_out,
+                            std::size_t* height_out);
+
+/// Whole-image archive (sequential reference implementation):
+///   magic:u32 width:varint height:varint block_size:varint
+///   block_count:varint, then each block as a length-prefixed blob in
+///   row-major grid order.
+ByteVector compress_image(const Image& img, std::size_t block_size = 16);
+Image decompress_image(ByteSpan archive);
+
+/// Builds the archive from already-compressed blocks in grid order (the
+/// parallel pipeline's consumer does this).
+ByteVector assemble_archive(const Image& img, std::size_t block_size,
+                            const std::vector<ByteVector>& blocks);
+
+}  // namespace dpn::image

@@ -1,0 +1,67 @@
+#include "image/image.hpp"
+
+#include <cmath>
+
+namespace dpn::image {
+
+Image synthetic_image(std::size_t width, std::size_t height,
+                      std::uint64_t seed, double smoothness) {
+  Image img{width, height};
+  Xoshiro256 rng{seed};
+  const double noise_amplitude = 255.0 * (1.0 - smoothness);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // Smooth base: diagonal gradient plus gentle waves.
+      const double gx = static_cast<double>(x) / static_cast<double>(width);
+      const double gy = static_cast<double>(y) / static_cast<double>(height);
+      double value = 96.0 * gx + 96.0 * gy +
+                     32.0 * std::sin(12.0 * gx) * std::cos(9.0 * gy) + 16.0;
+      value += noise_amplitude * (rng.unit() - 0.5);
+      if (value < 0) value = 0;
+      if (value > 255) value = 255;
+      img.set(x, y, static_cast<std::uint8_t>(value));
+    }
+  }
+  return img;
+}
+
+std::vector<BlockRect> block_grid(const Image& img, std::size_t block_size) {
+  if (block_size == 0) throw UsageError{"block size must be positive"};
+  std::vector<BlockRect> blocks;
+  for (std::size_t y = 0; y < img.height(); y += block_size) {
+    for (std::size_t x = 0; x < img.width(); x += block_size) {
+      BlockRect rect;
+      rect.x = x;
+      rect.y = y;
+      rect.width = std::min(block_size, img.width() - x);
+      rect.height = std::min(block_size, img.height() - y);
+      blocks.push_back(rect);
+    }
+  }
+  return blocks;
+}
+
+ByteVector extract_block(const Image& img, const BlockRect& rect) {
+  ByteVector out;
+  out.reserve(rect.width * rect.height);
+  for (std::size_t y = 0; y < rect.height; ++y) {
+    for (std::size_t x = 0; x < rect.width; ++x) {
+      out.push_back(img.at(rect.x + x, rect.y + y));
+    }
+  }
+  return out;
+}
+
+void insert_block(Image& img, const BlockRect& rect, ByteSpan pixels) {
+  if (pixels.size() != rect.width * rect.height) {
+    throw UsageError{"block pixel count does not match its rectangle"};
+  }
+  std::size_t i = 0;
+  for (std::size_t y = 0; y < rect.height; ++y) {
+    for (std::size_t x = 0; x < rect.width; ++x) {
+      img.set(rect.x + x, rect.y + y, pixels[i++]);
+    }
+  }
+}
+
+}  // namespace dpn::image

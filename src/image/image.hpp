@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+/// A minimal grayscale image type for the paper's motivating
+/// embarrassingly-parallel application (Section 5: "an image can be
+/// divided into 16x16 blocks of pixels that are compressed independently
+/// with the results collected and written in order to an image file").
+namespace dpn::image {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height, 0) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+  void set(std::size_t x, std::size_t y, std::uint8_t value) {
+    pixels_[y * width_ + x] = value;
+  }
+
+  const ByteVector& pixels() const { return pixels_; }
+  ByteVector& pixels() { return pixels_; }
+
+  bool operator==(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           pixels_ == other.pixels_;
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  ByteVector pixels_;
+};
+
+/// Deterministic synthetic test images.
+/// `smoothness` in [0,1]: 1 = pure gradients (compresses well),
+/// 0 = white noise (incompressible).
+Image synthetic_image(std::size_t width, std::size_t height,
+                      std::uint64_t seed, double smoothness = 0.8);
+
+/// A block's position within the image grid.
+struct BlockRect {
+  std::size_t x = 0, y = 0;  // top-left pixel
+  std::size_t width = 0, height = 0;
+};
+
+/// Enumerates the block grid (16x16 tiles; edge tiles may be smaller).
+std::vector<BlockRect> block_grid(const Image& img,
+                                  std::size_t block_size = 16);
+
+/// Copies a block out of / back into an image.
+ByteVector extract_block(const Image& img, const BlockRect& rect);
+void insert_block(Image& img, const BlockRect& rect, ByteSpan pixels);
+
+}  // namespace dpn::image

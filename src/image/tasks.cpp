@@ -1,0 +1,125 @@
+#include "image/tasks.hpp"
+
+#include <mutex>
+
+#include "par/schema.hpp"
+
+namespace dpn::image {
+
+std::shared_ptr<core::Task> BlockTask::run() {
+  return std::make_shared<CompressedBlockTask>(
+      index_, compress_block({pixels_.data(), pixels_.size()}, width_,
+                             height_));
+}
+
+void BlockTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_u64(index_);
+  out.write_bytes({pixels_.data(), pixels_.size()});
+  out.write_varint(width_);
+  out.write_varint(height_);
+}
+
+std::shared_ptr<BlockTask> BlockTask::read_object(
+    serial::ObjectInputStream& in) {
+  auto task = std::make_shared<BlockTask>();
+  task->index_ = in.read_u64();
+  task->pixels_ = in.read_bytes();
+  task->width_ = static_cast<std::size_t>(in.read_varint());
+  task->height_ = static_cast<std::size_t>(in.read_varint());
+  return task;
+}
+
+void CompressedBlockTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_u64(index_);
+  out.write_bytes({compressed_.data(), compressed_.size()});
+}
+
+std::shared_ptr<CompressedBlockTask> CompressedBlockTask::read_object(
+    serial::ObjectInputStream& in) {
+  auto task = std::make_shared<CompressedBlockTask>();
+  task->index_ = in.read_u64();
+  task->compressed_ = in.read_bytes();
+  return task;
+}
+
+ImageProducerTask::ImageProducerTask(Image img, std::size_t block_size)
+    : img_(std::move(img)), block_size_(block_size),
+      grid_(block_grid(img_, block_size)) {}
+
+std::shared_ptr<core::Task> ImageProducerTask::run() {
+  if (next_ >= grid_.size()) return nullptr;
+  const BlockRect& rect = grid_[next_];
+  auto task = std::make_shared<BlockTask>(next_, extract_block(img_, rect),
+                                          rect.width, rect.height);
+  ++next_;
+  return task;
+}
+
+void ImageProducerTask::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_varint(img_.width());
+  out.write_varint(img_.height());
+  out.write_bytes({img_.pixels().data(), img_.pixels().size()});
+  out.write_varint(block_size_);
+  out.write_u64(next_);
+}
+
+std::shared_ptr<ImageProducerTask> ImageProducerTask::read_object(
+    serial::ObjectInputStream& in) {
+  const auto width = static_cast<std::size_t>(in.read_varint());
+  const auto height = static_cast<std::size_t>(in.read_varint());
+  ByteVector pixels = in.read_bytes();
+  if (pixels.size() != width * height) {
+    throw SerializationError{"image pixel payload size mismatch"};
+  }
+  Image img{width, height};
+  img.pixels() = std::move(pixels);
+  const auto block_size = static_cast<std::size_t>(in.read_varint());
+  auto task = std::make_shared<ImageProducerTask>(std::move(img), block_size);
+  task->next_ = in.read_u64();
+  return task;
+}
+
+ByteVector compress_image_parallel(const Image& img, std::size_t workers,
+                                   bool dynamic, std::size_t block_size) {
+  const auto grid = block_grid(img, block_size);
+  std::mutex mutex;
+  std::vector<ByteVector> blocks;
+  blocks.reserve(grid.size());
+  std::uint64_t expected = 0;
+  bool order_violated = false;
+
+  auto observer = [&](const std::shared_ptr<core::Task>& task) {
+    auto block = std::dynamic_pointer_cast<CompressedBlockTask>(task);
+    if (!block) return;
+    std::scoped_lock lock{mutex};
+    if (block->index() != expected) order_violated = true;
+    ++expected;
+    blocks.push_back(block->compressed());
+  };
+
+  auto graph = par::pipeline(
+      std::make_shared<ImageProducerTask>(img, block_size), observer,
+      [&](auto in, auto out) -> std::shared_ptr<core::Process> {
+        if (workers <= 1) {
+          return std::make_shared<par::Worker>(std::move(in), std::move(out));
+        }
+        return dynamic
+                   ? par::meta_dynamic(std::move(in), std::move(out), workers)
+                   : par::meta_static(std::move(in), std::move(out), workers);
+      });
+  graph->run();
+
+  if (order_violated || blocks.size() != grid.size()) {
+    throw IoError{"parallel compression delivered blocks out of order"};
+  }
+  return assemble_archive(img, block_size, blocks);
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<BlockTask>("dpn.image.Block") &&
+    serial::register_type<CompressedBlockTask>("dpn.image.CompressedBlock") &&
+    serial::register_type<ImageProducerTask>("dpn.image.Producer");
+}
+
+}  // namespace dpn::image

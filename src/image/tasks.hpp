@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+
+#include "core/task.hpp"
+#include "image/codec.hpp"
+#include "image/image.hpp"
+
+/// Task types wiring the block codec into the generic parallel framework
+/// (paper Sections 5/5.1): the producer splits the image into blocks, a
+/// worker task compresses one block, and the results -- arriving at the
+/// consumer in grid order thanks to the schemas' order guarantee -- are
+/// assembled into the archive "in order to an image file".
+namespace dpn::image {
+
+/// Worker-side task: compress one block.
+class BlockTask final : public core::Task {
+ public:
+  BlockTask() = default;
+  BlockTask(std::uint64_t index, ByteVector pixels, std::size_t width,
+            std::size_t height)
+      : index_(index), pixels_(std::move(pixels)), width_(width),
+        height_(height) {}
+
+  std::shared_ptr<core::Task> run() override;
+
+  std::uint64_t index() const { return index_; }
+
+  std::string type_name() const override { return "dpn.image.Block"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<BlockTask> read_object(serial::ObjectInputStream& in);
+
+ private:
+  std::uint64_t index_ = 0;
+  ByteVector pixels_;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+};
+
+/// Result task: one compressed block.  Consumer-side run() is a no-op;
+/// assembly happens in the consumer observer (the "image file" writer).
+class CompressedBlockTask final : public core::Task {
+ public:
+  CompressedBlockTask() = default;
+  CompressedBlockTask(std::uint64_t index, ByteVector compressed)
+      : index_(index), compressed_(std::move(compressed)) {}
+
+  std::shared_ptr<core::Task> run() override { return nullptr; }
+
+  std::uint64_t index() const { return index_; }
+  const ByteVector& compressed() const { return compressed_; }
+
+  std::string type_name() const override {
+    return "dpn.image.CompressedBlock";
+  }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<CompressedBlockTask> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  std::uint64_t index_ = 0;
+  ByteVector compressed_;
+};
+
+/// Producer task: yields one BlockTask per grid tile, in row-major order.
+class ImageProducerTask final : public core::Task {
+ public:
+  ImageProducerTask() = default;
+  ImageProducerTask(Image img, std::size_t block_size = 16);
+
+  std::shared_ptr<core::Task> run() override;
+
+  std::string type_name() const override { return "dpn.image.Producer"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<ImageProducerTask> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  Image img_;
+  std::size_t block_size_ = 16;
+  std::vector<BlockRect> grid_;
+  std::uint64_t next_ = 0;
+};
+
+/// Compresses an image through the parallel pipeline: Producer ->
+/// meta_static/meta_dynamic(workers) -> Consumer, assembling the archive
+/// in grid order.  With workers == 1 a single Worker is used (Figure 1).
+/// The output is byte-identical to compress_image().
+ByteVector compress_image_parallel(const Image& img, std::size_t workers,
+                                   bool dynamic, std::size_t block_size = 16);
+
+}  // namespace dpn::image

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "io/stream.hpp"
+
+namespace dpn::io {
+
+/// Enforces Kahn's blocking-read discipline on top of any InputStream:
+/// multi-byte reads either return the full request or throw EndOfStream.
+///
+/// java.io.InputStream allows short reads; the paper's BlockingInputStream
+/// exists precisely to forbid them (Section 3.1), since a process that
+/// could observe a short read could detect the *absence* of data and break
+/// determinacy.
+class BlockingInputStream final : public InputStream {
+ public:
+  explicit BlockingInputStream(std::shared_ptr<InputStream> in)
+      : in_(std::move(in)) {}
+
+  /// Returns out.size() or throws EndOfStream; never a short read.
+  std::size_t read_some(MutableByteSpan out) override {
+    read_fully(*in_, out);
+    return out.size();
+  }
+
+  /// Single-byte read still reports end-of-stream as -1 so that byte-copy
+  /// processes (Duplicate, Cons) can terminate gracefully.
+  int read() override { return in_->read(); }
+
+  void close() override { in_->close(); }
+
+  const std::shared_ptr<InputStream>& underlying() const { return in_; }
+
+ private:
+  std::shared_ptr<InputStream> in_;
+};
+
+}  // namespace dpn::io

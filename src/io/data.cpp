@@ -1,0 +1,89 @@
+#include "io/data.hpp"
+
+namespace dpn::io {
+
+void DataOutputStream::write_u16(std::uint16_t v) {
+  std::uint8_t buf[2];
+  put_u16(buf, v);
+  out_->write({buf, sizeof buf});
+}
+
+void DataOutputStream::write_u32(std::uint32_t v) {
+  std::uint8_t buf[4];
+  put_u32(buf, v);
+  out_->write({buf, sizeof buf});
+}
+
+void DataOutputStream::write_u64(std::uint64_t v) {
+  std::uint8_t buf[8];
+  put_u64(buf, v);
+  out_->write({buf, sizeof buf});
+}
+
+void DataOutputStream::write_varint(std::uint64_t v) {
+  std::uint8_t buf[10];
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<std::uint8_t>(v);
+  out_->write({buf, n});
+}
+
+void DataOutputStream::write_bytes(ByteSpan data) {
+  write_varint(data.size());
+  if (!data.empty()) out_->write(data);
+}
+
+std::uint8_t DataInputStream::read_u8() {
+  std::uint8_t b = 0;
+  io::read_fully(*in_, {&b, 1});
+  return b;
+}
+
+std::uint16_t DataInputStream::read_u16() {
+  std::uint8_t buf[2];
+  io::read_fully(*in_, {buf, sizeof buf});
+  return get_u16(buf);
+}
+
+std::uint32_t DataInputStream::read_u32() {
+  std::uint8_t buf[4];
+  io::read_fully(*in_, {buf, sizeof buf});
+  return get_u32(buf);
+}
+
+std::uint64_t DataInputStream::read_u64() {
+  std::uint8_t buf[8];
+  io::read_fully(*in_, {buf, sizeof buf});
+  return get_u64(buf);
+}
+
+std::uint64_t DataInputStream::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = read_u8();
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) {
+      throw SerializationError{"varint overflow"};
+    }
+    v |= std::uint64_t{static_cast<std::uint8_t>(b & 0x7f)} << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+ByteVector DataInputStream::read_bytes() {
+  const std::uint64_t len = read_varint();
+  constexpr std::uint64_t kSanityLimit = 1ULL << 31;
+  if (len > kSanityLimit) {
+    throw SerializationError{"byte blob length " + std::to_string(len) +
+                             " exceeds sanity limit"};
+  }
+  ByteVector data(static_cast<std::size_t>(len));
+  if (len > 0) io::read_fully(*in_, {data.data(), data.size()});
+  return data;
+}
+
+}  // namespace dpn::io

@@ -1,0 +1,178 @@
+#include "io/pipe.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dpn::io {
+
+Pipe::Pipe(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  buffer_.resize(capacity_);
+}
+
+std::size_t Pipe::read_some(MutableByteSpan out) {
+  if (out.empty()) return 0;
+  std::unique_lock lock{mutex_};
+  ++blocked_readers_;
+  readable_.wait(lock, [&] {
+    return count_ > 0 || write_closed_ || read_closed_ || aborted_;
+  });
+  --blocked_readers_;
+  if (aborted_) throw Interrupted{"pipe aborted during read"};
+  if (read_closed_) throw IoError{"read from closed pipe"};
+  if (count_ == 0) return 0;  // write end closed and drained
+  const std::size_t n = take_locked(out);
+  lock.unlock();
+  writable_.notify_all();
+  return n;
+}
+
+void Pipe::write(ByteSpan data) {
+  std::unique_lock lock{mutex_};
+  while (!data.empty()) {
+    ++blocked_writers_;
+    writable_.wait(lock, [&] {
+      return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
+             count_ < capacity_;
+    });
+    --blocked_writers_;
+    if (aborted_) throw Interrupted{"pipe aborted during write"};
+    if (read_closed_) throw ChannelClosed{};
+    if (write_closed_) throw IoError{"write to closed pipe"};
+    const std::size_t room = unbounded_ ? data.size() : capacity_ - count_;
+    const std::size_t n = std::min(room, data.size());
+    put_locked(data.first(n));
+    data = data.subspan(n);
+    readable_.notify_all();
+  }
+}
+
+void Pipe::close_write() {
+  {
+    std::scoped_lock lock{mutex_};
+    write_closed_ = true;
+  }
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void Pipe::close_read() {
+  {
+    std::scoped_lock lock{mutex_};
+    read_closed_ = true;
+    // Data still buffered is discarded: the reader is gone.
+    count_ = 0;
+    head_ = 0;
+  }
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void Pipe::abort() {
+  {
+    std::scoped_lock lock{mutex_};
+    aborted_ = true;
+  }
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void Pipe::grow(std::size_t new_capacity) {
+  {
+    std::scoped_lock lock{mutex_};
+    if (new_capacity <= capacity_) return;
+    ensure_storage_locked(new_capacity);
+    capacity_ = new_capacity;
+  }
+  writable_.notify_all();
+}
+
+void Pipe::set_unbounded() {
+  {
+    std::scoped_lock lock{mutex_};
+    unbounded_ = true;
+  }
+  writable_.notify_all();
+}
+
+ByteVector Pipe::steal_buffer() {
+  ByteVector out;
+  {
+    std::scoped_lock lock{mutex_};
+    out.resize(count_);
+    take_locked({out.data(), out.size()});
+  }
+  writable_.notify_all();
+  return out;
+}
+
+std::size_t Pipe::capacity() const {
+  std::scoped_lock lock{mutex_};
+  return capacity_;
+}
+
+std::size_t Pipe::size() const {
+  std::scoped_lock lock{mutex_};
+  return count_;
+}
+
+bool Pipe::write_closed() const {
+  std::scoped_lock lock{mutex_};
+  return write_closed_;
+}
+
+bool Pipe::read_closed() const {
+  std::scoped_lock lock{mutex_};
+  return read_closed_;
+}
+
+std::size_t Pipe::blocked_readers() const {
+  std::scoped_lock lock{mutex_};
+  return blocked_readers_;
+}
+
+std::size_t Pipe::blocked_writers() const {
+  std::scoped_lock lock{mutex_};
+  return blocked_writers_;
+}
+
+std::size_t Pipe::take_locked(MutableByteSpan out) {
+  const std::size_t n = std::min(out.size(), count_);
+  const std::size_t cap = buffer_.size();
+  const std::size_t first = std::min(n, cap - head_);
+  std::memcpy(out.data(), buffer_.data() + head_, first);
+  if (n > first) std::memcpy(out.data() + first, buffer_.data(), n - first);
+  head_ = (head_ + n) % cap;
+  count_ -= n;
+  if (count_ == 0) head_ = 0;
+  return n;
+}
+
+void Pipe::put_locked(ByteSpan data) {
+  ensure_storage_locked(count_ + data.size());
+  const std::size_t cap = buffer_.size();
+  const std::size_t tail = (head_ + count_) % cap;
+  const std::size_t first = std::min(data.size(), cap - tail);
+  std::memcpy(buffer_.data() + tail, data.data(), first);
+  if (data.size() > first) {
+    std::memcpy(buffer_.data(), data.data() + first, data.size() - first);
+  }
+  count_ += data.size();
+}
+
+void Pipe::ensure_storage_locked(std::size_t needed) {
+  if (needed <= buffer_.size()) return;
+  std::size_t new_size = std::max<std::size_t>(buffer_.size() * 2, 16);
+  while (new_size < needed) new_size *= 2;
+  ByteVector fresh(new_size);
+  // Linearize existing contents at offset 0.
+  const std::size_t cap = buffer_.size();
+  const std::size_t first = std::min(count_, cap - head_);
+  std::memcpy(fresh.data(), buffer_.data() + head_, first);
+  if (count_ > first) {
+    std::memcpy(fresh.data() + first, buffer_.data(), count_ - first);
+  }
+  buffer_ = std::move(fresh);
+  head_ = 0;
+}
+
+}  // namespace dpn::io

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "io/stream.hpp"
+#include "support/bytes.hpp"
+
+/// Bounded in-memory pipe: the "lowest layer" of a local channel
+/// (the paper's LocalInputStream/LocalOutputStream over
+/// java.io.PipedInput/OutputStream).
+///
+/// Semantics required by the paper:
+///  * reads block while the buffer is empty (Kahn's blocking read);
+///  * writes block while the buffer is full (Section 3.5 — bounded
+///    channels enforce fair scheduling);
+///  * closing the write end delivers end-of-stream after the buffer
+///    drains; closing the read end makes subsequent writes throw
+///    ChannelClosed (Section 3.4 — cascading termination);
+///  * capacity can be grown while blocked writers wait (the
+///    deadlock-resolution rule of Parks' bounded scheduling), and the
+///    buffer can be atomically stolen/made unbounded while a process
+///    graph is being redistributed (Section 4.2).
+namespace dpn::io {
+
+class Pipe {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Pipe(std::size_t capacity = kDefaultCapacity);
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// Blocks until >=1 byte available or end-of-stream (returns 0).
+  /// Throws Interrupted if the pipe is aborted while waiting.
+  std::size_t read_some(MutableByteSpan out);
+
+  /// Blocks while full (unless unbounded).  Throws ChannelClosed if the
+  /// read end is closed, Interrupted if aborted while waiting.
+  void write(ByteSpan data);
+
+  void close_write();
+  void close_read();
+
+  /// Wakes every waiter with Interrupted; used for abnormal shutdown.
+  void abort();
+
+  /// Grows capacity (never shrinks).  Wakes blocked writers.
+  void grow(std::size_t new_capacity);
+
+  /// Removes the write bound entirely (writes never block again).  Used
+  /// while an endpoint is being serialized for shipment so the producer
+  /// cannot be wedged mid-switch.
+  void set_unbounded();
+
+  /// Atomically removes and returns all buffered bytes.  Used to ship a
+  /// channel's unconsumed data along with a migrating endpoint.
+  ByteVector steal_buffer();
+
+  std::size_t capacity() const;
+  std::size_t size() const;
+  bool write_closed() const;
+  bool read_closed() const;
+
+  /// Instrumentation for the deadlock monitor (Section 3.5 / [13]).
+  std::size_t blocked_readers() const;
+  std::size_t blocked_writers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  ByteVector buffer_;      // ring storage
+  std::size_t head_ = 0;   // index of first unread byte
+  std::size_t count_ = 0;  // bytes stored
+  std::size_t capacity_;
+  bool unbounded_ = false;
+  bool write_closed_ = false;
+  bool read_closed_ = false;
+  bool aborted_ = false;
+  std::size_t blocked_readers_ = 0;
+  std::size_t blocked_writers_ = 0;
+
+  // All private helpers assume mutex_ is held.
+  std::size_t take_locked(MutableByteSpan out);
+  void put_locked(ByteSpan data);
+  void ensure_storage_locked(std::size_t needed);
+};
+
+/// Read end of a Pipe as an InputStream.
+class LocalInputStream final : public InputStream {
+ public:
+  explicit LocalInputStream(std::shared_ptr<Pipe> pipe)
+      : pipe_(std::move(pipe)) {}
+
+  std::size_t read_some(MutableByteSpan out) override {
+    return pipe_->read_some(out);
+  }
+  void close() override { pipe_->close_read(); }
+
+  const std::shared_ptr<Pipe>& pipe() const { return pipe_; }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+};
+
+/// Write end of a Pipe as an OutputStream.
+class LocalOutputStream final : public OutputStream {
+ public:
+  explicit LocalOutputStream(std::shared_ptr<Pipe> pipe)
+      : pipe_(std::move(pipe)) {}
+
+  void write(ByteSpan data) override { pipe_->write(data); }
+  void close() override { pipe_->close_write(); }
+
+  const std::shared_ptr<Pipe>& pipe() const { return pipe_; }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+};
+
+}  // namespace dpn::io

@@ -1,0 +1,119 @@
+#include "io/sequence.hpp"
+
+namespace dpn::io {
+
+std::size_t SequenceInputStream::read_some(MutableByteSpan out) {
+  if (out.empty()) return 0;
+  for (;;) {
+    std::shared_ptr<InputStream> stream;
+    {
+      std::scoped_lock lock{mutex_};
+      if (closed_) throw IoError{"read from closed SequenceInputStream"};
+      if (done_) return 0;
+      if (!current_) {
+        current_ = advance_locked();
+        if (!current_) {
+          done_ = true;
+          return 0;
+        }
+      }
+      stream = current_;
+    }
+    // Read outside the lock so append() can splice while we block.
+    const std::size_t n = stream->read_some(out);
+    if (n > 0) return n;
+    // Current stream exhausted: close it and advance.
+    stream->close();
+    std::scoped_lock lock{mutex_};
+    if (current_ == stream) current_.reset();
+  }
+}
+
+int SequenceInputStream::read() {
+  std::uint8_t b = 0;
+  return read_some({&b, 1}) == 0 ? -1 : static_cast<int>(b);
+}
+
+void SequenceInputStream::close() {
+  std::deque<std::shared_ptr<InputStream>> to_close;
+  std::shared_ptr<InputStream> current;
+  {
+    std::scoped_lock lock{mutex_};
+    closed_ = true;
+    done_ = true;
+    to_close.swap(queue_);
+    current = std::move(current_);
+  }
+  if (current) current->close();
+  for (auto& s : to_close) s->close();
+}
+
+void SequenceInputStream::append(std::shared_ptr<InputStream> next) {
+  bool close_it = false;
+  {
+    std::scoped_lock lock{mutex_};
+    if (closed_ || done_) {
+      close_it = true;  // sequence over; drop the late splice
+    } else {
+      queue_.push_back(std::move(next));
+    }
+  }
+  if (close_it && next) next->close();
+}
+
+std::size_t SequenceInputStream::pending() const {
+  std::scoped_lock lock{mutex_};
+  return queue_.size() + (current_ ? 1 : 0);
+}
+
+bool SequenceInputStream::finished() const {
+  std::scoped_lock lock{mutex_};
+  return done_;
+}
+
+std::shared_ptr<InputStream> SequenceInputStream::advance_locked() {
+  if (queue_.empty()) return nullptr;
+  auto next = std::move(queue_.front());
+  queue_.pop_front();
+  return next;
+}
+
+void SequenceOutputStream::write(ByteSpan data) {
+  std::shared_lock gate{gate_};
+  if (closed_) throw IoError{"write to closed SequenceOutputStream"};
+  current_->write(data);
+}
+
+void SequenceOutputStream::write_byte(std::uint8_t b) {
+  std::shared_lock gate{gate_};
+  if (closed_) throw IoError{"write to closed SequenceOutputStream"};
+  current_->write_byte(b);
+}
+
+void SequenceOutputStream::flush() {
+  std::shared_lock gate{gate_};
+  if (!closed_) current_->flush();
+}
+
+void SequenceOutputStream::close() {
+  std::unique_lock gate{gate_};
+  if (closed_) return;
+  closed_ = true;
+  current_->close();
+}
+
+void SequenceOutputStream::switch_to(std::shared_ptr<OutputStream> next,
+                                     bool close_old) {
+  std::unique_lock gate{gate_};
+  if (closed_) throw IoError{"switch_to on closed SequenceOutputStream"};
+  current_->flush();
+  if (close_old) current_->close();
+  current_ = std::move(next);
+}
+
+std::shared_ptr<OutputStream> SequenceOutputStream::current() const {
+  std::shared_lock gate{gate_};
+  return current_;
+}
+
+}  // namespace dpn::io

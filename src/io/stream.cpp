@@ -1,0 +1,31 @@
+#include "io/stream.hpp"
+
+#include <vector>
+
+namespace dpn::io {
+
+void read_fully(InputStream& in, MutableByteSpan out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = in.read_some(out.subspan(got));
+    if (n == 0) {
+      throw EndOfStream{"read_fully: stream ended after " +
+                        std::to_string(got) + " of " +
+                        std::to_string(out.size()) + " bytes"};
+    }
+    got += n;
+  }
+}
+
+std::size_t pump(InputStream& in, OutputStream& out, std::size_t chunk_size) {
+  std::vector<std::uint8_t> buffer(chunk_size);
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = in.read_some({buffer.data(), buffer.size()});
+    if (n == 0) return total;
+    out.write({buffer.data(), n});
+    total += n;
+  }
+}
+
+}  // namespace dpn::io

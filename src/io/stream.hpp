@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+/// Abstract byte streams, mirroring java.io.InputStream/OutputStream.
+///
+/// These are the building blocks of the paper's Figure 3 layer diagram:
+/// every Kahn channel is ultimately a pair of these, and every layer
+/// (blocking, sequence, local pipe, socket) is a decorator or leaf in this
+/// hierarchy.
+namespace dpn::io {
+
+class InputStream {
+ public:
+  virtual ~InputStream() = default;
+
+  /// Reads up to `out.size()` bytes.  Blocks until at least one byte is
+  /// available or end-of-stream.  Returns the number of bytes read; returns
+  /// 0 (for a non-empty `out`) only at end-of-stream.
+  virtual std::size_t read_some(MutableByteSpan out) = 0;
+
+  /// Reads a single byte, or returns -1 at end-of-stream.
+  virtual int read() {
+    std::uint8_t b = 0;
+    return read_some({&b, 1}) == 0 ? -1 : static_cast<int>(b);
+  }
+
+  /// Reader abandons the stream.  For a channel this makes the producer's
+  /// next write throw ChannelClosed (the paper's cascading-termination
+  /// trigger).  Idempotent.
+  virtual void close() = 0;
+};
+
+class OutputStream {
+ public:
+  virtual ~OutputStream() = default;
+
+  /// Writes all of `data`, blocking while the destination is full.  Throws
+  /// ChannelClosed if the reader has closed.
+  virtual void write(ByteSpan data) = 0;
+
+  virtual void write_byte(std::uint8_t b) { write({&b, 1}); }
+
+  /// Pushes buffered bytes toward the reader.  Most dpn streams are
+  /// unbuffered; this is a hook for buffered decorators.
+  virtual void flush() {}
+
+  /// Writer is done: end-of-stream is delivered to the reader once all
+  /// buffered data has been drained.  Idempotent.
+  virtual void close() = 0;
+};
+
+/// Reads exactly `out.size()` bytes or throws EndOfStream.  This is the
+/// blocking-read guarantee Kahn's model requires; BlockingInputStream wraps
+/// it as a stream layer and DataInputStream uses it for primitives.
+void read_fully(InputStream& in, MutableByteSpan out);
+
+/// Copies everything from `in` to `out` until end-of-stream; returns the
+/// number of bytes moved.
+std::size_t pump(InputStream& in, OutputStream& out,
+                 std::size_t chunk_size = 4096);
+
+/// Discards all writes; used for detached/abandoned endpoints.
+class NullOutputStream final : public OutputStream {
+ public:
+  void write(ByteSpan) override {}
+  void close() override {}
+};
+
+/// Always at end-of-stream.
+class EmptyInputStream final : public InputStream {
+ public:
+  std::size_t read_some(MutableByteSpan) override { return 0; }
+  void close() override {}
+};
+
+}  // namespace dpn::io

@@ -1,0 +1,93 @@
+#include "net/frames.hpp"
+
+#include "io/data.hpp"
+#include "io/memory.hpp"
+
+namespace dpn::net {
+
+namespace {
+constexpr std::size_t kMaxFramePayload = 1u << 26;  // 64 MiB sanity bound
+}
+
+ByteVector RedirectInfo::encode() const {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  io::DataOutputStream data{sink};
+  data.write_string(host);
+  data.write_u16(port);
+  data.write_u64(token);
+  return sink->take();
+}
+
+RedirectInfo RedirectInfo::decode(ByteSpan payload) {
+  auto source = std::make_shared<io::MemoryInputStream>(
+      ByteVector{payload.begin(), payload.end()});
+  io::DataInputStream data{source};
+  RedirectInfo info;
+  info.host = data.read_string();
+  info.port = data.read_u16();
+  info.token = data.read_u64();
+  return info;
+}
+
+void FrameWriter::write_data(ByteSpan data) {
+  // Zero-length data frames are legal no-ops but never emitted.
+  if (!data.empty()) write_frame(FrameType::kData, data);
+}
+
+void FrameWriter::write_fin() { write_frame(FrameType::kFin, {}); }
+
+void FrameWriter::write_rst() { write_frame(FrameType::kRst, {}); }
+
+void FrameWriter::write_credit(std::uint32_t bytes) {
+  std::uint8_t payload[4];
+  put_u32(payload, bytes);
+  write_frame(FrameType::kCredit, {payload, sizeof payload});
+}
+
+void FrameWriter::write_redirect(const RedirectInfo& info) {
+  const ByteVector payload = info.encode();
+  write_frame(FrameType::kRedirect, {payload.data(), payload.size()});
+}
+
+void FrameWriter::write_frame(FrameType type, ByteSpan payload) {
+  std::uint8_t header[5];
+  header[0] = static_cast<std::uint8_t>(type);
+  put_u32(header + 1, static_cast<std::uint32_t>(payload.size()));
+  // Header and payload are written as one buffer per frame so concurrent
+  // framing layers on the same stream cannot interleave (writers serialize
+  // in the stream below us, but a torn frame must be impossible).
+  ByteVector buffer;
+  buffer.reserve(sizeof header + payload.size());
+  buffer.insert(buffer.end(), header, header + sizeof header);
+  buffer.insert(buffer.end(), payload.begin(), payload.end());
+  out_->write({buffer.data(), buffer.size()});
+}
+
+Frame FrameReader::read_frame() {
+  std::uint8_t header[5];
+  std::size_t got = 0;
+  while (got < sizeof header) {
+    const std::size_t n = in_->read_some({header + got, sizeof header - got});
+    if (n == 0) {
+      if (got == 0) {
+        // Transport ended cleanly between frames: synthesize FIN.
+        return Frame{FrameType::kFin, {}};
+      }
+      throw EndOfStream{"transport ended mid-frame"};
+    }
+    got += n;
+  }
+  const auto type = static_cast<FrameType>(header[0]);
+  const std::uint32_t length = get_u32(header + 1);
+  if (length > kMaxFramePayload) {
+    throw IoError{"frame payload of " + std::to_string(length) +
+                  " bytes exceeds limit"};
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(length);
+  if (length > 0) io::read_fully(*in_, {frame.payload.data(), length});
+  return frame;
+}
+
+}  // namespace dpn::net

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/stream.hpp"
+#include "support/bytes.hpp"
+
+/// Frame codec for remote channels.
+///
+/// A raw TCP byte stream cannot express the channel events the paper's
+/// termination and redirection protocols need (Sections 3.4, 4.3), so a
+/// remote channel segment carries framed traffic:
+///
+///   frame := type:u8 length:u32 payload[length]
+///
+///   kData     -- channel payload bytes
+///   kFin      -- writer closed; reader sees end-of-stream after draining
+///   kRst      -- sent on the *reverse* direction: reader closed, make the
+///                writer's next write throw ChannelClosed
+///   kRedirect -- "the rest of this stream continues at host:port, token T"
+///                (decentralized reconnection, paper Figure 15)
+///
+/// The codec is transport-agnostic (it reads/writes io streams) so it is
+/// unit-testable without sockets.
+namespace dpn::net {
+
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kFin = 1,
+  kRst = 2,
+  kRedirect = 3,
+  /// Reverse-direction flow control: the consumer grants the producer
+  /// this many more payload bytes.  Remote channels are *bounded* (the
+  /// paper's Section 3.5 fairness argument must hold across machines);
+  /// the producer blocks when its window is exhausted, exactly like a
+  /// local writer on a full pipe.
+  kCredit = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  ByteVector payload;
+};
+
+/// Payload of a kRedirect frame.
+struct RedirectInfo {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t token = 0;
+
+  ByteVector encode() const;
+  static RedirectInfo decode(ByteSpan payload);
+};
+
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::shared_ptr<io::OutputStream> out)
+      : out_(std::move(out)) {}
+
+  void write_data(ByteSpan data);
+  void write_fin();
+  void write_rst();
+  void write_redirect(const RedirectInfo& info);
+  void write_credit(std::uint32_t bytes);
+
+  void flush() { out_->flush(); }
+  void close() { out_->close(); }
+
+ private:
+  void write_frame(FrameType type, ByteSpan payload);
+
+  std::shared_ptr<io::OutputStream> out_;
+};
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::shared_ptr<io::InputStream> in)
+      : in_(std::move(in)) {}
+
+  /// Reads the next frame.  Transport end-of-stream (peer vanished without
+  /// a kFin) is reported as a synthetic kFin so channel draining still
+  /// terminates cleanly.
+  Frame read_frame();
+
+  void close() { in_->close(); }
+
+ private:
+  std::shared_ptr<io::InputStream> in_;
+};
+
+}  // namespace dpn::net

@@ -1,0 +1,180 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dpn::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError{what + ": " + std::strerror(errno)};
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Loopback-by-name is the only hostname we resolve without a resolver
+    // library; distributed tests run on localhost.
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      throw NetError{"cannot parse IPv4 address '" + host + "'"};
+    }
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock{fd};
+  const sockaddr_in addr = make_address(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw NetError{"connect to " + host + ":" + std::to_string(port) + ": " +
+                   std::strerror(errno)};
+  }
+  sock.set_no_delay(true);
+  return sock;
+}
+
+std::size_t Socket::read_some(MutableByteSpan out) {
+  if (out.empty()) return 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET || errno == EBADF || errno == ENOTCONN) {
+      // Peer vanished or we shut down locally: treat as end-of-stream so
+      // the cascading-termination path runs instead of a hard error.
+      return 0;
+    }
+    throw_errno("recv");
+  }
+}
+
+void Socket::write_all(ByteSpan data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
+      throw_errno("send");
+    }
+    data = data.subspan(static_cast<std::size_t>(n));
+  }
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::string Socket::peer_description() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "<disconnected>";
+  }
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof buf);
+  return std::string{buf} + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+void Socket::set_no_delay(bool on) {
+  const int flag = on ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof flag);
+}
+
+ServerSocket::ServerSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_address("*", port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError{"bind port " + std::to_string(port) + ": " +
+                   std::strerror(err)};
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError{std::string{"listen: "} + std::strerror(err)};
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket ServerSocket::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock{fd};
+      sock.set_no_delay(true);
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    throw NetError{std::string{"accept: "} + std::strerror(errno)};
+  }
+}
+
+void ServerSocket::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a concurrent accept() wakes with an error.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServerSocket::closed() const { return fd_ < 0; }
+
+}  // namespace dpn::net

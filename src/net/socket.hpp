@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/stream.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+/// Thin RAII wrappers over BSD TCP sockets (IPv4).  These are the
+/// transport under remote channels (dpn::dist) and the compute-server /
+/// registry protocols (dpn::rmi).
+namespace dpn::net {
+
+/// A connected TCP socket.  Move-only; the descriptor closes on
+/// destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port; throws NetError on failure.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Reads up to out.size() bytes; 0 means orderly shutdown by the peer.
+  /// Throws NetError on hard failure.
+  std::size_t read_some(MutableByteSpan out);
+
+  /// Writes all bytes; throws ChannelClosed on EPIPE/ECONNRESET (the
+  /// remote reader is gone -- maps onto channel close semantics), NetError
+  /// otherwise.
+  void write_all(ByteSpan data);
+
+  /// Half-close of the send direction (delivers EOF to the peer).
+  void shutdown_write();
+  /// Half-close of the receive direction.
+  void shutdown_read();
+
+  void close();
+
+  std::uint16_t local_port() const;
+  std::string peer_description() const;
+
+  /// Disables Nagle; remote channels are latency-sensitive.
+  void set_no_delay(bool on);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket.  Binds to all interfaces; port 0 picks an
+/// ephemeral port (the usual case for automatically established channels).
+class ServerSocket {
+ public:
+  explicit ServerSocket(std::uint16_t port = 0);
+  ~ServerSocket() { close(); }
+
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Blocks for the next connection.  Throws NetError if the socket is
+  /// closed while waiting (the accept loop's shutdown path).
+  Socket accept();
+
+  std::uint16_t port() const { return port_; }
+
+  void close();
+  bool closed() const;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// InputStream over a shared connected socket (the receive direction).
+class SocketInputStream final : public io::InputStream {
+ public:
+  explicit SocketInputStream(std::shared_ptr<Socket> socket)
+      : socket_(std::move(socket)) {}
+
+  std::size_t read_some(MutableByteSpan out) override {
+    return socket_->read_some(out);
+  }
+
+  void close() override { socket_->shutdown_read(); }
+
+  const std::shared_ptr<Socket>& socket() const { return socket_; }
+
+ private:
+  std::shared_ptr<Socket> socket_;
+};
+
+/// OutputStream over a shared connected socket (the send direction).
+class SocketOutputStream final : public io::OutputStream {
+ public:
+  explicit SocketOutputStream(std::shared_ptr<Socket> socket)
+      : socket_(std::move(socket)) {}
+
+  void write(ByteSpan data) override { socket_->write_all(data); }
+
+  void close() override { socket_->shutdown_write(); }
+
+  const std::shared_ptr<Socket>& socket() const { return socket_; }
+
+ private:
+  std::shared_ptr<Socket> socket_;
+};
+
+}  // namespace dpn::net

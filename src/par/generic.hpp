@@ -1,0 +1,105 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/process.hpp"
+#include "core/task.hpp"
+#include "io/data.hpp"
+
+/// Generic computing with active objects (paper Section 5.1).
+///
+/// Tasks travel through channels as *blobs* (length-prefixed serialized
+/// objects), so the Producer, Worker, and Consumer processes are fully
+/// application-independent: the computation lives in the Task objects.
+/// A producer Task's run() yields a worker Task; a worker Task's run()
+/// yields a consumer Task; a consumer Task's run() absorbs the result.
+namespace dpn::par {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+using core::Task;
+
+/// Returned by a consumer Task's run() to request data-dependent
+/// termination of the whole network (e.g. "factor found, stop searching").
+class StopSignal final : public Task {
+ public:
+  std::shared_ptr<Task> run() override { return nullptr; }
+  std::string type_name() const override { return "dpn.par.StopSignal"; }
+  void write_fields(serial::ObjectOutputStream&) const override {}
+  static std::shared_ptr<StopSignal> read_object(serial::ObjectInputStream&) {
+    return std::make_shared<StopSignal>();
+  }
+};
+
+/// Serializes `task` into a channel as one blob.
+void write_task(io::DataOutputStream& out, const std::shared_ptr<Task>& task);
+
+/// Reads one task blob from a channel; throws EndOfStream at end.
+std::shared_ptr<Task> read_task(io::DataInputStream& in);
+
+/// Repeatedly invokes run() on its producer task and writes each yielded
+/// task downstream.  Stops when the producer task yields null (or at its
+/// iteration limit).
+class Producer final : public IterativeProcess {
+ public:
+  Producer(std::shared_ptr<Task> task, std::shared_ptr<ChannelOutputStream> out,
+           long iterations = 0);
+
+  std::string type_name() const override { return "dpn.par.Producer"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Producer> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Producer() = default;
+  std::shared_ptr<Task> task_;
+};
+
+/// Reads a task, runs it, writes the result.
+class Worker final : public IterativeProcess {
+ public:
+  Worker(std::shared_ptr<ChannelInputStream> in,
+         std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.par.Worker"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Worker> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Worker() = default;
+};
+
+/// Reads a task, runs it, discards the result -- unless the result is a
+/// StopSignal, in which case the Consumer stops, closing its input and
+/// triggering the cascading termination of the upstream network.
+///
+/// An optional local observer sees every task before it runs (used by
+/// tests and benchmarks to collect results); a Consumer with an observer
+/// cannot be shipped.
+class Consumer final : public IterativeProcess {
+ public:
+  using Observer = std::function<void(const std::shared_ptr<Task>&)>;
+
+  explicit Consumer(std::shared_ptr<ChannelInputStream> in,
+                    long iterations = 0, Observer observer = {});
+
+  std::string type_name() const override { return "dpn.par.Consumer"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Consumer> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Consumer() = default;
+  Observer observer_;
+};
+
+}  // namespace dpn::par

@@ -1,0 +1,118 @@
+#include "par/schema.hpp"
+
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "processes/router.hpp"
+
+namespace dpn::par {
+namespace {
+
+std::shared_ptr<core::Channel> make_channel(const SchemaOptions& options,
+                                            std::string label) {
+  auto channel = std::make_shared<core::Channel>(options.channel_capacity,
+                                                 std::move(label));
+  if (options.watch != nullptr) options.watch->watch(channel);
+  return channel;
+}
+
+std::shared_ptr<core::Process> make_worker(const WorkerFactory& factory,
+                                           std::size_t index,
+                                           std::shared_ptr<core::ChannelInputStream> in,
+                                           std::shared_ptr<core::ChannelOutputStream> out) {
+  if (factory) return factory(index, std::move(in), std::move(out));
+  return std::make_shared<Worker>(std::move(in), std::move(out));
+}
+
+}  // namespace
+
+std::shared_ptr<core::CompositeProcess> meta_static(
+    std::shared_ptr<core::ChannelInputStream> in,
+    std::shared_ptr<core::ChannelOutputStream> out, std::size_t n_workers,
+    const WorkerFactory& factory, const SchemaOptions& options) {
+  if (n_workers == 0) throw UsageError{"meta_static needs >= 1 worker"};
+  auto composite = std::make_shared<core::CompositeProcess>();
+
+  std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
+  std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    auto tasks = make_channel(options, "static.task." + std::to_string(i));
+    auto results =
+        make_channel(options, "static.result." + std::to_string(i));
+    composite->add(
+        make_worker(factory, i, tasks->input(), results->output()));
+    task_outs.push_back(tasks->output());
+    result_ins.push_back(results->input());
+  }
+  composite->add(
+      std::make_shared<processes::Scatter>(std::move(in), std::move(task_outs)));
+  composite->add(std::make_shared<processes::Gather>(std::move(result_ins),
+                                                     std::move(out)));
+  return composite;
+}
+
+std::shared_ptr<core::CompositeProcess> meta_dynamic(
+    std::shared_ptr<core::ChannelInputStream> in,
+    std::shared_ptr<core::ChannelOutputStream> out, std::size_t n_workers,
+    const WorkerFactory& factory, const SchemaOptions& options) {
+  if (n_workers == 0) throw UsageError{"meta_dynamic needs >= 1 worker"};
+  auto composite = std::make_shared<core::CompositeProcess>();
+
+  // Workers and their channels.
+  std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
+  std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    auto tasks = make_channel(options, "dynamic.task." + std::to_string(i));
+    auto results =
+        make_channel(options, "dynamic.result." + std::to_string(i));
+    composite->add(
+        make_worker(factory, i, tasks->input(), results->output()));
+    task_outs.push_back(tasks->output());
+    result_ins.push_back(results->input());
+  }
+
+  // Indexed merge (Figure 18): the Turnstile forwards results in arrival
+  // order as (worker index, blob) pairs for the Select, and publishes the
+  // bare worker indices on the tag stream that drives dispatch.
+  auto merged = make_channel(options, "dynamic.merged");
+  auto tags = make_channel(options, "dynamic.tags");
+  composite->add(std::make_shared<processes::Turnstile>(
+      std::move(result_ins), merged->output(), tags->output()));
+
+  // The "(n)" of Figure 18: an initial 0..N-1 prefix spliced ahead of the
+  // completion-order indices, so the first N tasks seed the workers.  The
+  // Cons removes itself once the prefix has flowed (Figures 9/10).
+  auto prefix = make_channel(options, "dynamic.prefix");
+  composite->add(std::make_shared<processes::Sequence>(
+      0, prefix->output(), static_cast<long>(n_workers)));
+  auto index = make_channel(options, "dynamic.index");
+  composite->add(std::make_shared<processes::Cons>(
+      prefix->input(), tags->input(), index->output()));
+
+  composite->add(std::make_shared<processes::Direct>(
+      std::move(in), index->input(), std::move(task_outs)));
+  // The Select reconstructs the same index sequence internally from the
+  // pair stream, so the two sides stay in lock-step without sharing a
+  // duplicated channel.
+  composite->add(std::make_shared<processes::Select>(
+      merged->input(), std::move(out), n_workers));
+  return composite;
+}
+
+std::shared_ptr<core::CompositeProcess> pipeline(
+    std::shared_ptr<Task> producer_task, Consumer::Observer observer,
+    const std::function<std::shared_ptr<core::Process>(
+        std::shared_ptr<core::ChannelInputStream>,
+        std::shared_ptr<core::ChannelOutputStream>)>& make_stage,
+    const SchemaOptions& options) {
+  auto composite = std::make_shared<core::CompositeProcess>();
+  auto tasks = make_channel(options, "pipeline.tasks");
+  auto results = make_channel(options, "pipeline.results");
+  composite->add(
+      std::make_shared<Producer>(std::move(producer_task), tasks->output()));
+  composite->add(make_stage(tasks->input(), results->output()));
+  composite->add(std::make_shared<Consumer>(results->input(), 0,
+                                            std::move(observer)));
+  return composite;
+}
+
+}  // namespace dpn::par

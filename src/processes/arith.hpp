@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+
+#include "core/process.hpp"
+#include "io/data.hpp"
+
+/// Arithmetic and control processes over numeric elements: Add and Scale
+/// on i64 streams (Fibonacci, Figure 2; Hamming, Figure 12), and the f64
+/// processes of the Newton square-root network (Figure 11): Divide,
+/// Average, Equal, Guard.
+namespace dpn::processes {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+
+/// out = a + b, element-wise over i64 streams.
+class Add final : public IterativeProcess {
+ public:
+  Add(std::shared_ptr<ChannelInputStream> a,
+      std::shared_ptr<ChannelInputStream> b,
+      std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Add"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Add> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Add() = default;
+};
+
+/// out = factor * in, element-wise over i64 streams.
+class Scale final : public IterativeProcess {
+ public:
+  Scale(std::shared_ptr<ChannelInputStream> in,
+        std::shared_ptr<ChannelOutputStream> out, std::int64_t factor,
+        long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Scale"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Scale> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Scale() = default;
+  std::int64_t factor_ = 1;
+};
+
+/// out = a / b, element-wise over f64 streams.
+class Divide final : public IterativeProcess {
+ public:
+  Divide(std::shared_ptr<ChannelInputStream> a,
+         std::shared_ptr<ChannelInputStream> b,
+         std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Divide"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Divide> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Divide() = default;
+};
+
+/// out = (a + b) / 2, element-wise over f64 streams.
+class Average final : public IterativeProcess {
+ public:
+  Average(std::shared_ptr<ChannelInputStream> a,
+          std::shared_ptr<ChannelInputStream> b,
+          std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Average"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Average> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Average() = default;
+};
+
+/// out = (a == b) as a bool element, over f64 inputs.  Emits true when the
+/// Newton iteration's estimate stops changing.
+class Equal final : public IterativeProcess {
+ public:
+  Equal(std::shared_ptr<ChannelInputStream> a,
+        std::shared_ptr<ChannelInputStream> b,
+        std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Equal"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Equal> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Equal() = default;
+};
+
+/// Passes each f64 data element through when the paired control element is
+/// true, discards it otherwise.  With stop_after_pass (the paper's
+/// configuration) the Guard stops after forwarding its first element,
+/// triggering the cascading termination of the whole network.
+class Guard final : public IterativeProcess {
+ public:
+  Guard(std::shared_ptr<ChannelInputStream> data,
+        std::shared_ptr<ChannelInputStream> control,
+        std::shared_ptr<ChannelOutputStream> out, bool stop_after_pass = true,
+        long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Guard"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Guard> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Guard() = default;
+  bool stop_after_pass_ = true;
+};
+
+}  // namespace dpn::processes

@@ -1,0 +1,128 @@
+#include "processes/copy.hpp"
+
+namespace dpn::processes {
+
+namespace {
+constexpr std::size_t kCopyChunk = 1024;
+}
+
+Cons::Cons(std::shared_ptr<ChannelInputStream> initial,
+           std::shared_ptr<ChannelInputStream> rest,
+           std::shared_ptr<ChannelOutputStream> out, bool self_remove)
+    : self_remove_(self_remove) {
+  track_input(std::move(initial));
+  track_input(std::move(rest));
+  track_output(std::move(out));
+}
+
+void Cons::step() {
+  std::uint8_t buffer[kCopyChunk];
+  if (phase_ == Phase::kInitial) {
+    const std::size_t n = input(0)->read_some(buffer);
+    if (n > 0) {
+      output(0)->write({buffer, n});
+      return;
+    }
+    phase_ = Phase::kRest;
+    // The initial stream is exhausted; from here on Cons is an identity
+    // copy.  Splice our source directly into the consumer and step aside
+    // (Figure 10) -- unless the consumer has been shipped to another
+    // server, in which case there is no local splice point and we keep
+    // copying.
+    if (self_remove_ && !output(0)->state()->input_remote) {
+      if (auto consumer = output(0)->state()->input.lock()) {
+        consumer->sequence().append(release_input(1));
+        spliced_ = true;
+        // Graceful stop: close_all() closes our output, so the consumer
+        // drains the bytes already copied and continues seamlessly from
+        // the spliced channel.
+        throw EndOfStream{"Cons spliced itself out"};
+      }
+    }
+  }
+  const std::size_t n = input(1)->read_some(buffer);
+  if (n == 0) throw EndOfStream{};
+  output(0)->write({buffer, n});
+}
+
+void Cons::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+  out.write_u8(static_cast<std::uint8_t>(phase_));
+  out.write_bool(self_remove_);
+}
+
+std::shared_ptr<Cons> Cons::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Cons>(new Cons);
+  process->read_base(in);
+  process->phase_ = static_cast<Phase>(in.read_u8());
+  process->self_remove_ = in.read_bool();
+  return process;
+}
+
+Duplicate::Duplicate(std::shared_ptr<ChannelInputStream> in,
+                     std::vector<std::shared_ptr<ChannelOutputStream>> outs) {
+  track_input(std::move(in));
+  if (outs.empty()) throw UsageError{"Duplicate needs at least one output"};
+  for (auto& out : outs) track_output(std::move(out));
+}
+
+Duplicate::Duplicate(std::shared_ptr<ChannelInputStream> in,
+                     std::shared_ptr<ChannelOutputStream> out1,
+                     std::shared_ptr<ChannelOutputStream> out2) {
+  track_input(std::move(in));
+  track_output(std::move(out1));
+  track_output(std::move(out2));
+}
+
+void Duplicate::step() {
+  std::uint8_t buffer[kCopyChunk];
+  const std::size_t n = input(0)->read_some(buffer);
+  if (n == 0) throw EndOfStream{};
+  for (std::size_t i = 0; i < output_count(); ++i) {
+    output(i)->write({buffer, n});
+  }
+}
+
+void Duplicate::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+}
+
+std::shared_ptr<Duplicate> Duplicate::read_object(
+    serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Duplicate>(new Duplicate);
+  process->read_base(in);
+  return process;
+}
+
+Identity::Identity(std::shared_ptr<ChannelInputStream> in,
+                   std::shared_ptr<ChannelOutputStream> out) {
+  track_input(std::move(in));
+  track_output(std::move(out));
+}
+
+void Identity::step() {
+  std::uint8_t buffer[kCopyChunk];
+  const std::size_t n = input(0)->read_some(buffer);
+  if (n == 0) throw EndOfStream{};
+  output(0)->write({buffer, n});
+}
+
+void Identity::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+}
+
+std::shared_ptr<Identity> Identity::read_object(
+    serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Identity>(new Identity);
+  process->read_base(in);
+  return process;
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<Cons>("dpn.Cons") &&
+    serial::register_type<Duplicate>("dpn.Duplicate") &&
+    serial::register_type<Identity>("dpn.Identity");
+}
+
+}  // namespace dpn::processes

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+
+/// Type-agnostic byte-copy processes (paper Section 3.1: "some processes,
+/// such as Cons and Duplicate, simply process bytes").
+namespace dpn::processes {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+
+/// Prepends one stream to another: copies everything from the `initial`
+/// input, then everything from the `rest` input (paper Figure 2's Cons,
+/// whose initial stream is a single element from a Constant).
+///
+/// Once the initial stream is exhausted a Cons is just an identity copy,
+/// so it removes itself from the graph (paper Figures 9/10): it splices
+/// its `rest` input directly into its consumer's SequenceInputStream and
+/// stops.  All unconsumed data is preserved -- the consumer first drains
+/// the bytes Cons already copied, then continues reading from the spliced
+/// channel without interruption.  If the consumer lives on another server
+/// (no local splice point), Cons keeps copying instead.
+class Cons final : public IterativeProcess {
+ public:
+  Cons(std::shared_ptr<ChannelInputStream> initial,
+       std::shared_ptr<ChannelInputStream> rest,
+       std::shared_ptr<ChannelOutputStream> out, bool self_remove = true);
+
+  std::string type_name() const override { return "dpn.Cons"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Cons> read_object(serial::ObjectInputStream& in);
+
+  /// True once this process has spliced itself out of the graph.
+  bool spliced_out() const { return spliced_; }
+
+ protected:
+  void step() override;
+
+ private:
+  Cons() = default;
+
+  enum class Phase : std::uint8_t { kInitial = 0, kRest = 1 };
+  Phase phase_ = Phase::kInitial;
+  bool self_remove_ = true;
+  bool spliced_ = false;
+};
+
+/// Copies its input to every output (paper Figure 5).
+///
+/// As in the paper, a closed output is fatal: the process stops and
+/// closes all its channels, which is what lets termination cascade
+/// through cyclic graphs (Fibonacci, Newton) the moment their sink
+/// finishes (Section 3.4).
+class Duplicate final : public IterativeProcess {
+ public:
+  Duplicate(std::shared_ptr<ChannelInputStream> in,
+            std::vector<std::shared_ptr<ChannelOutputStream>> outs);
+
+  /// Two-output convenience matching the paper's Fibonacci wiring.
+  Duplicate(std::shared_ptr<ChannelInputStream> in,
+            std::shared_ptr<ChannelOutputStream> out1,
+            std::shared_ptr<ChannelOutputStream> out2);
+
+  std::string type_name() const override { return "dpn.Duplicate"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Duplicate> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Duplicate() = default;
+};
+
+/// Identity byte copy with no self-removal; useful as a pipeline stage in
+/// tests and as a stand-in Worker.
+class Identity final : public IterativeProcess {
+ public:
+  Identity(std::shared_ptr<ChannelInputStream> in,
+           std::shared_ptr<ChannelOutputStream> out);
+
+  std::string type_name() const override { return "dpn.Identity"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Identity> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Identity() = default;
+};
+
+}  // namespace dpn::processes

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/process.hpp"
+
+/// Deterministic merges and routers over ordered i64 streams: the Merge of
+/// the Hamming network (Figure 12) and the mod/merge pair of the
+/// acyclic-deadlock example (Figure 13).
+namespace dpn::processes {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+
+/// N-way ordered merge with duplicate elimination.  Inputs must be
+/// individually non-decreasing; the output is their sorted union.  This is
+/// a *determinate* merge: which input to read next is decided entirely by
+/// element values, never by timing.
+///
+/// The merge finishes when every input has ended, after which it closes
+/// its output (propagating termination downstream).
+class OrderedMerge final : public IterativeProcess {
+ public:
+  OrderedMerge(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+               std::shared_ptr<ChannelOutputStream> out,
+               bool eliminate_duplicates = true, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.OrderedMerge"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<OrderedMerge> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void on_start() override;
+  void step() override;
+
+ private:
+  OrderedMerge() = default;
+  void refill(std::size_t index);
+
+  bool eliminate_duplicates_ = true;
+  bool primed_ = false;
+  // head_[i] is the next unconsumed element of input i, nullopt once that
+  // input has ended.
+  std::vector<std::optional<std::int64_t>> heads_;
+};
+
+/// The "mod" process of Figure 13: values evenly divisible by `divisor` go
+/// to the first output, all others to the second.  For every `divisor`
+/// consecutive integers read this produces 1 element on one output and
+/// divisor-1 on the other -- the imbalance that makes the figure's acyclic
+/// graph deadlock under small channel capacities.
+class RouteByDivisibility final : public IterativeProcess {
+ public:
+  RouteByDivisibility(std::shared_ptr<ChannelInputStream> in,
+                      std::shared_ptr<ChannelOutputStream> multiples,
+                      std::shared_ptr<ChannelOutputStream> others,
+                      std::int64_t divisor, long iterations = 0);
+
+  std::string type_name() const override {
+    return "dpn.RouteByDivisibility";
+  }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<RouteByDivisibility> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  RouteByDivisibility() = default;
+  std::int64_t divisor_ = 1;
+};
+
+}  // namespace dpn::processes

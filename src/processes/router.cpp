@@ -1,0 +1,263 @@
+#include "processes/router.hpp"
+
+#include "io/data.hpp"
+#include "support/log.hpp"
+
+namespace dpn::processes {
+
+Scatter::Scatter(std::shared_ptr<ChannelInputStream> in,
+                 std::vector<std::shared_ptr<ChannelOutputStream>> outs,
+                 long iterations)
+    : IterativeProcess(iterations) {
+  if (outs.empty()) throw UsageError{"Scatter needs at least one output"};
+  track_input(std::move(in));
+  for (auto& out : outs) track_output(std::move(out));
+}
+
+void Scatter::step() {
+  io::DataInputStream in{input(0)};
+  for (std::size_t i = 0; i < output_count(); ++i) {
+    const ByteVector blob = in.read_bytes();
+    io::DataOutputStream out{output(i)};
+    out.write_bytes({blob.data(), blob.size()});
+  }
+}
+
+void Scatter::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+}
+
+std::shared_ptr<Scatter> Scatter::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Scatter>(new Scatter);
+  process->read_base(in);
+  return process;
+}
+
+Gather::Gather(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+               std::shared_ptr<ChannelOutputStream> out, long iterations)
+    : IterativeProcess(iterations) {
+  if (ins.empty()) throw UsageError{"Gather needs at least one input"};
+  for (auto& in : ins) track_input(std::move(in));
+  track_output(std::move(out));
+}
+
+void Gather::step() {
+  io::DataOutputStream out{output(0)};
+  for (std::size_t i = 0; i < input_count(); ++i) {
+    io::DataInputStream in{input(i)};
+    const ByteVector blob = in.read_bytes();
+    out.write_bytes({blob.data(), blob.size()});
+  }
+}
+
+void Gather::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+}
+
+std::shared_ptr<Gather> Gather::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Gather>(new Gather);
+  process->read_base(in);
+  return process;
+}
+
+Direct::Direct(std::shared_ptr<ChannelInputStream> in,
+               std::shared_ptr<ChannelInputStream> order,
+               std::vector<std::shared_ptr<ChannelOutputStream>> outs,
+               long iterations)
+    : IterativeProcess(iterations) {
+  if (outs.empty()) throw UsageError{"Direct needs at least one output"};
+  track_input(std::move(in));
+  track_input(std::move(order));
+  for (auto& out : outs) track_output(std::move(out));
+}
+
+void Direct::step() {
+  io::DataInputStream order{input(1)};
+  const std::int64_t index = order.read_i64();
+  if (index < 0 || static_cast<std::size_t>(index) >= output_count()) {
+    throw IoError{"Direct: index " + std::to_string(index) +
+                  " out of range for " + std::to_string(output_count()) +
+                  " outputs"};
+  }
+  io::DataInputStream in{input(0)};
+  const ByteVector blob = in.read_bytes();
+  io::DataOutputStream out{output(static_cast<std::size_t>(index))};
+  out.write_bytes({blob.data(), blob.size()});
+}
+
+void Direct::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+}
+
+std::shared_ptr<Direct> Direct::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Direct>(new Direct);
+  process->read_base(in);
+  return process;
+}
+
+Turnstile::Turnstile(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+                     std::shared_ptr<ChannelOutputStream> data_out,
+                     std::shared_ptr<ChannelOutputStream> tag_out,
+                     long iterations)
+    : IterativeProcess(iterations) {
+  if (ins.empty()) throw UsageError{"Turnstile needs at least one input"};
+  for (auto& in : ins) track_input(std::move(in));
+  track_output(std::move(data_out));
+  track_output(std::move(tag_out));
+}
+
+Turnstile::~Turnstile() {
+  arrivals_.close();
+  // jthread members join here; close_all() has already woken any
+  // forwarder still blocked on a channel read.
+}
+
+void Turnstile::on_start() {
+  live_forwarders_.store(input_count());
+  forwarders_.reserve(input_count());
+  for (std::size_t i = 0; i < input_count(); ++i) {
+    auto source = input(i);
+    forwarders_.emplace_back([this, i, source] {
+      try {
+        io::DataInputStream in{source};
+        for (;;) {
+          ByteVector blob = in.read_bytes();
+          arrivals_.push({static_cast<std::int64_t>(i), std::move(blob)});
+        }
+      } catch (const IoError&) {
+        // Input ended or the turnstile is shutting down.
+      } catch (const std::exception& e) {
+        log::error("Turnstile forwarder ", i, " failed: ", e.what());
+      }
+      if (live_forwarders_.fetch_sub(1) == 1) arrivals_.close();
+    });
+  }
+}
+
+void Turnstile::step() {
+  auto arrival = arrivals_.pop();
+  if (!arrival) throw EndOfStream{"all turnstile inputs ended"};
+  // The data path carries (worker index, blob) pairs; losing it means the
+  // consumer is gone, so the IoError propagates and stops us.
+  io::DataOutputStream data{output(0)};
+  data.write_i64(arrival->tag);
+  data.write_bytes({arrival->blob.data(), arrival->blob.size()});
+  // The tag path only requests future dispatch; once the dispatch side
+  // has terminated (producer exhausted), keep draining results without it
+  // so the tail of the computation still reaches the consumer.
+  if (!tags_dead_) {
+    try {
+      io::DataOutputStream tags{output(1)};
+      tags.write_i64(arrival->tag);
+    } catch (const IoError&) {
+      tags_dead_ = true;
+      try {
+        output(1)->close();
+      } catch (...) {
+      }
+    }
+  }
+}
+
+void Turnstile::on_stop() { arrivals_.close(); }
+
+void Turnstile::write_fields(serial::ObjectOutputStream& out) const {
+  if (!forwarders_.empty()) {
+    throw SerializationError{
+        "Turnstile cannot be shipped once started (forwarder threads are "
+        "local)"};
+  }
+  write_base(out);
+}
+
+std::shared_ptr<Turnstile> Turnstile::read_object(
+    serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Turnstile>(new Turnstile);
+  process->read_base(in);
+  return process;
+}
+
+Select::Select(std::shared_ptr<ChannelInputStream> pairs,
+               std::shared_ptr<ChannelOutputStream> out,
+               std::size_t n_workers, long iterations)
+    : IterativeProcess(iterations), n_workers_(n_workers) {
+  if (n_workers == 0) throw UsageError{"Select needs >= 1 worker"};
+  track_input(std::move(pairs));
+  track_output(std::move(out));
+}
+
+void Select::read_arrival() {
+  io::DataInputStream pairs{input(0)};
+  const std::int64_t tag = pairs.read_i64();
+  ByteVector blob = pairs.read_bytes();
+  arrival_tags_.push_back(tag);
+  buffered_[tag].push_back(std::move(blob));
+}
+
+void Select::step() {
+  // Reconstruct the index stream the Direct follows: task j went to
+  // worker j for the initial prefix, then to the worker that produced
+  // arrival j-N.  Task j's result cannot arrive before arrival j-N has
+  // happened (its dispatch was triggered by it), so these reads never
+  // overshoot the stream.
+  std::int64_t need = 0;
+  if (next_task_ < n_workers_) {
+    need = static_cast<std::int64_t>(next_task_);
+  } else {
+    const std::uint64_t arrival_index = next_task_ - n_workers_;
+    while (arrival_tags_.size() <= arrival_index) read_arrival();
+    need = arrival_tags_[arrival_index];
+  }
+  auto& queue = buffered_[need];
+  while (queue.empty()) read_arrival();
+  io::DataOutputStream out{output(0)};
+  out.write_bytes({queue.front().data(), queue.front().size()});
+  queue.pop_front();
+  ++next_task_;
+}
+
+void Select::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+  out.write_u64(n_workers_);
+  out.write_u64(next_task_);
+  out.write_varint(arrival_tags_.size());
+  for (const std::int64_t tag : arrival_tags_) out.write_i64(tag);
+  out.write_varint(buffered_.size());
+  for (const auto& [tag, queue] : buffered_) {
+    out.write_i64(tag);
+    out.write_varint(queue.size());
+    for (const auto& blob : queue) out.write_bytes({blob.data(), blob.size()});
+  }
+}
+
+std::shared_ptr<Select> Select::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Select>(new Select);
+  process->read_base(in);
+  process->n_workers_ = in.read_u64();
+  process->next_task_ = in.read_u64();
+  const std::uint64_t n_arrivals = in.read_varint();
+  for (std::uint64_t i = 0; i < n_arrivals; ++i) {
+    process->arrival_tags_.push_back(in.read_i64());
+  }
+  const std::uint64_t n_tags = in.read_varint();
+  for (std::uint64_t i = 0; i < n_tags; ++i) {
+    const std::int64_t tag = in.read_i64();
+    const std::uint64_t n_blobs = in.read_varint();
+    auto& queue = process->buffered_[tag];
+    for (std::uint64_t j = 0; j < n_blobs; ++j) {
+      queue.push_back(in.read_bytes());
+    }
+  }
+  return process;
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<Scatter>("dpn.Scatter") &&
+    serial::register_type<Gather>("dpn.Gather") &&
+    serial::register_type<Direct>("dpn.Direct") &&
+    serial::register_type<Turnstile>("dpn.Turnstile") &&
+    serial::register_type<Select>("dpn.Select");
+}
+
+}  // namespace dpn::processes

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/process.hpp"
+#include "support/bytes.hpp"
+#include "support/sync.hpp"
+
+/// The routing processes behind the paper's parallel-worker schemas
+/// (Section 5, Figures 16-18).  Elements here are *blobs*: length-prefixed
+/// byte arrays, each carrying one serialized Task.  Blobs move atomically,
+/// so these processes stay type-agnostic.
+///
+///  * Scatter/Gather  -- static round-robin load balancing (MetaStatic,
+///    Figure 16);
+///  * Direct/Turnstile/Select -- dynamic on-demand load balancing
+///    (MetaDynamic, Figures 17/18).  Turnstile is the one sanctioned
+///    non-determinate component: it forwards worker results in arrival
+///    order and records that order on an index stream.  Because Direct and
+///    Select both follow the same index stream, the schema's input-output
+///    relation is independent of arrival order -- it is "well behaved",
+///    and the overall computation remains determinate.
+namespace dpn::processes {
+
+using core::ChannelInputStream;
+using core::ChannelOutputStream;
+using core::IterativeProcess;
+
+/// Distributes blobs round-robin: each step reads N blobs and sends one to
+/// each of the N outputs, in order.
+class Scatter final : public IterativeProcess {
+ public:
+  Scatter(std::shared_ptr<ChannelInputStream> in,
+          std::vector<std::shared_ptr<ChannelOutputStream>> outs,
+          long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Scatter"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Scatter> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Scatter() = default;
+};
+
+/// Collects blobs round-robin: each step reads one blob from each of the N
+/// inputs, in order, and forwards them.  Paired with Scatter this makes a
+/// parallel composition that is order-equivalent to a single worker.
+class Gather final : public IterativeProcess {
+ public:
+  Gather(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+         std::shared_ptr<ChannelOutputStream> out, long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Gather"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Gather> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Gather() = default;
+};
+
+/// Routes each input blob to the output named by the next element of the
+/// index stream (Figure 17's "d").  With the index stream fed by the
+/// turnstile, every completed task directs a fresh task to the worker that
+/// finished it -- on-demand load balancing.
+class Direct final : public IterativeProcess {
+ public:
+  Direct(std::shared_ptr<ChannelInputStream> in,
+         std::shared_ptr<ChannelInputStream> order,
+         std::vector<std::shared_ptr<ChannelOutputStream>> outs,
+         long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Direct"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Direct> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Direct() = default;
+};
+
+/// Forwards results from N inputs in arrival order (Figure 18's "t").
+/// Inputs are read by per-input forwarder threads feeding an arrival
+/// queue; this is the only place in the library where timing influences
+/// data.  Two outputs:
+///
+///  * `data_out` carries (worker index, blob) pairs -- the results with
+///    their provenance, consumed by the Select;
+///  * `tag_out` carries the bare worker indices -- the index stream that
+///    (after the 0..N-1 prefix is spliced on) drives the Direct.
+///
+/// The tag stream is *advisory*: it only requests future task dispatch.
+/// Once the dispatch side has terminated (producer exhausted -> Direct
+/// and the prefix Cons stopped), tag writes fail -- the Turnstile then
+/// simply stops publishing tags and keeps forwarding the in-flight
+/// results, so the tail of the computation still reaches the consumer.
+/// A dead `data_out`, by contrast, stops the process (the consumer is
+/// gone; cascade upstream).
+class Turnstile final : public IterativeProcess {
+ public:
+  Turnstile(std::vector<std::shared_ptr<ChannelInputStream>> ins,
+            std::shared_ptr<ChannelOutputStream> data_out,
+            std::shared_ptr<ChannelOutputStream> tag_out, long iterations = 0);
+
+  ~Turnstile() override;
+
+  std::string type_name() const override { return "dpn.Turnstile"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Turnstile> read_object(
+      serial::ObjectInputStream& in);
+
+ protected:
+  void on_start() override;
+  void step() override;
+  void on_stop() override;
+
+ private:
+  Turnstile() = default;
+
+  struct Arrival {
+    std::int64_t tag;
+    ByteVector blob;
+  };
+
+  BlockingQueue<Arrival> arrivals_;
+  std::atomic<std::size_t> live_forwarders_{0};
+  std::vector<std::jthread> forwarders_;
+  bool tags_dead_ = false;
+};
+
+/// Reorders the turnstile's arrival-order results into task order
+/// (Figure 18's "s").  Reads the (worker index, blob) pair stream and
+/// reconstructs the shared index stream internally: task j went to worker
+/// j for j < N (the initial prefix), and to the worker of arrival j-N
+/// after that -- exactly the stream the Direct follows.  Because each
+/// worker's results come back in its task order, emitting "the next
+/// unconsumed result of worker index[j]" reproduces the global task
+/// order: the consumer sees the same sequence as MetaStatic and the plain
+/// pipeline, regardless of completion timing.
+class Select final : public IterativeProcess {
+ public:
+  Select(std::shared_ptr<ChannelInputStream> pairs,
+         std::shared_ptr<ChannelOutputStream> out, std::size_t n_workers,
+         long iterations = 0);
+
+  std::string type_name() const override { return "dpn.Select"; }
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Select> read_object(serial::ObjectInputStream& in);
+
+ protected:
+  void step() override;
+
+ private:
+  Select() = default;
+  void read_arrival();
+
+  std::uint64_t n_workers_ = 0;
+  std::uint64_t next_task_ = 0;  // j: position in the reconstructed order
+  std::deque<std::int64_t> arrival_tags_;  // worker of arrival i
+  std::unordered_map<std::int64_t, std::deque<ByteVector>> buffered_;
+};
+
+}  // namespace dpn::processes

@@ -1,0 +1,172 @@
+#include "processes/sieve.hpp"
+
+#include "io/data.hpp"
+#include "support/log.hpp"
+
+namespace dpn::processes {
+
+Modulo::Modulo(std::shared_ptr<ChannelInputStream> in,
+               std::shared_ptr<ChannelOutputStream> out, std::int64_t divisor,
+               long iterations)
+    : IterativeProcess(iterations), divisor_(divisor) {
+  if (divisor == 0) throw UsageError{"Modulo divisor must be nonzero"};
+  track_input(std::move(in));
+  track_output(std::move(out));
+}
+
+void Modulo::step() {
+  io::DataInputStream in{input(0)};
+  io::DataOutputStream out{output(0)};
+  const std::int64_t value = in.read_i64();
+  if (value % divisor_ != 0) out.write_i64(value);
+}
+
+void Modulo::write_fields(serial::ObjectOutputStream& out) const {
+  write_base(out);
+  out.write_i64(divisor_);
+}
+
+std::shared_ptr<Modulo> Modulo::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Modulo>(new Modulo);
+  process->read_base(in);
+  process->divisor_ = in.read_i64();
+  return process;
+}
+
+Sift::Sift(std::shared_ptr<ChannelInputStream> in,
+           std::shared_ptr<ChannelOutputStream> out, long iterations,
+           std::size_t channel_capacity)
+    : IterativeProcess(iterations), channel_capacity_(channel_capacity) {
+  track_input(std::move(in));
+  track_output(std::move(out));
+}
+
+Sift::~Sift() {
+  // jthread members join; by the time a Sift is destroyed the termination
+  // cascade (Section 3.4) has stopped every inserted Modulo.
+}
+
+void Sift::step() {
+  io::DataInputStream in{input(0)};
+  io::DataOutputStream out{output(0)};
+  const std::int64_t prime = in.read_i64();
+  out.write_i64(prime);
+
+  // Insert a Modulo between our upstream and ourselves (Figure 8).  The
+  // Modulo takes over our current input channel mid-stream; we adopt a
+  // fresh channel that it feeds.
+  auto channel = std::make_shared<core::Channel>(channel_capacity_);
+  auto upstream = release_input(0);
+  auto filter =
+      std::make_shared<Modulo>(std::move(upstream), channel->output(), prime);
+  track_input(channel->input());
+
+  std::scoped_lock lock{spawn_mutex_};
+  children_.push_back(filter);
+  threads_.emplace_back([filter] {
+    try {
+      filter->run();
+    } catch (const IoError&) {
+      // Graceful stop via the termination cascade.
+    } catch (const std::exception& e) {
+      log::error("Modulo filter failed: ", e.what());
+    }
+  });
+}
+
+std::size_t Sift::filters_inserted() const {
+  std::scoped_lock lock{spawn_mutex_};
+  return children_.size();
+}
+
+void Sift::write_fields(serial::ObjectOutputStream& out) const {
+  {
+    std::scoped_lock lock{spawn_mutex_};
+    if (!children_.empty()) {
+      throw SerializationError{
+          "Sift cannot be shipped after it has inserted filters (the "
+          "filters run on local threads)"};
+    }
+  }
+  write_base(out);
+  out.write_u64(channel_capacity_);
+}
+
+std::shared_ptr<Sift> Sift::read_object(serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Sift>(new Sift);
+  process->read_base(in);
+  process->channel_capacity_ = static_cast<std::size_t>(in.read_u64());
+  return process;
+}
+
+RecursiveSift::RecursiveSift(std::shared_ptr<ChannelInputStream> in,
+                             std::shared_ptr<ChannelOutputStream> out,
+                             std::size_t channel_capacity)
+    : channel_capacity_(channel_capacity) {
+  track_input(std::move(in));
+  track_output(std::move(out));
+}
+
+void RecursiveSift::step() {
+  io::DataInputStream in{input(0)};
+  io::DataOutputStream out{output(0)};
+  const std::int64_t prime = in.read_i64();
+  out.write_i64(prime);
+
+  // Replace ourselves (Figure 7): a Modulo filter takes over our input, a
+  // fresh RecursiveSift takes over our output, and we step aside.  The
+  // handed-off endpoints are released from tracking so our stop does not
+  // close them; data flows through the successors without interruption.
+  auto filtered = std::make_shared<core::Channel>(channel_capacity_);
+  auto upstream = release_input(0);
+  auto downstream = release_output(0);
+  auto filter = std::make_shared<Modulo>(std::move(upstream),
+                                         filtered->output(), prime);
+  auto successor = std::make_shared<RecursiveSift>(
+      filtered->input(), std::move(downstream), channel_capacity_);
+  successors_.push_back(filter);
+  successors_.push_back(successor);
+  threads_.emplace_back([filter] {
+    try {
+      filter->run();
+    } catch (const IoError&) {
+    } catch (const std::exception& e) {
+      log::error("Modulo filter failed: ", e.what());
+    }
+  });
+  threads_.emplace_back([successor] {
+    try {
+      successor->run();
+    } catch (const IoError&) {
+    } catch (const std::exception& e) {
+      log::error("RecursiveSift successor failed: ", e.what());
+    }
+  });
+  throw EndOfStream{"RecursiveSift replaced itself"};
+}
+
+void RecursiveSift::write_fields(serial::ObjectOutputStream& out) const {
+  if (!successors_.empty()) {
+    throw SerializationError{
+        "RecursiveSift cannot be shipped after replacing itself"};
+  }
+  write_base(out);
+  out.write_u64(channel_capacity_);
+}
+
+std::shared_ptr<RecursiveSift> RecursiveSift::read_object(
+    serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<RecursiveSift>(new RecursiveSift);
+  process->read_base(in);
+  process->channel_capacity_ = static_cast<std::size_t>(in.read_u64());
+  return process;
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<Modulo>("dpn.Modulo") &&
+    serial::register_type<Sift>("dpn.Sift") &&
+    serial::register_type<RecursiveSift>("dpn.RecursiveSift");
+}
+
+}  // namespace dpn::processes

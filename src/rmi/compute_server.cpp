@@ -1,0 +1,216 @@
+#include "rmi/compute_server.hpp"
+
+#include "dist/ship.hpp"
+#include "io/data.hpp"
+#include "support/log.hpp"
+
+namespace dpn::rmi {
+namespace {
+
+enum class Op : std::uint8_t {
+  kRunProcess = 1,  // run(Runnable): async
+  kRunTask = 2,     // run(Task): sync, returns result
+  kPing = 3,
+};
+
+io::DataInputStream make_in(const std::shared_ptr<net::Socket>& socket) {
+  return io::DataInputStream{std::make_shared<net::SocketInputStream>(socket)};
+}
+
+io::DataOutputStream make_out(const std::shared_ptr<net::Socket>& socket) {
+  return io::DataOutputStream{
+      std::make_shared<net::SocketOutputStream>(socket)};
+}
+
+}  // namespace
+
+ComputeServer::ComputeServer(std::string name,
+                             std::shared_ptr<dist::NodeContext> node)
+    : name_(std::move(name)),
+      node_(node ? std::move(node) : dist::NodeContext::create()),
+      server_(0) {
+  acceptor_ = std::jthread{[this] { accept_loop(); }};
+  log::info("compute server '", name_, "' listening on port ", server_.port());
+}
+
+ComputeServer::~ComputeServer() { stop(); }
+
+void ComputeServer::register_with(const std::string& registry_host,
+                                  std::uint16_t registry_port) {
+  RegistryClient client{registry_host, registry_port};
+  client.register_name(name_, Endpoint{node_->host(), port()});
+}
+
+void ComputeServer::stop() {
+  if (stopping_.exchange(true)) return;
+  server_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::jthread> workers;
+  {
+    std::scoped_lock lock{workers_mutex_};
+    workers.swap(workers_);
+  }
+  for (auto& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ComputeServer::accept_loop() {
+  for (;;) {
+    net::Socket socket;
+    try {
+      socket = server_.accept();
+    } catch (const NetError&) {
+      return;  // stopped
+    }
+    auto shared = std::make_shared<net::Socket>(std::move(socket));
+    // Each request gets its own thread: run(Task) is synchronous and may
+    // be long, and deserializing a process graph dials back for channels,
+    // which must not block unrelated requests.
+    std::scoped_lock lock{workers_mutex_};
+    workers_.emplace_back([this, shared] {
+      try {
+        handle(shared);
+      } catch (const std::exception& e) {
+        log::warn("compute server '", name_, "': request failed: ", e.what());
+      }
+    });
+  }
+}
+
+void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
+  auto in = make_in(socket);
+  auto out = make_out(socket);
+  const auto op = static_cast<Op>(in.read_u8());
+  switch (op) {
+    case Op::kRunProcess: {
+      const ByteVector shipment = in.read_bytes();
+      std::shared_ptr<core::Process> process;
+      try {
+        process = dist::receive_process(node_,
+                                        {shipment.data(), shipment.size()});
+      } catch (const std::exception& e) {
+        out.write_bool(false);
+        out.write_string(e.what());
+        return;
+      }
+      processes_hosted_.fetch_add(1);
+      out.write_bool(true);
+      out.write_string("");
+      log::info("compute server '", name_, "' hosting process ",
+                process->name());
+      // run(Runnable) returns immediately; the process executes here.
+      try {
+        process->run();
+      } catch (const IoError&) {
+        // Graceful stop via channel closure.
+      } catch (const std::exception& e) {
+        log::error("compute server '", name_, "': hosted process ",
+                   process->name(), " failed: ", e.what());
+      }
+      break;
+    }
+    case Op::kRunTask: {
+      const ByteVector shipment = in.read_bytes();
+      std::shared_ptr<core::Task> result;
+      std::string error;
+      try {
+        auto object =
+            dist::receive_object(node_, {shipment.data(), shipment.size()});
+        auto task = std::dynamic_pointer_cast<core::Task>(object);
+        if (!task) throw SerializationError{"shipment is not a Task"};
+        result = task->run();
+        tasks_run_.fetch_add(1);
+      } catch (const std::exception& e) {
+        error = e.what();
+        if (error.empty()) error = "task failed";
+      }
+      if (!error.empty()) {
+        out.write_bool(false);
+        out.write_string(error);
+        return;
+      }
+      out.write_bool(true);
+      const ByteVector reply = dist::ship_object(node_, result);
+      out.write_bytes({reply.data(), reply.size()});
+      break;
+    }
+    case Op::kPing: {
+      out.write_bool(true);
+      out.write_string(name_);
+      break;
+    }
+    default:
+      throw IoError{"compute server: unknown op"};
+  }
+}
+
+ServerHandle::ServerHandle(Endpoint endpoint,
+                           std::shared_ptr<dist::NodeContext> local)
+    : endpoint_(std::move(endpoint)), local_(std::move(local)) {
+  if (!local_) local_ = dist::NodeContext::default_node();
+}
+
+ServerHandle ServerHandle::lookup(const std::string& registry_host,
+                                  std::uint16_t registry_port,
+                                  const std::string& name,
+                                  std::shared_ptr<dist::NodeContext> local) {
+  RegistryClient client{registry_host, registry_port};
+  auto endpoint = client.lookup(name);
+  if (!endpoint) {
+    throw NetError{"no compute server named '" + name + "' in the registry"};
+  }
+  return ServerHandle{*endpoint, std::move(local)};
+}
+
+void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
+  // Connect before serializing: shipping has side effects on the live
+  // graph (endpoints are switched onto pending sockets), so an
+  // unreachable server must fail before any of that happens.
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  const ByteVector shipment = dist::ship_process(local_, process);
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kRunProcess));
+  out.write_bytes({shipment.data(), shipment.size()});
+  const bool ok = in.read_bool();
+  const std::string error = in.read_string();
+  if (!ok) {
+    throw IoError{"compute server rejected process: " + error};
+  }
+}
+
+std::shared_ptr<core::Task> ServerHandle::run(
+    const std::shared_ptr<core::Task>& task) {
+  const ByteVector shipment = dist::ship_object(local_, task);
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kRunTask));
+  out.write_bytes({shipment.data(), shipment.size()});
+  if (!in.read_bool()) {
+    throw IoError{"compute server task failed: " + in.read_string()};
+  }
+  const ByteVector reply = in.read_bytes();
+  auto object = dist::receive_object(local_, {reply.data(), reply.size()});
+  if (!object) return nullptr;
+  auto result = std::dynamic_pointer_cast<core::Task>(object);
+  if (!result) {
+    throw SerializationError{"compute server returned a non-Task object"};
+  }
+  return result;
+}
+
+void ServerHandle::ping() {
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kPing));
+  if (!in.read_bool()) throw NetError{"ping failed"};
+  in.read_string();
+}
+
+}  // namespace dpn::rmi

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/process.hpp"
+#include "core/task.hpp"
+#include "dist/node.hpp"
+#include "net/socket.hpp"
+#include "rmi/registry.hpp"
+
+/// The generic compute server of paper Section 4.1 and its client stub.
+///
+/// The Server interface has two remotely invocable methods:
+///
+///   void run(Runnable)  -- ship a Process; the server starts it on its
+///                          own thread and returns immediately;
+///   Object run(Task)    -- ship a Task; the server runs it to completion
+///                          and returns the (serialized) result.
+///
+/// Where the paper downloads class files via the RMI codebase, a C++
+/// server must already link the process/task types it is asked to run
+/// (see DESIGN.md, substitutions) -- an unknown type name is reported back
+/// as an error rather than fetched.
+namespace dpn::rmi {
+
+class ComputeServer {
+ public:
+  /// Creates a server listening on an ephemeral port, with its own
+  /// NodeContext (rendezvous listener) for the channels of the process
+  /// graphs it hosts.
+  explicit ComputeServer(std::string name,
+                         std::shared_ptr<dist::NodeContext> node = nullptr);
+  ~ComputeServer();
+
+  ComputeServer(const ComputeServer&) = delete;
+  ComputeServer& operator=(const ComputeServer&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint16_t port() const { return server_.port(); }
+  const std::shared_ptr<dist::NodeContext>& node() const { return node_; }
+
+  /// Registers this server's endpoint with a registry.
+  void register_with(const std::string& registry_host,
+                     std::uint16_t registry_port);
+
+  /// Stops accepting and waits for hosted processes to finish.  Hosted
+  /// process graphs are expected to terminate through the cascading-close
+  /// protocol; stop() joins them.
+  void stop();
+
+  std::size_t processes_hosted() const { return processes_hosted_.load(); }
+  std::size_t tasks_run() const { return tasks_run_.load(); }
+
+ private:
+  void accept_loop();
+  void handle(std::shared_ptr<net::Socket> socket);
+
+  std::string name_;
+  std::shared_ptr<dist::NodeContext> node_;
+  net::ServerSocket server_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> processes_hosted_{0};
+  std::atomic<std::size_t> tasks_run_{0};
+
+  std::mutex workers_mutex_;
+  std::vector<std::jthread> workers_;
+  std::jthread acceptor_;
+};
+
+/// Client stub for a remote ComputeServer.
+class ServerHandle {
+ public:
+  ServerHandle(Endpoint endpoint, std::shared_ptr<dist::NodeContext> local);
+
+  /// Looks a server up in a registry and returns a handle to it.
+  static ServerHandle lookup(const std::string& registry_host,
+                             std::uint16_t registry_port,
+                             const std::string& name,
+                             std::shared_ptr<dist::NodeContext> local);
+
+  /// Ships `process` for asynchronous execution (paper: run(Runnable)).
+  /// Returns once the server has deserialized and started it -- i.e. once
+  /// all cut channels have reconnected.
+  void run_async(const std::shared_ptr<core::Process>& process);
+
+  /// Ships `task`, waits for completion, returns its result (paper:
+  /// run(Task)).
+  std::shared_ptr<core::Task> run(const std::shared_ptr<core::Task>& task);
+
+  /// Round-trip health check.
+  void ping();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Endpoint endpoint_;
+  std::shared_ptr<dist::NodeContext> local_;
+};
+
+}  // namespace dpn::rmi

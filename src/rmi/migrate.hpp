@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+
+#include "core/process.hpp"
+#include "rmi/compute_server.hpp"
+
+namespace dpn::rmi {
+
+/// Moves a *running* iterative process to a compute server -- the
+/// re-distribution-after-execution-has-begun of the paper's Section 6.1:
+///
+///  1. parks the process at its next step boundary (its in-flight channel
+///     I/O completes first, so no element is torn);
+///  2. ships it -- remaining iteration budget, mutable state, channel
+///     endpoints and the unconsumed bytes inside them travel along, and
+///     the cut channels reconnect to the new host automatically
+///     (Section 4.2/4.3);
+///  3. abandons the local instance, whose run() returns without touching
+///     the endpoints it no longer owns.
+///
+/// Returns false if the process finished before it could be parked (there
+/// was nothing left to migrate).  If the server rejects the shipment the
+/// process is resumed in place and the error rethrown, so a failed
+/// migration never loses work.
+bool migrate(const std::shared_ptr<core::IterativeProcess>& process,
+             ServerHandle& destination);
+
+}  // namespace dpn::rmi

@@ -1,0 +1,165 @@
+#include "rmi/registry.hpp"
+
+#include <memory>
+
+#include "io/data.hpp"
+#include "support/log.hpp"
+
+namespace dpn::rmi {
+namespace {
+
+enum class Op : std::uint8_t {
+  kRegister = 1,
+  kLookup = 2,
+  kList = 3,
+  kUnregister = 4,
+};
+
+std::pair<io::DataInputStream, io::DataOutputStream> wrap(
+    const std::shared_ptr<net::Socket>& socket) {
+  return {io::DataInputStream{std::make_shared<net::SocketInputStream>(socket)},
+          io::DataOutputStream{
+              std::make_shared<net::SocketOutputStream>(socket)}};
+}
+
+}  // namespace
+
+Registry::Registry(std::uint16_t port) : server_(port) {
+  acceptor_ = std::jthread{[this] { accept_loop(); }};
+}
+
+Registry::~Registry() { stop(); }
+
+void Registry::stop() {
+  if (stopping_.exchange(true)) return;
+  server_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+std::vector<std::pair<std::string, Endpoint>> Registry::entries() const {
+  std::scoped_lock lock{mutex_};
+  return {names_.begin(), names_.end()};
+}
+
+void Registry::accept_loop() {
+  for (;;) {
+    net::Socket socket;
+    try {
+      socket = server_.accept();
+    } catch (const NetError&) {
+      return;  // stopped
+    }
+    try {
+      handle(std::move(socket));
+    } catch (const std::exception& e) {
+      log::warn("registry: request failed: ", e.what());
+    }
+  }
+}
+
+void Registry::handle(net::Socket socket) {
+  auto shared = std::make_shared<net::Socket>(std::move(socket));
+  auto [in, out] = wrap(shared);
+  const auto op = static_cast<Op>(in.read_u8());
+  switch (op) {
+    case Op::kRegister: {
+      const std::string name = in.read_string();
+      Endpoint endpoint;
+      endpoint.host = in.read_string();
+      endpoint.port = in.read_u16();
+      {
+        std::scoped_lock lock{mutex_};
+        names_[name] = endpoint;
+      }
+      out.write_bool(true);
+      break;
+    }
+    case Op::kLookup: {
+      const std::string name = in.read_string();
+      std::optional<Endpoint> found;
+      {
+        std::scoped_lock lock{mutex_};
+        if (const auto it = names_.find(name); it != names_.end()) {
+          found = it->second;
+        }
+      }
+      out.write_bool(found.has_value());
+      if (found) {
+        out.write_string(found->host);
+        out.write_u16(found->port);
+      }
+      break;
+    }
+    case Op::kList: {
+      std::vector<std::string> names;
+      {
+        std::scoped_lock lock{mutex_};
+        names.reserve(names_.size());
+        for (const auto& [name, endpoint] : names_) names.push_back(name);
+      }
+      out.write_varint(names.size());
+      for (const auto& name : names) out.write_string(name);
+      break;
+    }
+    case Op::kUnregister: {
+      const std::string name = in.read_string();
+      bool erased = false;
+      {
+        std::scoped_lock lock{mutex_};
+        erased = names_.erase(name) > 0;
+      }
+      out.write_bool(erased);
+      break;
+    }
+    default:
+      throw IoError{"registry: unknown op"};
+  }
+}
+
+void RegistryClient::register_name(const std::string& name,
+                                   const Endpoint& endpoint) {
+  auto socket =
+      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto [in, out] = wrap(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kRegister));
+  out.write_string(name);
+  out.write_string(endpoint.host);
+  out.write_u16(endpoint.port);
+  if (!in.read_bool()) throw NetError{"registry refused registration"};
+}
+
+void RegistryClient::unregister_name(const std::string& name) {
+  auto socket =
+      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto [in, out] = wrap(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kUnregister));
+  out.write_string(name);
+  in.read_bool();
+}
+
+std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
+  auto socket =
+      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto [in, out] = wrap(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kLookup));
+  out.write_string(name);
+  if (!in.read_bool()) return std::nullopt;
+  Endpoint endpoint;
+  endpoint.host = in.read_string();
+  endpoint.port = in.read_u16();
+  return endpoint;
+}
+
+std::vector<std::string> RegistryClient::list() {
+  auto socket =
+      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto [in, out] = wrap(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kList));
+  const std::uint64_t n = in.read_varint();
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) names.push_back(in.read_string());
+  return names;
+}
+
+}  // namespace dpn::rmi

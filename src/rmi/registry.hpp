@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+
+/// A small TCP name service standing in for the RMI registry (paper
+/// Section 4.1): compute servers register themselves by name, and client
+/// applications look them up to obtain host:port endpoints.
+namespace dpn::rmi {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// The registry server.  One request per connection:
+///   REGISTER name host port | LOOKUP name | LIST | UNREGISTER name
+class Registry {
+ public:
+  explicit Registry(std::uint16_t port = 0);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Entries currently registered (server-side view, for tests/tools).
+  std::vector<std::pair<std::string, Endpoint>> entries() const;
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle(net::Socket socket);
+
+  net::ServerSocket server_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Endpoint> names_;
+  std::atomic<bool> stopping_{false};
+  std::jthread acceptor_;
+};
+
+/// Client-side operations against a registry.
+class RegistryClient {
+ public:
+  RegistryClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  void register_name(const std::string& name, const Endpoint& endpoint);
+  void unregister_name(const std::string& name);
+  std::optional<Endpoint> lookup(const std::string& name);
+  std::vector<std::string> list();
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+};
+
+}  // namespace dpn::rmi

@@ -1,0 +1,16 @@
+#include "support/bytes.hpp"
+
+namespace dpn {
+
+std::string to_hex(ByteSpan bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace dpn

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+/// Byte-span aliases and big-endian (network order) packing helpers.
+///
+/// All multi-byte values that cross a channel or a socket in dpn are
+/// big-endian, matching java.io.DataOutputStream, so a process graph's
+/// byte-level history is identical whether a channel is a local pipe or a
+/// socket.
+namespace dpn {
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+using ByteVector = std::vector<std::uint8_t>;
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return (std::uint64_t{get_u32(p)} << 32) | get_u32(p + 4);
+}
+
+/// Bit-exact float<->integer conversions for wire encoding.
+inline std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+inline double bits_to_double(std::uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+inline std::uint32_t float_to_bits(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof bits);
+  return bits;
+}
+
+inline float bits_to_float(std::uint32_t bits) {
+  float f = 0;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+inline ByteSpan as_bytes(const std::string& s) {
+  return ByteSpan{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+inline std::string to_string(ByteSpan b) {
+  return std::string{reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Hex dump used by error messages and tests.
+std::string to_hex(ByteSpan bytes);
+
+}  // namespace dpn

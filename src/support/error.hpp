@@ -1,0 +1,69 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Exception hierarchy used throughout dpn.
+///
+/// The paper's Java implementation drives process termination through
+/// java.io.IOException: closing an InputStream makes the corresponding
+/// OutputStream's next write throw, and exhausting a closed stream makes
+/// reads throw EOFException.  IterativeProcess::run catches IoError and
+/// converts it into a clean stop (see dpn::core::IterativeProcess), so the
+/// distinctions below matter:
+///
+///  * EndOfStream   -- the writer closed and all data has been drained
+///                     (Java: EOFException).  Reads past this point throw.
+///  * ChannelClosed -- the *reader* closed; the writer's next write throws
+///                     (Java: "Pipe broken" IOException).
+///  * NetError      -- socket-level failure (connection reset, bind failure).
+///  * Interrupted   -- a blocking operation was cancelled because the
+///                     surrounding network is shutting down abnormally.
+namespace dpn {
+
+/// Base class for all I/O failures; analogous to java.io.IOException.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when reading past the end of a drained, writer-closed stream.
+class EndOfStream : public IoError {
+ public:
+  EndOfStream() : IoError("end of stream") {}
+  explicit EndOfStream(const std::string& what) : IoError(what) {}
+};
+
+/// Thrown when writing to a channel whose reader has closed.
+class ChannelClosed : public IoError {
+ public:
+  ChannelClosed() : IoError("channel closed by reader") {}
+  explicit ChannelClosed(const std::string& what) : IoError(what) {}
+};
+
+/// Socket-level failure.
+class NetError : public IoError {
+ public:
+  explicit NetError(const std::string& what) : IoError(what) {}
+};
+
+/// A blocking operation was cancelled (network shutdown, monitor abort).
+class Interrupted : public IoError {
+ public:
+  Interrupted() : IoError("interrupted") {}
+  explicit Interrupted(const std::string& what) : IoError(what) {}
+};
+
+/// Malformed or unknown data in an object stream.
+class SerializationError : public IoError {
+ public:
+  explicit SerializationError(const std::string& what) : IoError(what) {}
+};
+
+/// Misuse of an API (programming error, not an I/O condition).
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace dpn

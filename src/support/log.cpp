@@ -1,0 +1,62 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace dpn::log {
+namespace {
+
+Level level_from_env() {
+  const char* env = std::getenv("DPN_LOG");
+  if (env == nullptr) return Level::kOff;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  return Level::kOff;
+}
+
+std::atomic<Level> g_level{level_from_env()};
+std::mutex g_write_mutex;
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::kError:
+      return "ERROR";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kDebug:
+      return "DEBUG";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) {
+  return static_cast<int>(lvl) <= static_cast<int>(level());
+}
+
+void write(Level lvl, const std::string& message) {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double secs = std::chrono::duration<double>(now).count();
+  const auto tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
+  std::scoped_lock lock{g_write_mutex};
+  std::fprintf(stderr, "[%12.6f %s %04zx] %s\n", secs, name(lvl), tid,
+               message.c_str());
+}
+
+}  // namespace dpn::log

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// Minimal thread-safe logging.
+///
+/// Disabled by default; the runtime and the distributed machinery log at
+/// kDebug, test utilities at kInfo.  Enable with
+/// `dpn::log::set_level(dpn::log::Level::kDebug)` or the DPN_LOG
+/// environment variable (error|warn|info|debug).
+namespace dpn::log {
+
+enum class Level { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+void set_level(Level level);
+Level level();
+
+/// True when messages at `lvl` would be emitted.
+bool enabled(Level lvl);
+
+/// Emit one line (timestamp, level, thread tag, message) to stderr.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (!enabled(lvl)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(const Args&... args) {
+  detail::emit(Level::kError, args...);
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  detail::emit(Level::kWarn, args...);
+}
+template <typename... Args>
+void info(const Args&... args) {
+  detail::emit(Level::kInfo, args...);
+}
+template <typename... Args>
+void debug(const Args&... args) {
+  detail::emit(Level::kDebug, args...);
+}
+
+}  // namespace dpn::log

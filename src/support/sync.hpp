@@ -1,0 +1,111 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/error.hpp"
+
+/// Small synchronization helpers built on mutex + condition_variable.
+/// (Per CP.42, every wait has a predicate; per CP.20, locks are RAII.)
+namespace dpn {
+
+/// One-shot event: set() releases every current and future wait().
+class Event {
+ public:
+  void set() {
+    {
+      std::scoped_lock lock{mutex_};
+      set_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool is_set() const {
+    std::scoped_lock lock{mutex_};
+    return set_;
+  }
+
+  void wait() const {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [&] { return set_; });
+  }
+
+  /// Returns false on timeout.
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> d) const {
+    std::unique_lock lock{mutex_};
+    return cv_.wait_for(lock, d, [&] { return set_; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool set_ = false;
+};
+
+/// Unbounded multi-producer multi-consumer queue with close semantics.
+/// pop() blocks until an item is available or the queue is closed *and*
+/// drained, in which case it returns nullopt.  Used by the Turnstile
+/// process to merge worker results in arrival order.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Returns false if the queue was already closed (item dropped).
+  bool push(T item) {
+    {
+      std::scoped_lock lock{mutex_};
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock{mutex_};
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock{mutex_};
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock{mutex_};
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock{mutex_};
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dpn

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/network.hpp"
+#include "dist/ddm.hpp"
+#include "dist/ship.hpp"
+#include "io/data.hpp"
+#include "processes/arith.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "processes/merge.hpp"
+
+/// Distributed deadlock management (paper Section 6.2, implemented): a
+/// coordinator aggregates per-node stall state and applies Parks' rule
+/// fleet-wide, or detects true distributed deadlock and aborts the fleet.
+namespace dpn::dist {
+namespace {
+
+using core::Channel;
+using core::Network;
+using processes::Add;
+using processes::Collect;
+using processes::CollectSink;
+using processes::Cons;
+using processes::Constant;
+using processes::Duplicate;
+using processes::Identity;
+using processes::Sequence;
+
+TEST(Coordinator, AgentsConnectAndDetach) {
+  DeadlockCoordinator coordinator;
+  auto node = NodeContext::create();
+  Network network;
+  network.add(std::make_shared<Constant>(
+      1, std::make_shared<Channel>(64)->output(), 1));
+  {
+    MonitorAgent agent{"solo", network, node, "127.0.0.1",
+                       coordinator.port()};
+    while (coordinator.agents_connected() < 1) std::this_thread::yield();
+  }
+  coordinator.stop();
+  EXPECT_EQ(coordinator.outcome(), FleetOutcome::kNone);
+}
+
+TEST(Coordinator, HealthyFleetTriggersNothing) {
+  // A flowing pipeline never satisfies the stability test.
+  DeadlockCoordinator coordinator;
+  auto node = NodeContext::create();
+  Network network;
+  auto ch = network.make_channel(64);
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  network.add(std::make_shared<Sequence>(0, ch->output(), 3000));
+  network.add(std::make_shared<Collect>(ch->input(), sink));
+  MonitorAgent agent{"healthy", network, node, "127.0.0.1",
+                     coordinator.port()};
+  network.run();
+  agent.stop();
+  coordinator.stop();
+  EXPECT_EQ(sink->size(), 3000u);
+  // A sampling race can very occasionally issue a (harmless) growth
+  // command; what must never happen on a healthy fleet is a deadlock
+  // verdict.
+  EXPECT_NE(coordinator.outcome(), FleetOutcome::kTrueDeadlock);
+}
+
+TEST(Coordinator, ResolvesDistributedArtificialDeadlock) {
+  // Figure 13, cut across two machines: the route runs on node A, the
+  // ordered merge on node B, and the channels between them are *bounded*
+  // remote channels with tiny flow-control windows.  The route wedges
+  // writing the crowded stream (window exhausted) while the merge waits
+  // for the sparse one -- an artificial deadlock no single node can see.
+  // The coordinator detects the fleet-wide stall and grows the remote
+  // windows until the run completes.
+  DeadlockCoordinator::Options options;
+  options.poll_interval = std::chrono::milliseconds{2};
+  DeadlockCoordinator coordinator{options};
+
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  node_a->set_remote_window(32);  // 4 elements: far less than the N-1=9
+  node_b->set_remote_window(32);  // needed by the Figure 13 imbalance
+
+  constexpr std::int64_t kN = 10;
+  constexpr long kTotal = 200;
+  auto source = std::make_shared<Channel>(4096, "source");
+  auto multiples = std::make_shared<Channel>(4096, "multiples");
+  auto others = std::make_shared<Channel>(4096, "others");
+  auto merged = std::make_shared<Channel>(4096, "merged");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+  // The merge moves to node B; multiples/others cross A->B and merged
+  // crosses B->A back to the collector.
+  auto moving = std::make_shared<processes::OrderedMerge>(
+      std::vector{multiples->input(), others->input()}, merged->output(),
+      /*eliminate_duplicates=*/false);
+  const ByteVector shipment = ship_process(node_a, moving);
+
+  Network network_a;
+  network_a.watch(source);
+  network_a.add(std::make_shared<Sequence>(1, source->output(), kTotal));
+  network_a.add(std::make_shared<processes::RouteByDivisibility>(
+      source->input(), multiples->output(), others->output(), kN));
+  network_a.add(std::make_shared<Collect>(merged->input(), sink));
+
+  Network network_b;
+  network_b.add(receive_process(node_b, {shipment.data(), shipment.size()}));
+
+  MonitorAgent agent_a{"node-a", network_a, node_a, "127.0.0.1",
+                       coordinator.port()};
+  MonitorAgent agent_b{"node-b", network_b, node_b, "127.0.0.1",
+                       coordinator.port()};
+
+  network_a.start();
+  network_b.start();
+  network_a.join();
+  network_b.join();
+  agent_a.stop();
+  agent_b.stop();
+  coordinator.stop();
+
+  ASSERT_EQ(sink->size(), static_cast<std::size_t>(kTotal));
+  const auto values = sink->values();
+  for (long i = 0; i < kTotal; ++i) EXPECT_EQ(values[i], i + 1);
+  EXPECT_EQ(coordinator.outcome(), FleetOutcome::kGrown);
+  EXPECT_GE(coordinator.growth_commands(), 1u);
+}
+
+TEST(Coordinator, DetectsTrueDistributedDeadlock) {
+  // Two nodes, each hosting an Echo that first reads from the other: both
+  // block on remote reads with nothing in flight.  No local monitor can
+  // tell this apart from waiting on a busy peer; the coordinator can, and
+  // aborts the fleet instead of letting it hang.
+  DeadlockCoordinator::Options options;
+  options.poll_interval = std::chrono::milliseconds{2};
+  DeadlockCoordinator coordinator{options};
+
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ab = std::make_shared<Channel>(64, "ab");
+  auto ba = std::make_shared<Channel>(64, "ba");
+
+  // Echo at B: reads ab, writes ba.  Ship both endpoints it holds.
+  auto echo_b = std::make_shared<Identity>(ab->input(), ba->output());
+  const ByteVector shipment = ship_process(node_a, echo_b);
+
+  Network network_a;
+  // Echo at A: reads ba, writes ab -- but reads first, so nobody ever
+  // writes and the fleet deadlocks for real.
+  class ReadFirstEcho final : public core::IterativeProcess {
+   public:
+    ReadFirstEcho(std::shared_ptr<core::ChannelInputStream> in,
+                  std::shared_ptr<core::ChannelOutputStream> out) {
+      track_input(std::move(in));
+      track_output(std::move(out));
+    }
+    std::string type_name() const override { return "test.ReadFirstEcho"; }
+    void write_fields(serial::ObjectOutputStream&) const override {
+      throw SerializationError{"local-only"};
+    }
+
+   protected:
+    void step() override {
+      io::DataInputStream in{input(0)};
+      io::DataOutputStream out{output(0)};
+      out.write_i64(in.read_i64());
+    }
+  };
+  network_a.add(std::make_shared<ReadFirstEcho>(ba->input(), ab->output()));
+
+  Network network_b;
+  network_b.add(receive_process(node_b, {shipment.data(), shipment.size()}));
+
+  MonitorAgent agent_a{"node-a", network_a, node_a, "127.0.0.1",
+                       coordinator.port()};
+  MonitorAgent agent_b{"node-b", network_b, node_b, "127.0.0.1",
+                       coordinator.port()};
+
+  network_a.start();
+  network_b.start();
+  network_a.join();  // returns because the coordinator aborts the fleet
+  network_b.join();
+  agent_a.stop();
+  agent_b.stop();
+  coordinator.stop();
+
+  EXPECT_EQ(coordinator.outcome(), FleetOutcome::kTrueDeadlock);
+}
+
+}  // namespace
+}  // namespace dpn::dist

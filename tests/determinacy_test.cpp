@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/network.hpp"
+#include "dist/ship.hpp"
+#include "processes/arith.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "processes/merge.hpp"
+#include "processes/sieve.hpp"
+#include "support/rng.hpp"
+
+/// Kahn's determinacy theorem, attacked operationally: the same program
+/// graph run under wildly different buffer sizes, scheduling pressure,
+/// artificial jitter, and physical distribution must produce *identical*
+/// channel histories.  Any divergence is a runtime bug, not noise.
+namespace dpn {
+namespace {
+
+using core::Channel;
+using core::MonitorOptions;
+using core::Network;
+using processes::Add;
+using processes::Collect;
+using processes::CollectSink;
+using processes::Cons;
+using processes::Constant;
+using processes::Duplicate;
+using processes::Identity;
+using processes::OrderedMerge;
+using processes::Scale;
+using processes::Sequence;
+using processes::Sift;
+
+/// Identity with a pseudo-random per-chunk delay: injects scheduling
+/// jitter without touching data.
+class JitterIdentity final : public core::IterativeProcess {
+ public:
+  JitterIdentity(std::shared_ptr<core::ChannelInputStream> in,
+                 std::shared_ptr<core::ChannelOutputStream> out,
+                 std::uint64_t seed)
+      : rng_(seed) {
+    track_input(std::move(in));
+    track_output(std::move(out));
+  }
+  std::string type_name() const override { return "test.JitterIdentity"; }
+  void write_fields(serial::ObjectOutputStream&) const override {
+    throw SerializationError{"local-only"};
+  }
+
+ protected:
+  void step() override {
+    std::uint8_t buffer[64];
+    const std::size_t n = input(0)->read_some(buffer);
+    if (n == 0) throw EndOfStream{};
+    if (rng_.below(4) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds{rng_.below(200)});
+    }
+    output(0)->write({buffer, n});
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// A composite graph mixing a Fibonacci cycle, a sieve, and an ordered
+/// merge of both streams, with jitter stages injected.  Returns the full
+/// output history.
+std::vector<std::int64_t> run_mixed_graph(std::size_t capacity,
+                                          std::uint64_t jitter_seed) {
+  Network network;
+  const auto ch = [&](const char* label) {
+    return network.make_channel(capacity, label);
+  };
+
+  // Fibonacci half (Figure 2).
+  auto ab = ch("ab"), be = ch("be"), cd = ch("cd"), df = ch("df");
+  auto ed = ch("ed"), eg = ch("eg"), fg = ch("fg"), fh = ch("fh");
+  auto gb = ch("gb");
+  network.add(std::make_shared<Constant>(1, ab->output(), 1));
+  network.add(std::make_shared<Cons>(ab->input(), gb->input(), be->output()));
+  network.add(
+      std::make_shared<Duplicate>(be->input(), ed->output(), eg->output()));
+  network.add(std::make_shared<Add>(eg->input(), fg->input(), gb->output()));
+  network.add(std::make_shared<Constant>(1, cd->output(), 1));
+  network.add(std::make_shared<Cons>(cd->input(), ed->input(), df->output()));
+  network.add(
+      std::make_shared<Duplicate>(df->input(), fh->output(), fg->output()));
+
+  // Sieve half (Figure 7), scaled so its values interleave with the
+  // Fibonacci numbers in the merge.
+  auto numbers = ch("numbers"), primes = ch("primes"), scaled = ch("scaled");
+  network.add(std::make_shared<Sequence>(2, numbers->output(), 80));
+  network.add(std::make_shared<Sift>(numbers->input(), primes->output()));
+  network.add(std::make_shared<Scale>(primes->input(), scaled->output(), 3));
+
+  // Jitter both streams, then merge them deterministically.
+  auto fib_jittered = ch("fibj"), sieve_jittered = ch("sievej");
+  network.add(std::make_shared<JitterIdentity>(fh->input(),
+                                               fib_jittered->output(),
+                                               jitter_seed));
+  network.add(std::make_shared<JitterIdentity>(scaled->input(),
+                                               sieve_jittered->output(),
+                                               jitter_seed * 31 + 7));
+
+  auto merged = ch("merged");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  network.add(std::make_shared<OrderedMerge>(
+      std::vector{fib_jittered->input(), sieve_jittered->input()},
+      merged->output()));
+  network.add(std::make_shared<Collect>(merged->input(), sink, 40));
+
+  network.enable_monitor(MonitorOptions{});
+  network.run();
+  return sink->values();
+}
+
+/// Closed-form oracle for the mixed graph: the OrderedMerge semantics
+/// applied to the Fibonacci history and the scaled prime stream.
+std::vector<std::int64_t> mixed_graph_oracle(std::size_t count) {
+  std::vector<std::int64_t> fib;
+  for (std::int64_t a = 1, b = 1; fib.size() < 4 * count;) {
+    fib.push_back(a);
+    const std::int64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  std::vector<std::int64_t> sieve;
+  for (std::int64_t candidate = 2; candidate <= 81; ++candidate) {
+    bool prime = true;
+    for (std::int64_t d = 2; d * d <= candidate; ++d) {
+      if (candidate % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) sieve.push_back(3 * candidate);
+  }
+  // Replay OrderedMerge: emit the least head, advance every input whose
+  // head equals it (inputs past their end are exhausted).
+  std::vector<std::int64_t> out;
+  std::size_t i = 0, j = 0;
+  while (out.size() < count) {
+    std::optional<std::int64_t> least;
+    if (i < fib.size() && (!least || fib[i] < *least)) least = fib[i];
+    if (j < sieve.size() && (!least || sieve[j] < *least)) least = sieve[j];
+    if (!least) break;
+    out.push_back(*least);
+    if (i < fib.size() && fib[i] == *least) ++i;
+    if (j < sieve.size() && sieve[j] == *least) ++j;
+  }
+  return out;
+}
+
+class MixedGraphDeterminacy
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MixedGraphDeterminacy, HistoryMatchesOracle) {
+  const auto [capacity, seed] = GetParam();
+  const auto values = run_mixed_graph(capacity, seed);
+  ASSERT_EQ(values.size(), 40u);
+  EXPECT_EQ(values, mixed_graph_oracle(40))
+      << "capacity " << capacity << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitiesAndSeeds, MixedGraphDeterminacy,
+    ::testing::Combine(::testing::Values(16, 64, 256, 4096),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Determinacy, DistributedRunMatchesLocalRun) {
+  // The same three-stage pipeline, run (a) in one address space and
+  // (b) split across two nodes with a socket in the middle.  Histories
+  // must match element-for-element.
+  const auto run_once = [](bool distributed) {
+    auto node_a = dist::NodeContext::create();
+    auto node_b = dist::NodeContext::create();
+    auto ch1 = std::make_shared<Channel>(128);
+    auto ch2 = std::make_shared<Channel>(128);
+    auto ch3 = std::make_shared<Channel>(128);
+    auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+    auto source = std::make_shared<Sequence>(-50, ch1->output(), 300);
+    auto stage1 = std::make_shared<Scale>(ch1->input(), ch2->output(), -7);
+    std::shared_ptr<core::Process> stage2 =
+        std::make_shared<Identity>(ch2->input(), ch3->output());
+    auto drain = std::make_shared<Collect>(ch3->input(), sink);
+
+    if (distributed) {
+      const ByteVector shipment = dist::ship_process(node_a, stage2);
+      stage2 = dist::receive_process(node_b, {shipment.data(),
+                                              shipment.size()});
+    }
+    std::jthread t1{[&] { source->run(); }};
+    std::jthread t2{[&] { stage1->run(); }};
+    std::jthread t3{[&] { stage2->run(); }};
+    drain->run();
+    return sink->values();
+  };
+  const auto local = run_once(false);
+  const auto remote = run_once(true);
+  ASSERT_EQ(local.size(), 300u);
+  EXPECT_EQ(local, remote);
+}
+
+TEST(Determinacy, ChannelReportReflectsState) {
+  Network network;
+  auto ch = network.make_channel(64, "probe");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  network.add(std::make_shared<Sequence>(0, ch->output(), 4));
+  network.add(std::make_shared<Collect>(ch->input(), sink));
+  network.run();
+  const std::string report = network.channel_report();
+  EXPECT_NE(report.find("probe"), std::string::npos);
+  EXPECT_NE(report.find("writer closed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpn

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/network.hpp"
+#include "dist/node.hpp"
+#include "dist/remote_streams.hpp"
+#include "dist/ship.hpp"
+#include "io/data.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "processes/arith.hpp"
+
+namespace dpn::dist {
+namespace {
+
+using core::Channel;
+using core::CompositeProcess;
+using processes::Add;
+using processes::Collect;
+using processes::CollectSink;
+using processes::Constant;
+using processes::Cons;
+using processes::Duplicate;
+using processes::Identity;
+using processes::Sequence;
+
+// --- Rendezvous ---------------------------------------------------------------
+
+TEST(Rendezvous, ExpectThenDial) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  auto promise = node_a->rendezvous().expect(42);
+  std::jthread dialer{[&] {
+    net::Socket socket = RendezvousService::dial(
+        "127.0.0.1", node_a->rendezvous().port(), 42, node_b->address());
+    const std::string hello = "hi";
+    socket.write_all(as_bytes(hello));
+  }};
+  net::Socket socket = promise->wait();
+  EXPECT_EQ(promise->dialer().port, node_b->rendezvous().port());
+  ByteVector buffer(2);
+  io::read_fully(*std::make_shared<net::SocketInputStream>(
+                     std::make_shared<net::Socket>(std::move(socket))),
+                 {buffer.data(), buffer.size()});
+  EXPECT_EQ(to_string({buffer.data(), buffer.size()}), "hi");
+}
+
+TEST(Rendezvous, DialBeforeExpectIsParked) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  net::Socket dialed = RendezvousService::dial(
+      "127.0.0.1", node_a->rendezvous().port(), 7, node_b->address());
+  // Give the acceptor time to park the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  auto promise = node_a->rendezvous().expect(7);
+  EXPECT_TRUE(promise->fulfilled());
+  net::Socket socket = promise->wait();
+  EXPECT_TRUE(socket.valid());
+}
+
+TEST(Rendezvous, ForgetCancelsWaiter) {
+  auto node = NodeContext::create();
+  auto promise = node->rendezvous().expect(9);
+  std::jthread canceller{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    node->rendezvous().forget(9);
+  }};
+  EXPECT_THROW(promise->wait(), NetError);
+}
+
+TEST(Rendezvous, TokensAreUnique) {
+  auto node = NodeContext::create();
+  std::set<std::uint64_t> tokens;
+  for (int i = 0; i < 1000; ++i) tokens.insert(node->next_token());
+  EXPECT_EQ(tokens.size(), 1000u);
+}
+
+// --- Shipping a process across a cut channel -----------------------------------
+
+TEST(Ship, MiddleStageMovesToAnotherServer) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch1 = std::make_shared<Channel>(256, "ch1");
+  auto ch2 = std::make_shared<Channel>(256, "ch2");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+  auto source = std::make_shared<Sequence>(0, ch1->output(), 100);
+  auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
+  auto drain = std::make_shared<Collect>(ch2->input(), sink);
+
+  // "Server A" ships the middle stage to "server B": ch1's input endpoint
+  // and ch2's output endpoint both move; both channels become sockets.
+  const ByteVector shipment = ship_process(node_a, middle);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+
+  std::jthread host_b{[&] { remote->run(); }};
+  std::jthread host_src{[&] { source->run(); }};
+  drain->run();
+
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(Ship, UnconsumedBytesTravelWithTheEndpoint) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch1 = std::make_shared<Channel>(4096, "ch1");
+  auto ch2 = std::make_shared<Channel>(4096, "ch2");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+  // Pre-fill ch1 with unconsumed data *before* shipping its consumer.
+  {
+    io::DataOutputStream out{ch1->output()};
+    for (std::int64_t i = 0; i < 10; ++i) out.write_i64(i);
+  }
+  auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
+  auto drain = std::make_shared<Collect>(ch2->input(), sink);
+
+  const ByteVector shipment = ship_process(node_a, middle);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+
+  // More data flows after the reconnect, through the new socket.
+  std::jthread host_b{[&] { remote->run(); }};
+  std::jthread producer{[&] {
+    io::DataOutputStream out{ch1->output()};
+    for (std::int64_t i = 10; i < 20; ++i) out.write_i64(i);
+    ch1->output()->close();
+  }};
+  drain->run();
+
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(values[i], i);  // order preserved
+}
+
+TEST(Ship, InternalChannelStaysLocalPipe) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch_in = std::make_shared<Channel>(256, "in");
+  auto mid = std::make_shared<Channel>(256, "mid");
+  auto ch_out = std::make_shared<Channel>(256, "out");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+  // Pre-fill the internal channel too: its buffered bytes must travel.
+  {
+    io::DataOutputStream out{mid->output()};
+    out.write_i64(-1);
+  }
+
+  auto composite = std::make_shared<CompositeProcess>();
+  composite->add(std::make_shared<Identity>(ch_in->input(), mid->output()));
+  composite->add(std::make_shared<Identity>(mid->input(), ch_out->output()));
+
+  auto source = std::make_shared<Sequence>(0, ch_in->output(), 50);
+  auto drain = std::make_shared<Collect>(ch_out->input(), sink);
+
+  const ByteVector shipment = ship_process(node_a, composite);
+  auto remote = std::dynamic_pointer_cast<CompositeProcess>(
+      receive_process(node_b, {shipment.data(), shipment.size()}));
+  ASSERT_TRUE(remote);
+
+  // The channel between the two shipped stages must be an ordinary local
+  // pipe on server B, not a socket back to A.
+  bool found_internal = false;
+  for (const auto& in : remote->channel_inputs()) {
+    if (in->state()->pipe) found_internal = true;
+  }
+  EXPECT_TRUE(found_internal);
+
+  std::jthread host_b{[&] { remote->run(); }};
+  std::jthread host_src{[&] { source->run(); }};
+  drain->run();
+
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 51u);
+  EXPECT_EQ(values[0], -1);  // the buffered element came through first
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(values[i + 1], i);
+}
+
+TEST(Ship, TerminationCascadesAcrossSockets) {
+  // Consumer-side limit: the local Collect stops first; ChannelClosed
+  // must cross the socket and kill the remote producer (Section 3.4).
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output());  // unbounded
+  auto drain = std::make_shared<Collect>(ch->input(), sink, 10);
+
+  const ByteVector shipment = ship_process(node_a, source);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+
+  std::jthread host_b{[&] { remote->run(); }};
+  drain->run();
+  host_b.join();  // must terminate, not run forever
+
+  ASSERT_EQ(sink->size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sink->values()[i], i);
+}
+
+TEST(Ship, ProducerLimitDeliversEofAcrossSockets) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(5, ch->output(), 7);
+  auto drain = std::make_shared<Collect>(ch->input(), sink);  // unbounded
+
+  const ByteVector shipment = ship_process(node_a, source);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+  std::jthread host_b{[&] { remote->run(); }};
+  drain->run();  // stops because FIN arrives after the 7 elements
+
+  EXPECT_EQ(sink->size(), 7u);
+}
+
+TEST(Ship, RedirectBypassesTheMiddleman) {
+  // Paper Figure 15 / Section 4.3: the producer moves A -> B -> C; after
+  // the second move, C talks directly to A (the consumer's node).  The
+  // abandoned B must not be involved -- we verify the stream survives both
+  // moves byte-exactly, and that B's rendezvous sees no successor dial.
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  auto node_c = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output(), 200);
+  auto drain = std::make_shared<Collect>(ch->input(), sink);
+
+  // Move to B (establishes B -> A data connection)...
+  const ByteVector to_b = ship_process(node_a, source);
+  auto at_b = receive_process(node_b, {to_b.data(), to_b.size()});
+  // ... and immediately onward to C (B tells A in-band to expect C).
+  const ByteVector to_c = ship_process(node_b, at_b);
+  auto at_c = receive_process(node_c, {to_c.data(), to_c.size()});
+
+  std::jthread host_c{[&] { at_c->run(); }};
+  drain->run();
+
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(Ship, RedirectWithTrafficInFlight) {
+  // Harder: B runs for a while (data flowing A<-B), then the producer is
+  // shipped onward mid-stream.  Bytes already sent, bytes buffered, and
+  // bytes yet to be produced must all arrive exactly once, in order.
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  auto node_c = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output(), 300);
+  auto drain = std::make_shared<Collect>(ch->input(), sink);
+
+  const ByteVector to_b = ship_process(node_a, source);
+  auto at_b = std::dynamic_pointer_cast<processes::Sequence>(
+      receive_process(node_b, {to_b.data(), to_b.size()}));
+  ASSERT_TRUE(at_b);
+
+  // Let B produce the first chunk of the stream.
+  std::jthread drainer{[&] { drain->run(); }};
+  {
+    // Run 100 iterations "manually" at B by writing through its endpoint.
+    io::DataOutputStream out{at_b->channel_outputs()[0]};
+    for (std::int64_t i = 0; i < 100; ++i) out.write_i64(i);
+  }
+  while (sink->size() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+
+  // Now ship a fresh producer for the remainder from B to C over the same
+  // channel endpoint (the Sequence at B still holds it).
+  auto tail = std::make_shared<Sequence>(100, at_b->channel_outputs()[0], 200);
+  const ByteVector to_c = ship_process(node_b, tail);
+  auto at_c = receive_process(node_c, {to_c.data(), to_c.size()});
+  std::jthread host_c{[&] { at_c->run(); }};
+
+  drainer.join();
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(Ship, DeadConsumerYieldsDeadEndpoint) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  ch->input()->close();  // consumer is gone before the shipment
+
+  auto source = std::make_shared<Sequence>(0, ch->output());
+  const ByteVector shipment = ship_process(node_a, source);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+  // The remote producer must terminate immediately on its first write.
+  remote->run();
+  SUCCEED();
+}
+
+TEST(Ship, FinishedProducerShipsBufferOnly) {
+  // The producer closed before the shipment: the moving consumer carries
+  // only the residual bytes (live = false, no socket at all) and ends
+  // cleanly after draining them.
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto out2 = std::make_shared<Channel>(256, "out2");
+  {
+    io::DataOutputStream out{ch->output()};
+    for (std::int64_t i = 0; i < 5; ++i) out.write_i64(i * 11);
+    ch->output()->close();  // producer done before the shipment
+  }
+  auto mover = std::make_shared<Identity>(ch->input(), out2->output());
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto drain = std::make_shared<Collect>(out2->input(), sink);
+
+  const ByteVector shipment = ship_process(node_a, mover);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+  std::jthread host_b{[&] { remote->run(); }};
+  drain->run();
+  const auto values = sink->values();
+  ASSERT_EQ(values.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(values[i], i * 11);
+}
+
+TEST(Ship, EndpointCannotShipTwice) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output(), 1);
+  auto drain = std::make_shared<Collect>(ch->input(), sink, 1);
+  const ByteVector first = ship_process(node_a, source);
+  EXPECT_THROW(ship_process(node_a, source), SerializationError);
+  // Unblock the pending connection so teardown is clean.
+  auto remote = receive_process(node_b, {first.data(), first.size()});
+  std::jthread host{[&] { remote->run(); }};
+  drain->run();
+}
+
+TEST(Ship, ReceivingEndpointOfRemoteProducerCannotMove) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+  auto ch = std::make_shared<Channel>(256, "ch");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output(), 3);
+  auto drain = std::make_shared<Collect>(ch->input(), sink);
+
+  const ByteVector shipment = ship_process(node_a, source);
+  // The input endpoint's producer is now remote; re-shipping the consumer
+  // is documented future work (paper Section 6.1).
+  auto holder = std::make_shared<Identity>(
+      ch->input(), std::make_shared<Channel>(16)->output());
+  EXPECT_THROW(ship_process(node_a, holder), SerializationError);
+
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+  std::jthread host{[&] { remote->run(); }};
+  drain->run();
+  EXPECT_EQ(sink->size(), 3u);
+}
+
+TEST(Ship, WithoutContextThrows) {
+  auto ch = std::make_shared<Channel>(16);
+  auto source = std::make_shared<Sequence>(0, ch->output(), 1);
+  ensure_hooks_installed();
+  EXPECT_THROW(serial::to_bytes(source), UsageError);
+}
+
+// --- Figure 14: Fibonacci partitioned across two servers ------------------------
+
+TEST(Ship, DistributedFibonacciMatchesLocal) {
+  auto node_a = NodeContext::create();
+  auto node_b = NodeContext::create();
+
+  const std::size_t cap = 4096;
+  auto ab = std::make_shared<Channel>(cap, "ab");
+  auto be = std::make_shared<Channel>(cap, "be");
+  auto cd = std::make_shared<Channel>(cap, "cd");
+  auto df = std::make_shared<Channel>(cap, "df");
+  auto ed = std::make_shared<Channel>(cap, "ed");
+  auto eg = std::make_shared<Channel>(cap, "eg");
+  auto fg = std::make_shared<Channel>(cap, "fg");
+  auto fh = std::make_shared<Channel>(cap, "fh");
+  auto gb = std::make_shared<Channel>(cap, "gb");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+  // Partition: the lower half of Figure 2 (Constant cd, Cons df,
+  // Duplicate f) moves to server B; everything else stays on A.
+  auto moving = std::make_shared<CompositeProcess>();
+  moving->add(std::make_shared<Constant>(1, cd->output(), 1));
+  moving->add(std::make_shared<Cons>(cd->input(), ed->input(), df->output()));
+  moving->add(
+      std::make_shared<Duplicate>(df->input(), fh->output(), fg->output()));
+
+  auto staying = std::make_shared<CompositeProcess>();
+  staying->add(std::make_shared<Constant>(1, ab->output(), 1));
+  staying->add(std::make_shared<Cons>(ab->input(), gb->input(), be->output()));
+  staying->add(
+      std::make_shared<Duplicate>(be->input(), ed->output(), eg->output()));
+  staying->add(std::make_shared<Add>(eg->input(), fg->input(), gb->output()));
+  staying->add(std::make_shared<Collect>(fh->input(), sink, 20));
+
+  const ByteVector shipment = ship_process(node_a, moving);
+  auto remote = receive_process(node_b, {shipment.data(), shipment.size()});
+
+  std::jthread host_b{[&] { remote->run(); }};
+  staying->run();
+
+  std::vector<std::int64_t> expected;
+  std::int64_t x = 1, y = 1;
+  for (int i = 0; i < 20; ++i) {
+    expected.push_back(x);
+    const std::int64_t next = x + y;
+    x = y;
+    y = next;
+  }
+  EXPECT_EQ(sink->values(), expected);
+}
+
+}  // namespace
+}  // namespace dpn::dist

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "factor/factor.hpp"
+#include "par/schema.hpp"
+
+namespace dpn::factor {
+namespace {
+
+TEST(FactorProblem, GeneratedInstanceIsConsistent) {
+  const auto problem = FactorProblem::generate(/*seed=*/1, /*prime_bits=*/96,
+                                               /*total_tasks=*/8);
+  const BigInt q = problem.p + BigInt{static_cast<std::int64_t>(problem.d_true)};
+  EXPECT_EQ(problem.p * q, problem.n);
+  EXPECT_EQ(problem.d_true % 2, 0u);
+  // The true difference lies inside the final batch of 32 even values.
+  EXPECT_GE(problem.d_true, 2u * 32u * 7u);
+  EXPECT_LT(problem.d_true, 2u * 32u * 8u);
+}
+
+TEST(FactorProblem, DeterministicPerSeed) {
+  const auto a = FactorProblem::generate(7, 64, 4);
+  const auto b = FactorProblem::generate(7, 64, 4);
+  EXPECT_EQ(a.n, b.n);
+  const auto c = FactorProblem::generate(8, 64, 4);
+  EXPECT_NE(a.n, c.n);
+}
+
+TEST(ScanDifferences, FindsFactorInItsBatch) {
+  const auto problem = FactorProblem::generate(2, 80, 6);
+  // The batch containing d_true finds it...
+  const std::uint64_t batch_start = (problem.d_true / 64) * 64;
+  const auto found = scan_differences(problem.n, batch_start, 32);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, problem.p);
+  // ... and the batch before it does not.
+  if (batch_start >= 64) {
+    EXPECT_FALSE(scan_differences(problem.n, batch_start - 64, 32));
+  }
+}
+
+TEST(ScanDifferences, HandlesZeroDifference) {
+  // N = P^2: found at D = 0.
+  Xoshiro256 rng{3};
+  const BigInt p = BigInt::random_prime(rng, 64);
+  const auto found = scan_differences(p * p, 0, 1);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, p);
+}
+
+TEST(ScanDifferences, NoFalsePositives) {
+  // A product of two primes of very different sizes has no small-D
+  // factorization.
+  Xoshiro256 rng{4};
+  const BigInt p = BigInt::random_prime(rng, 40);
+  const BigInt q = BigInt::random_prime(rng, 80);
+  EXPECT_FALSE(scan_differences(p * q, 0, 256).has_value());
+}
+
+TEST(Tasks, ProducerYieldsExactlyTotalTasks) {
+  const auto problem = FactorProblem::generate(5, 64, 5);
+  FactorProducerTask producer{problem.n, 5};
+  std::uint64_t expected_d = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto task =
+        std::dynamic_pointer_cast<FactorWorkerTask>(producer.run());
+    ASSERT_TRUE(task);
+    EXPECT_EQ(task->d_start(), expected_d);
+    EXPECT_EQ(task->count(), 32u);
+    expected_d += 64;
+  }
+  EXPECT_EQ(producer.run(), nullptr);
+}
+
+TEST(Tasks, WorkerTaskSerializationRoundTrip) {
+  const auto problem = FactorProblem::generate(6, 128, 3);
+  auto task = std::make_shared<FactorWorkerTask>(problem.n, 128, 32);
+  const ByteVector bytes = serial::to_bytes(task);
+  auto restored =
+      serial::from_bytes_as<FactorWorkerTask>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->d_start(), 128u);
+  EXPECT_EQ(restored->count(), 32u);
+}
+
+TEST(Sequential, FindsTheFactor) {
+  const auto problem = FactorProblem::generate(9, 96, 6);
+  const auto found = run_sequential(problem.n, 6);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, problem.p);
+}
+
+TEST(Sequential, MissesWhenSearchTooShort) {
+  const auto problem = FactorProblem::generate(10, 96, 6);
+  EXPECT_FALSE(run_sequential(problem.n, 5).has_value());  // one batch short
+}
+
+class FactorNetwork : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FactorNetwork, ParallelSearchFindsFactor) {
+  // The full Section 5.2 experiment in miniature: producer/worker/consumer
+  // over MetaDynamic; the consumer observer records the found factor.
+  const std::size_t workers = GetParam();
+  const auto problem = FactorProblem::generate(11, 96, 12);
+
+  std::mutex mutex;
+  std::optional<BigInt> found;
+  std::size_t results = 0;
+  auto observer = [&](const std::shared_ptr<core::Task>& task) {
+    auto result = std::dynamic_pointer_cast<FactorResultTask>(task);
+    ASSERT_TRUE(result);
+    std::scoped_lock lock{mutex};
+    ++results;
+    if (result->found) found = result->p;
+  };
+  auto graph = par::pipeline(
+      std::make_shared<FactorProducerTask>(problem.n, 12), observer,
+      [&](auto in, auto out) {
+        return par::meta_dynamic(std::move(in), std::move(out), workers);
+      });
+  graph->run();
+
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, problem.p);
+  EXPECT_EQ(results, 12u);
+}
+
+TEST_P(FactorNetwork, StaticAndDynamicAgree) {
+  const std::size_t workers = GetParam();
+  const auto problem = FactorProblem::generate(13, 80, 8);
+
+  auto run_with = [&](bool dynamic) {
+    std::mutex mutex;
+    std::vector<std::uint64_t> batch_order;
+    std::optional<BigInt> found;
+    auto observer = [&](const std::shared_ptr<core::Task>& task) {
+      auto result = std::dynamic_pointer_cast<FactorResultTask>(task);
+      std::scoped_lock lock{mutex};
+      batch_order.push_back(result->d_start);
+      if (result->found) found = result->p;
+    };
+    auto graph = par::pipeline(
+        std::make_shared<FactorProducerTask>(problem.n, 8), observer,
+        [&](auto in, auto out) {
+          return dynamic
+                     ? par::meta_dynamic(std::move(in), std::move(out), workers)
+                     : par::meta_static(std::move(in), std::move(out), workers);
+        });
+    graph->run();
+    return std::pair{batch_order, found};
+  };
+
+  const auto [static_order, static_found] = run_with(false);
+  const auto [dynamic_order, dynamic_found] = run_with(true);
+  // Identical results in identical order (Section 5's equivalence claim).
+  EXPECT_EQ(static_order, dynamic_order);
+  ASSERT_TRUE(static_found.has_value());
+  ASSERT_TRUE(dynamic_found.has_value());
+  EXPECT_EQ(*static_found, *dynamic_found);
+  EXPECT_EQ(*static_found, problem.p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, FactorNetwork, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace dpn::factor

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/network.hpp"
+#include "dist/node.hpp"
+#include "dist/remote_streams.hpp"
+#include "dist/ship.hpp"
+#include "io/memory.hpp"
+#include "image/codec.hpp"
+#include "net/frames.hpp"
+#include "par/generic.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "rmi/compute_server.hpp"
+#include "rmi/registry.hpp"
+#include "serial/serial.hpp"
+
+/// Failure injection: sockets killed mid-stream, corrupt and truncated
+/// wire data, dead infrastructure, double closes, hostile inputs.  The
+/// invariant under test everywhere: failures surface as IoError-family
+/// exceptions (which the runtime converts into clean process stops and
+/// cascading termination) -- never as crashes, hangs, or silent
+/// corruption.
+namespace dpn {
+namespace {
+
+using core::Channel;
+using processes::Collect;
+using processes::CollectSink;
+using processes::Identity;
+using processes::Sequence;
+
+// --- Socket-level failures -------------------------------------------------------
+
+TEST(Failure, SocketKilledMidStreamStopsConsumerCleanly) {
+  // A producer's node dies (socket hard-closed without FIN); the consumer
+  // sees end-of-stream after the delivered prefix, not a crash.
+  auto node_a = dist::NodeContext::create();
+  auto node_b = dist::NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256);
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch->output());  // unbounded
+  auto drain = std::make_shared<Collect>(ch->input(), sink);
+
+  const ByteVector shipment = dist::ship_process(node_a, source);
+  auto remote = std::dynamic_pointer_cast<core::IterativeProcess>(
+      dist::receive_process(node_b, {shipment.data(), shipment.size()}));
+  ASSERT_TRUE(remote);
+
+  std::jthread host_b{[&] { remote->run(); }};
+  std::jthread drainer{[&] { drain->run(); }};
+  while (sink->size() < 20) std::this_thread::yield();
+
+  // Kill the producer the hard way: park it, then drop every reference
+  // (its socket closes with the object graph; no FIN frame is sent).
+  remote->request_pause();
+  ASSERT_TRUE(remote->await_pause());
+  remote->abandon();
+  host_b.join();
+  remote.reset();
+
+  drainer.join();  // EOF after the prefix; Collect stops gracefully
+  EXPECT_GE(sink->size(), 20u);
+  const auto values = sink->values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<std::int64_t>(i));  // prefix intact
+  }
+}
+
+TEST(Failure, ConsumerNodeVanishesKillsProducer) {
+  // The inverse: the consumer is dropped; the producer's next write gets
+  // ChannelClosed and the graph terminates instead of spinning.
+  auto node_a = dist::NodeContext::create();
+  auto node_b = dist::NodeContext::create();
+
+  auto ch = std::make_shared<Channel>(256);
+  auto drain = std::make_shared<processes::Print>(ch->input());
+  const ByteVector shipment = dist::ship_process(node_a, drain);
+  auto remote = dist::receive_process(node_b, {shipment.data(),
+                                               shipment.size()});
+
+  // Do not run the remote consumer at all; just destroy it.
+  remote.reset();
+
+  auto source = std::make_shared<Sequence>(0, ch->output());  // unbounded
+  source->run();  // must terminate via ChannelClosed, not hang
+  SUCCEED();
+}
+
+// --- Corrupt wire data ---------------------------------------------------------
+
+TEST(Failure, SerializerNeverCrashesOnTruncation) {
+  // Property: every prefix of a valid object stream either decodes to the
+  // object (full length) or throws IoError -- never UB, never success.
+  auto point_bytes = [] {
+    auto sink = std::make_shared<io::MemoryOutputStream>();
+    serial::ObjectOutputStream out{sink};
+    out.write_object(std::make_shared<par::StopSignal>());
+    return sink->take();
+  }();
+  for (std::size_t cut = 0; cut < point_bytes.size(); ++cut) {
+    ByteVector prefix{point_bytes.begin(),
+                      point_bytes.begin() + static_cast<std::ptrdiff_t>(cut)};
+    EXPECT_THROW(serial::from_bytes({prefix.data(), prefix.size()}), IoError)
+        << "cut at " << cut;
+  }
+  EXPECT_NO_THROW(
+      serial::from_bytes({point_bytes.data(), point_bytes.size()}));
+}
+
+TEST(Failure, SerializerSurvivesBitFlips) {
+  auto bytes = [] {
+    auto sink = std::make_shared<io::MemoryOutputStream>();
+    serial::ObjectOutputStream out{sink};
+    out.write_object(std::make_shared<par::StopSignal>());
+    return sink->take();
+  }();
+  // Flip every bit position once; decoding must either throw IoError or
+  // produce some object -- and never crash.
+  for (std::size_t i = 0; i < bytes.size() * 8; ++i) {
+    ByteVector mutated = bytes;
+    mutated[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    try {
+      auto object = serial::from_bytes({mutated.data(), mutated.size()});
+      (void)object;
+    } catch (const IoError&) {
+    } catch (const std::logic_error&) {
+      // UsageError for pathological lengths is acceptable too.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Failure, FrameReaderRejectsGarbage) {
+  Xoshiro256 rng{404};
+  for (int round = 0; round < 100; ++round) {
+    ByteVector junk(1 + rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    net::FrameReader reader{std::make_shared<io::MemoryInputStream>(junk)};
+    try {
+      for (;;) {
+        net::Frame frame = reader.read_frame();
+        if (frame.type == net::FrameType::kFin) break;
+      }
+    } catch (const IoError&) {
+      // Truncation / oversized-frame rejection: fine.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Failure, ComputeServerSurvivesGarbageConnection) {
+  rmi::ComputeServer server{"garbage-target"};
+  {
+    net::Socket socket = net::Socket::connect("127.0.0.1", server.port());
+    const ByteVector junk{0xff, 0x00, 0x41, 0x42, 0x43};
+    socket.write_all({junk.data(), junk.size()});
+  }  // closed abruptly
+  {
+    // An empty connection (connect + immediate close).
+    net::Socket socket = net::Socket::connect("127.0.0.1", server.port());
+  }
+  // The server still works afterwards.
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server.port()},
+                           nullptr};
+  EXPECT_NO_THROW(handle.ping());
+  server.stop();
+}
+
+TEST(Failure, RendezvousSurvivesGarbageConnection) {
+  auto node = dist::NodeContext::create();
+  {
+    net::Socket socket =
+        net::Socket::connect("127.0.0.1", node->rendezvous().port());
+    const ByteVector junk{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    socket.write_all({junk.data(), junk.size()});
+  }
+  // A legitimate rendezvous still completes afterwards.
+  auto promise = node->rendezvous().expect(55);
+  std::jthread dialer{[&] {
+    dist::RendezvousService::dial("127.0.0.1", node->rendezvous().port(), 55,
+                                  node->address());
+  }};
+  EXPECT_NO_THROW(promise->wait());
+}
+
+// --- Dead infrastructure ----------------------------------------------------------
+
+TEST(Failure, RegistryGoneThrowsCleanly) {
+  std::uint16_t dead_port = 0;
+  {
+    rmi::Registry registry{0};
+    dead_port = registry.port();
+  }  // registry stopped
+  rmi::RegistryClient client{"127.0.0.1", dead_port};
+  EXPECT_THROW(client.lookup("anything"), NetError);
+  EXPECT_THROW(
+      rmi::ServerHandle::lookup("127.0.0.1", dead_port, "x", nullptr),
+      NetError);
+}
+
+TEST(Failure, ServerStopsWhileHostedGraphRuns) {
+  // stop() must wait for the hosted graph to finish, not strand it.
+  auto client_node = dist::NodeContext::create();
+  auto server = std::make_unique<rmi::ComputeServer>("stopper");
+
+  auto ch1 = std::make_shared<Channel>(256);
+  auto ch2 = std::make_shared<Channel>(256);
+  auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server->port()},
+                           client_node};
+  handle.run_async(middle);
+
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto source = std::make_shared<Sequence>(0, ch1->output(), 50);
+  auto drain = std::make_shared<Collect>(ch2->input(), sink);
+  std::jthread src{[&] { source->run(); }};
+  drain->run();
+  ASSERT_EQ(sink->size(), 50u);
+
+  server->stop();  // graph has terminated; stop() returns promptly
+  server.reset();
+  SUCCEED();
+}
+
+// --- API misuse and double operations ----------------------------------------------
+
+TEST(Failure, DoubleCloseIsIdempotent) {
+  Channel channel{64};
+  EXPECT_NO_THROW(channel.output()->close());
+  EXPECT_NO_THROW(channel.output()->close());
+  EXPECT_NO_THROW(channel.input()->close());
+  EXPECT_NO_THROW(channel.input()->close());
+}
+
+TEST(Failure, WriteAfterOwnCloseThrows) {
+  Channel channel{64};
+  channel.output()->close();
+  io::DataOutputStream out{channel.output()};
+  EXPECT_THROW(out.write_i64(1), IoError);
+}
+
+TEST(Failure, ReadAfterOwnCloseThrows) {
+  Channel channel{64};
+  channel.input()->close();
+  io::DataInputStream in{channel.input()};
+  EXPECT_THROW(in.read_i64(), IoError);
+}
+
+TEST(Failure, NetworkAbortUnblocksEverything) {
+  core::Network network;
+  auto ch = network.make_channel(64);
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  network.add(std::make_shared<Sequence>(0, ch->output()));  // unbounded
+  network.add(std::make_shared<Collect>(ch->input(), sink));
+  network.start();
+  while (sink->size() < 10) std::this_thread::yield();
+  network.abort();
+  network.join();  // both processes stop on Interrupted
+  SUCCEED();
+}
+
+TEST(Failure, ImageDecoderRandomFuzz) {
+  // decompress_image on random bytes: throws IoError or succeeds, never
+  // crashes (success is astronomically unlikely but permitted).
+  Xoshiro256 rng{777};
+  for (int round = 0; round < 200; ++round) {
+    ByteVector junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)image::decompress_image({junk.data(), junk.size()});
+    } catch (const IoError&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpn

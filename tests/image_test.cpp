@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "image/codec.hpp"
+#include "image/image.hpp"
+#include "image/tasks.hpp"
+#include "serial/serial.hpp"
+
+namespace dpn::image {
+namespace {
+
+TEST(Image, PixelAccess) {
+  Image img{4, 3};
+  img.set(2, 1, 200);
+  EXPECT_EQ(img.at(2, 1), 200);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.pixels().size(), 12u);
+}
+
+TEST(Image, SyntheticDeterministic) {
+  const Image a = synthetic_image(64, 48, 7);
+  const Image b = synthetic_image(64, 48, 7);
+  const Image c = synthetic_image(64, 48, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Image, BlockGridCoversExactly) {
+  for (const auto& [w, h] : {std::pair<std::size_t, std::size_t>{64, 48},
+                            {65, 48}, {64, 49}, {1, 1}, {15, 17}, {16, 16}}) {
+    const Image img{w, h};
+    const auto grid = block_grid(img, 16);
+    std::size_t covered = 0;
+    for (const BlockRect& rect : grid) {
+      EXPECT_LE(rect.x + rect.width, w);
+      EXPECT_LE(rect.y + rect.height, h);
+      EXPECT_GE(rect.width, 1u);
+      EXPECT_LE(rect.width, 16u);
+      covered += rect.width * rect.height;
+    }
+    EXPECT_EQ(covered, w * h) << w << "x" << h;
+  }
+}
+
+TEST(Image, ExtractInsertRoundTrip) {
+  Image img = synthetic_image(40, 40, 3);
+  Image copy{40, 40};
+  for (const BlockRect& rect : block_grid(img, 16)) {
+    const ByteVector block = extract_block(img, rect);
+    insert_block(copy, rect, {block.data(), block.size()});
+  }
+  EXPECT_EQ(copy, img);
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(CodecRoundTrip, BlockLossless) {
+  const auto [w, h, smoothness] = GetParam();
+  const Image img = synthetic_image(static_cast<std::size_t>(w),
+                                    static_cast<std::size_t>(h),
+                                    static_cast<std::uint64_t>(w * h),
+                                    smoothness);
+  const ByteVector pixels = img.pixels();
+  const ByteVector compressed = compress_block(
+      {pixels.data(), pixels.size()}, img.width(), img.height());
+  std::size_t rw = 0, rh = 0;
+  const ByteVector restored =
+      decompress_block({compressed.data(), compressed.size()}, &rw, &rh);
+  EXPECT_EQ(rw, img.width());
+  EXPECT_EQ(rh, img.height());
+  EXPECT_EQ(restored, pixels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodecRoundTrip,
+    ::testing::Values(std::tuple{16, 16, 1.0}, std::tuple{16, 16, 0.5},
+                      std::tuple{16, 16, 0.0}, std::tuple{1, 1, 1.0},
+                      std::tuple{16, 3, 0.9}, std::tuple{5, 16, 0.9},
+                      std::tuple{255, 2, 0.7}));
+
+TEST(Codec, SmoothBlocksCompress) {
+  // A 16x16 tile of a large smooth image has per-pixel deltas of a few
+  // levels: nibble mode should roughly halve it.
+  const Image big = synthetic_image(256, 256, 5, /*smoothness=*/1.0);
+  const BlockRect rect{64, 64, 16, 16};
+  const ByteVector pixels = extract_block(big, rect);
+  const ByteVector compressed =
+      compress_block({pixels.data(), pixels.size()}, 16, 16);
+  EXPECT_LT(compressed.size(), pixels.size() * 3 / 4);
+}
+
+TEST(Codec, ConstantBlockCompressesHard) {
+  Image img{16, 16};
+  for (auto& p : img.pixels()) p = 77;
+  const ByteVector compressed = compress_block(
+      {img.pixels().data(), img.pixels().size()}, 16, 16);
+  EXPECT_LT(compressed.size(), 10u);  // header + first pixel + one run
+}
+
+TEST(Codec, NoiseFallsBackToRaw) {
+  const Image img = synthetic_image(16, 16, 5, /*smoothness=*/0.0);
+  const ByteVector compressed = compress_block(
+      {img.pixels().data(), img.pixels().size()}, 16, 16);
+  // Raw mode: 3-byte header + pixels, never pathologically larger.
+  EXPECT_LE(compressed.size(), img.pixels().size() + 3);
+}
+
+TEST(Codec, RejectsBadInput) {
+  const ByteVector tiny{1};
+  EXPECT_THROW(decompress_block({tiny.data(), tiny.size()}, nullptr, nullptr),
+               SerializationError);
+  const ByteVector bad_mode{9, 2, 2, 0, 0, 0, 0};
+  EXPECT_THROW(
+      decompress_block({bad_mode.data(), bad_mode.size()}, nullptr, nullptr),
+      SerializationError);
+  ByteVector pixels(10);
+  EXPECT_THROW(compress_block({pixels.data(), pixels.size()}, 3, 3),
+               UsageError);
+}
+
+TEST(Codec, TruncatedRleRejected) {
+  // A constant block has all-zero residuals -> guaranteed RLE mode.
+  Image img{16, 16};
+  for (auto& p : img.pixels()) p = 128;
+  ByteVector compressed = compress_block(
+      {img.pixels().data(), img.pixels().size()}, 16, 16);
+  ASSERT_EQ(compressed[0], 1);  // RLE mode
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(
+      decompress_block({compressed.data(), compressed.size()}, nullptr,
+                       nullptr),
+      SerializationError);
+}
+
+TEST(Codec, ImageArchiveRoundTrip) {
+  for (const double smoothness : {1.0, 0.7, 0.0}) {
+    const Image img = synthetic_image(130, 94, 11, smoothness);
+    const ByteVector archive = compress_image(img);
+    const Image restored = decompress_image({archive.data(), archive.size()});
+    EXPECT_EQ(restored, img);
+  }
+}
+
+TEST(Codec, ArchiveDetectsCorruption) {
+  const Image img = synthetic_image(64, 64, 12);
+  ByteVector archive = compress_image(img);
+  archive[0] ^= 0xff;  // break the magic
+  EXPECT_THROW(decompress_image({archive.data(), archive.size()}),
+               SerializationError);
+}
+
+// --- Tasks and the parallel pipeline -------------------------------------------
+
+TEST(Tasks, BlockTaskProducesDecodableResult) {
+  const Image img = synthetic_image(16, 16, 13);
+  BlockTask task{7, img.pixels(), 16, 16};
+  auto result = std::dynamic_pointer_cast<CompressedBlockTask>(task.run());
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->index(), 7u);
+  const ByteVector pixels = decompress_block(
+      {result->compressed().data(), result->compressed().size()}, nullptr,
+      nullptr);
+  EXPECT_EQ(pixels, img.pixels());
+}
+
+TEST(Tasks, SerializationRoundTrip) {
+  const Image img = synthetic_image(33, 17, 14);
+  auto producer = std::make_shared<ImageProducerTask>(img, 16);
+  producer->run();  // advance one block so mid-run state ships
+  const ByteVector bytes = serial::to_bytes(producer);
+  auto restored =
+      serial::from_bytes_as<ImageProducerTask>({bytes.data(), bytes.size()});
+  // The restored producer continues from block 1, as the original does.
+  auto a = std::dynamic_pointer_cast<BlockTask>(producer->run());
+  auto b = std::dynamic_pointer_cast<BlockTask>(restored->run());
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->index(), b->index());
+}
+
+class ParallelCompress : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelCompress, MatchesSequentialByteForByte) {
+  const std::size_t workers = GetParam();
+  const Image img = synthetic_image(128, 96, 15, 0.8);
+  const ByteVector reference = compress_image(img);
+
+  const ByteVector via_static =
+      compress_image_parallel(img, workers, /*dynamic=*/false);
+  const ByteVector via_dynamic =
+      compress_image_parallel(img, workers, /*dynamic=*/true);
+
+  // The paper's order guarantee, applied: parallel output is identical to
+  // the sequential file, regardless of schema or worker count.
+  EXPECT_EQ(via_static, reference);
+  EXPECT_EQ(via_dynamic, reference);
+
+  const Image restored =
+      decompress_image({via_dynamic.data(), via_dynamic.size()});
+  EXPECT_EQ(restored, img);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelCompress,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace dpn::image

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "io/blocking.hpp"
+#include "io/data.hpp"
+#include "io/memory.hpp"
+#include "io/pipe.hpp"
+#include "io/sequence.hpp"
+#include "support/rng.hpp"
+
+namespace dpn::io {
+namespace {
+
+ByteVector bytes_of(std::initializer_list<int> values) {
+  ByteVector out;
+  for (const int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+// --- Pipe -----------------------------------------------------------------
+
+TEST(Pipe, WriteThenRead) {
+  Pipe pipe{16};
+  const ByteVector data = bytes_of({1, 2, 3});
+  pipe.write({data.data(), data.size()});
+  ByteVector out(3);
+  EXPECT_EQ(pipe.read_some({out.data(), out.size()}), 3u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Pipe, ReadBlocksUntilWrite) {
+  Pipe pipe{16};
+  std::jthread writer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    const ByteVector data = bytes_of({7});
+    pipe.write({data.data(), data.size()});
+  }};
+  std::uint8_t b = 0;
+  EXPECT_EQ(pipe.read_some({&b, 1}), 1u);
+  EXPECT_EQ(b, 7);
+}
+
+TEST(Pipe, WriteBlocksWhenFull) {
+  Pipe pipe{4};
+  const ByteVector data = bytes_of({1, 2, 3, 4});
+  pipe.write({data.data(), data.size()});
+  std::atomic<bool> wrote{false};
+  std::jthread writer{[&] {
+    const ByteVector more = bytes_of({5});
+    pipe.write({more.data(), more.size()});
+    wrote.store(true);
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  EXPECT_FALSE(wrote.load());  // writer is blocked on the full pipe
+  ByteVector out(5);
+  std::size_t got = 0;
+  while (got < 5) got += pipe.read_some({out.data() + got, 5 - got});
+  writer.join();
+  EXPECT_TRUE(wrote.load());
+  EXPECT_EQ(out, bytes_of({1, 2, 3, 4, 5}));
+}
+
+TEST(Pipe, CloseWriteDeliversEofAfterDrain) {
+  Pipe pipe{16};
+  const ByteVector data = bytes_of({1, 2});
+  pipe.write({data.data(), data.size()});
+  pipe.close_write();
+  ByteVector out(2);
+  EXPECT_EQ(pipe.read_some({out.data(), 2}), 2u);
+  std::uint8_t b = 0;
+  EXPECT_EQ(pipe.read_some({&b, 1}), 0u);  // end of stream
+  EXPECT_EQ(pipe.read_some({&b, 1}), 0u);  // sticky
+}
+
+TEST(Pipe, CloseReadMakesWriteThrow) {
+  Pipe pipe{16};
+  pipe.close_read();
+  const ByteVector data = bytes_of({1});
+  EXPECT_THROW(pipe.write({data.data(), data.size()}), ChannelClosed);
+}
+
+TEST(Pipe, CloseReadWakesBlockedWriter) {
+  Pipe pipe{2};
+  const ByteVector data = bytes_of({1, 2});
+  pipe.write({data.data(), data.size()});
+  std::jthread closer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    pipe.close_read();
+  }};
+  const ByteVector more = bytes_of({3});
+  EXPECT_THROW(pipe.write({more.data(), more.size()}), ChannelClosed);
+}
+
+TEST(Pipe, CloseWriteWakesBlockedReader) {
+  Pipe pipe{16};
+  std::jthread closer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    pipe.close_write();
+  }};
+  std::uint8_t b = 0;
+  EXPECT_EQ(pipe.read_some({&b, 1}), 0u);
+}
+
+TEST(Pipe, AbortWakesBothSides) {
+  Pipe pipe{2};
+  const ByteVector data = bytes_of({1, 2});
+  pipe.write({data.data(), data.size()});
+  std::jthread aborter{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    pipe.abort();
+  }};
+  const ByteVector more = bytes_of({3});
+  EXPECT_THROW(pipe.write({more.data(), more.size()}), Interrupted);
+}
+
+TEST(Pipe, GrowUnblocksWriter) {
+  Pipe pipe{2};
+  const ByteVector data = bytes_of({1, 2});
+  pipe.write({data.data(), data.size()});
+  std::atomic<bool> wrote{false};
+  std::jthread writer{[&] {
+    const ByteVector more = bytes_of({3, 4});
+    pipe.write({more.data(), more.size()});
+    wrote.store(true);
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  EXPECT_FALSE(wrote.load());
+  pipe.grow(8);
+  writer.join();
+  EXPECT_TRUE(wrote.load());
+  EXPECT_EQ(pipe.size(), 4u);
+  EXPECT_EQ(pipe.capacity(), 8u);
+}
+
+TEST(Pipe, SetUnboundedUnblocksWriter) {
+  Pipe pipe{1};
+  const ByteVector a = bytes_of({1});
+  pipe.write({a.data(), a.size()});
+  std::jthread writer{[&] {
+    const ByteVector big(100, 9);
+    pipe.write({big.data(), big.size()});
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  pipe.set_unbounded();
+  writer.join();
+  EXPECT_EQ(pipe.size(), 101u);
+}
+
+TEST(Pipe, StealBufferTakesEverythingAndFrees) {
+  Pipe pipe{8};
+  const ByteVector data = bytes_of({1, 2, 3, 4, 5});
+  pipe.write({data.data(), data.size()});
+  const ByteVector stolen = pipe.steal_buffer();
+  EXPECT_EQ(stolen, data);
+  EXPECT_EQ(pipe.size(), 0u);
+}
+
+TEST(Pipe, BlockedCountsVisible) {
+  Pipe pipe{4};
+  EXPECT_EQ(pipe.blocked_readers(), 0u);
+  std::jthread reader{[&] {
+    std::uint8_t b = 0;
+    pipe.read_some({&b, 1});
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  EXPECT_EQ(pipe.blocked_readers(), 1u);
+  const ByteVector data = bytes_of({1});
+  pipe.write({data.data(), data.size()});
+}
+
+/// Property: any split of a byte sequence across writes and reads, at any
+/// capacity, reproduces the sequence exactly (ring wraparound correctness).
+class PipeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipeRoundTrip, PreservesByteSequence) {
+  const std::size_t capacity = GetParam();
+  Pipe pipe{capacity};
+  Xoshiro256 rng{capacity * 7919 + 1};
+  ByteVector sent(4096);
+  for (auto& b : sent) b = static_cast<std::uint8_t>(rng.next());
+
+  std::jthread writer{[&] {
+    Xoshiro256 wrng{capacity};
+    std::size_t off = 0;
+    while (off < sent.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + wrng.below(97), sent.size() - off);
+      pipe.write({sent.data() + off, n});
+      off += n;
+    }
+    pipe.close_write();
+  }};
+
+  ByteVector received;
+  ByteVector chunk(61);
+  for (;;) {
+    const std::size_t n = pipe.read_some({chunk.data(), chunk.size()});
+    if (n == 0) break;
+    received.insert(received.end(), chunk.begin(), chunk.begin() + n);
+  }
+  EXPECT_EQ(received, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PipeRoundTrip,
+                         ::testing::Values(1, 2, 3, 7, 16, 61, 256, 4096));
+
+// --- Memory streams ---------------------------------------------------------
+
+TEST(MemoryStreams, RoundTrip) {
+  MemoryOutputStream out;
+  const ByteVector data = bytes_of({1, 2, 3});
+  out.write({data.data(), data.size()});
+  MemoryInputStream in{out.take()};
+  ByteVector read(3);
+  EXPECT_EQ(in.read_some({read.data(), 3}), 3u);
+  EXPECT_EQ(read, data);
+  EXPECT_EQ(in.read(), -1);
+}
+
+TEST(MemoryStreams, WriteAfterCloseThrows) {
+  MemoryOutputStream out;
+  out.close();
+  const ByteVector data = bytes_of({1});
+  EXPECT_THROW(out.write({data.data(), data.size()}), IoError);
+}
+
+TEST(MemoryStreams, PartialReads) {
+  MemoryInputStream in{bytes_of({1, 2, 3, 4, 5})};
+  ByteVector buffer(2);
+  EXPECT_EQ(in.read_some({buffer.data(), 2}), 2u);
+  EXPECT_EQ(in.remaining(), 3u);
+  EXPECT_EQ(in.read(), 3);
+}
+
+// --- read_fully / BlockingInputStream --------------------------------------
+
+TEST(ReadFully, ThrowsOnShortStream) {
+  MemoryInputStream in{bytes_of({1, 2})};
+  ByteVector buffer(3);
+  EXPECT_THROW(read_fully(in, {buffer.data(), 3}), EndOfStream);
+}
+
+TEST(BlockingInput, DeliversFullReads) {
+  auto pipe = std::make_shared<Pipe>(4);
+  BlockingInputStream blocking{std::make_shared<LocalInputStream>(pipe)};
+  std::jthread writer{[&] {
+    for (int i = 0; i < 10; ++i) {
+      const ByteVector one = bytes_of({i});
+      pipe->write({one.data(), one.size()});
+      std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    }
+  }};
+  ByteVector buffer(10);
+  EXPECT_EQ(blocking.read_some({buffer.data(), 10}), 10u);  // never short
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(buffer[i], i);
+}
+
+TEST(BlockingInput, SingleByteReadSeesEof) {
+  auto pipe = std::make_shared<Pipe>(4);
+  pipe->close_write();
+  BlockingInputStream blocking{std::make_shared<LocalInputStream>(pipe)};
+  EXPECT_EQ(blocking.read(), -1);
+}
+
+// --- SequenceInputStream -----------------------------------------------------
+
+TEST(SequenceInput, ConcatenatesStreams) {
+  SequenceInputStream seq{std::make_shared<MemoryInputStream>(bytes_of({1, 2}))};
+  seq.append(std::make_shared<MemoryInputStream>(bytes_of({3})));
+  seq.append(std::make_shared<MemoryInputStream>(bytes_of({4, 5})));
+  ByteVector out;
+  int b = 0;
+  while ((b = seq.read()) >= 0) out.push_back(static_cast<std::uint8_t>(b));
+  EXPECT_EQ(out, bytes_of({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(seq.finished());
+}
+
+TEST(SequenceInput, EofIsSticky) {
+  SequenceInputStream seq{std::make_shared<MemoryInputStream>(bytes_of({1}))};
+  EXPECT_EQ(seq.read(), 1);
+  EXPECT_EQ(seq.read(), -1);
+  seq.append(std::make_shared<MemoryInputStream>(bytes_of({2})));
+  EXPECT_EQ(seq.read(), -1);  // a finished sequence stays finished
+}
+
+TEST(SequenceInput, SpliceWhileReaderBlocked) {
+  // The reconfiguration pattern: the reader is blocked on the current
+  // (pipe) stream while another process appends the successor, then
+  // closes the pipe.
+  auto pipe = std::make_shared<Pipe>(4);
+  auto seq = std::make_shared<SequenceInputStream>(
+      std::make_shared<LocalInputStream>(pipe));
+  std::jthread splicer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    seq->append(std::make_shared<MemoryInputStream>(bytes_of({42})));
+    pipe->close_write();
+  }};
+  EXPECT_EQ(seq->read(), 42);
+  EXPECT_EQ(seq->read(), -1);
+}
+
+TEST(SequenceInput, CloseClosesAllQueued) {
+  auto pipe = std::make_shared<Pipe>(4);
+  SequenceInputStream seq{std::make_shared<LocalInputStream>(pipe)};
+  seq.close();
+  EXPECT_TRUE(pipe->read_closed());
+  EXPECT_THROW(seq.read(), IoError);
+}
+
+TEST(SequenceInput, EmptySequenceIsEof) {
+  SequenceInputStream seq;
+  EXPECT_EQ(seq.read(), -1);
+}
+
+// --- SequenceOutputStream ---------------------------------------------------
+
+TEST(SequenceOutput, SwitchPreservesOrder) {
+  auto first = std::make_shared<MemoryOutputStream>();
+  auto second = std::make_shared<MemoryOutputStream>();
+  SequenceOutputStream seq{first};
+  const ByteVector a = bytes_of({1, 2});
+  seq.write({a.data(), a.size()});
+  seq.switch_to(second, /*close_old=*/false);
+  const ByteVector b = bytes_of({3});
+  seq.write({b.data(), b.size()});
+  EXPECT_EQ(first->data(), bytes_of({1, 2}));
+  EXPECT_EQ(second->data(), bytes_of({3}));
+}
+
+TEST(SequenceOutput, WriteAfterCloseThrows) {
+  SequenceOutputStream seq{std::make_shared<MemoryOutputStream>()};
+  seq.close();
+  const ByteVector a = bytes_of({1});
+  EXPECT_THROW(seq.write({a.data(), a.size()}), IoError);
+  EXPECT_THROW(
+      seq.switch_to(std::make_shared<MemoryOutputStream>(), false), IoError);
+}
+
+TEST(SequenceOutput, SwitchWaitsForInFlightWrite) {
+  // A writer blocked on a full pipe is unwedged by set_unbounded, after
+  // which switch_to can proceed -- the protocol used when shipping a
+  // consuming endpoint.
+  auto pipe = std::make_shared<Pipe>(2);
+  auto seq = std::make_shared<SequenceOutputStream>(
+      std::make_shared<LocalOutputStream>(pipe));
+  std::jthread writer{[&] {
+    const ByteVector big(64, 5);
+    seq->write({big.data(), big.size()});  // blocks on the tiny pipe
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  pipe->set_unbounded();
+  auto target = std::make_shared<MemoryOutputStream>();
+  seq->switch_to(target, false);
+  writer.join();
+  // Everything the writer wrote landed in the pipe, in order, before the
+  // switch; nothing leaked into the new stream.
+  EXPECT_EQ(pipe->size(), 64u);
+  EXPECT_TRUE(target->data().empty());
+}
+
+// --- Data streams -----------------------------------------------------------
+
+TEST(DataStreams, PrimitivesRoundTrip) {
+  auto sink = std::make_shared<MemoryOutputStream>();
+  DataOutputStream out{sink};
+  out.write_bool(true);
+  out.write_u8(0xab);
+  out.write_i16(-1234);
+  out.write_i32(-123456789);
+  out.write_i64(-1234567890123456789LL);
+  out.write_u64(0xfedcba9876543210ULL);
+  out.write_f32(1.5f);
+  out.write_f64(-2.25e-100);
+  out.write_string("kahn");
+
+  DataInputStream in{std::make_shared<MemoryInputStream>(sink->take())};
+  EXPECT_TRUE(in.read_bool());
+  EXPECT_EQ(in.read_u8(), 0xab);
+  EXPECT_EQ(in.read_i16(), -1234);
+  EXPECT_EQ(in.read_i32(), -123456789);
+  EXPECT_EQ(in.read_i64(), -1234567890123456789LL);
+  EXPECT_EQ(in.read_u64(), 0xfedcba9876543210ULL);
+  EXPECT_EQ(in.read_f32(), 1.5f);
+  EXPECT_EQ(in.read_f64(), -2.25e-100);
+  EXPECT_EQ(in.read_string(), "kahn");
+}
+
+TEST(DataStreams, ReadPastEndThrows) {
+  DataInputStream in{std::make_shared<MemoryInputStream>(bytes_of({1}))};
+  EXPECT_THROW(in.read_u32(), EndOfStream);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Value) {
+  auto sink = std::make_shared<MemoryOutputStream>();
+  DataOutputStream out{sink};
+  out.write_varint(GetParam());
+  DataInputStream in{std::make_shared<MemoryInputStream>(sink->take())};
+  EXPECT_EQ(in.read_varint(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32), ~0ULL, (~0ULL) - 1));
+
+TEST(DataStreams, BytesBlobRoundTrip) {
+  auto sink = std::make_shared<MemoryOutputStream>();
+  DataOutputStream out{sink};
+  Xoshiro256 rng{5};
+  ByteVector blob(1000);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next());
+  out.write_bytes({blob.data(), blob.size()});
+  out.write_bytes({});  // empty blob is legal
+  DataInputStream in{std::make_shared<MemoryInputStream>(sink->take())};
+  EXPECT_EQ(in.read_bytes(), blob);
+  EXPECT_TRUE(in.read_bytes().empty());
+}
+
+TEST(DataStreams, OverChannelPipe) {
+  auto pipe = std::make_shared<Pipe>(8);  // smaller than one i64 burst
+  DataOutputStream out{std::make_shared<LocalOutputStream>(pipe)};
+  DataInputStream in{std::make_shared<LocalInputStream>(pipe)};
+  std::jthread writer{[&] {
+    for (std::int64_t i = 0; i < 100; ++i) out.write_i64(i * i);
+    out.close();
+  }};
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(in.read_i64(), i * i);
+  EXPECT_THROW(in.read_i64(), EndOfStream);
+}
+
+}  // namespace
+}  // namespace dpn::io

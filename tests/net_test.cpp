@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "io/memory.hpp"
+#include "net/frames.hpp"
+#include "net/socket.hpp"
+
+namespace dpn::net {
+namespace {
+
+TEST(Socket, ConnectAndEcho) {
+  ServerSocket server{0};
+  std::jthread echo{[&] {
+    Socket peer = server.accept();
+    ByteVector buffer(64);
+    const std::size_t n = peer.read_some({buffer.data(), buffer.size()});
+    peer.write_all({buffer.data(), n});
+  }};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  const std::string message = "ping";
+  client.write_all(as_bytes(message));
+  ByteVector reply(4);
+  std::size_t got = 0;
+  while (got < reply.size()) {
+    got += client.read_some({reply.data() + got, reply.size() - got});
+  }
+  EXPECT_EQ(to_string({reply.data(), reply.size()}), message);
+}
+
+TEST(Socket, PeerShutdownDeliversEof) {
+  ServerSocket server{0};
+  std::jthread closer{[&] {
+    Socket peer = server.accept();
+    peer.shutdown_write();
+    // Keep the socket alive briefly so the client reads a clean EOF.
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  }};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  std::uint8_t b = 0;
+  EXPECT_EQ(client.read_some({&b, 1}), 0u);
+}
+
+TEST(Socket, WriteToClosedPeerThrowsChannelClosed) {
+  ServerSocket server{0};
+  std::jthread closer{[&] {
+    Socket peer = server.accept();
+    peer.close();
+  }};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  const ByteVector junk(8192, 1);
+  // The first write may be buffered; keep writing until the RST lands.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) {
+          client.write_all({junk.data(), junk.size()});
+        }
+      },
+      ChannelClosed);
+}
+
+TEST(Socket, CloseWakesAccept) {
+  ServerSocket server{0};
+  std::jthread closer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    server.close();
+  }};
+  EXPECT_THROW(server.accept(), NetError);
+}
+
+TEST(Socket, ConnectRefusedThrows) {
+  // Port 1 is never listening on a sane test host.
+  EXPECT_THROW(Socket::connect("127.0.0.1", 1), NetError);
+}
+
+TEST(Socket, BadAddressThrows) {
+  EXPECT_THROW(Socket::connect("not-an-address", 80), NetError);
+}
+
+TEST(Socket, LocalhostNameResolves) {
+  ServerSocket server{0};
+  std::jthread acceptor{[&] { Socket peer = server.accept(); }};
+  EXPECT_NO_THROW(Socket::connect("localhost", server.port()));
+}
+
+TEST(Socket, EphemeralPortAssigned) {
+  ServerSocket server{0};
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(SocketStreams, StreamOverSocket) {
+  ServerSocket server{0};
+  std::jthread echo{[&] {
+    auto peer = std::make_shared<Socket>(server.accept());
+    SocketInputStream in{peer};
+    SocketOutputStream out{peer};
+    io::pump(in, out);
+  }};
+  auto client =
+      std::make_shared<Socket>(Socket::connect("127.0.0.1", server.port()));
+  SocketOutputStream out{client};
+  SocketInputStream in{client};
+  const std::string message = "through the stream stack";
+  out.write(as_bytes(message));
+  out.close();  // half-close ends the echo pump
+  ByteVector reply(message.size());
+  io::read_fully(in, {reply.data(), reply.size()});
+  EXPECT_EQ(to_string({reply.data(), reply.size()}), message);
+}
+
+// --- Frame codec -------------------------------------------------------------
+
+TEST(Frames, DataRoundTrip) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  FrameWriter writer{sink};
+  const std::string payload = "hello frames";
+  writer.write_data(as_bytes(payload));
+  writer.write_fin();
+
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->take())};
+  Frame frame = reader.read_frame();
+  EXPECT_EQ(frame.type, FrameType::kData);
+  EXPECT_EQ(to_string({frame.payload.data(), frame.payload.size()}), payload);
+  EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
+}
+
+TEST(Frames, EmptyDataFrameElided) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  FrameWriter writer{sink};
+  writer.write_data({});
+  EXPECT_TRUE(sink->data().empty());
+}
+
+TEST(Frames, TransportEofSynthesizesFin) {
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(ByteVector{})};
+  EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
+}
+
+TEST(Frames, TruncatedHeaderThrows) {
+  ByteVector partial{0, 0, 0};  // half a header
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(partial)};
+  EXPECT_THROW(reader.read_frame(), EndOfStream);
+}
+
+TEST(Frames, TruncatedPayloadThrows) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  FrameWriter writer{sink};
+  writer.write_data(as_bytes(std::string{"full payload"}));
+  ByteVector bytes = sink->take();
+  bytes.resize(bytes.size() - 3);
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(bytes)};
+  EXPECT_THROW(reader.read_frame(), EndOfStream);
+}
+
+TEST(Frames, OversizedFrameRejected) {
+  ByteVector header{0 /*kData*/, 0xff, 0xff, 0xff, 0xff};
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(header)};
+  EXPECT_THROW(reader.read_frame(), IoError);
+}
+
+TEST(Frames, RedirectInfoRoundTrip) {
+  RedirectInfo info;
+  info.host = "10.1.2.3";
+  info.port = 65000;
+  info.token = 0xdeadbeefcafef00dULL;
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  FrameWriter writer{sink};
+  writer.write_redirect(info);
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->take())};
+  Frame frame = reader.read_frame();
+  ASSERT_EQ(frame.type, FrameType::kRedirect);
+  const RedirectInfo decoded =
+      RedirectInfo::decode({frame.payload.data(), frame.payload.size()});
+  EXPECT_EQ(decoded.host, info.host);
+  EXPECT_EQ(decoded.port, info.port);
+  EXPECT_EQ(decoded.token, info.token);
+}
+
+TEST(Frames, ManyFramesInOrder) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  FrameWriter writer{sink};
+  for (int i = 0; i < 50; ++i) {
+    ByteVector payload(static_cast<std::size_t>(i) + 1,
+                       static_cast<std::uint8_t>(i));
+    writer.write_data({payload.data(), payload.size()});
+  }
+  writer.write_fin();
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->take())};
+  for (int i = 0; i < 50; ++i) {
+    Frame frame = reader.read_frame();
+    ASSERT_EQ(frame.type, FrameType::kData);
+    EXPECT_EQ(frame.payload.size(), static_cast<std::size_t>(i) + 1);
+    EXPECT_EQ(frame.payload[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
+}
+
+TEST(Frames, OverSocketEndToEnd) {
+  ServerSocket server{0};
+  std::jthread producer{[&] {
+    auto peer = std::make_shared<Socket>(server.accept());
+    FrameWriter writer{std::make_shared<SocketOutputStream>(peer)};
+    writer.write_data(as_bytes(std::string{"one"}));
+    writer.write_data(as_bytes(std::string{"two"}));
+    writer.write_fin();
+  }};
+  auto client =
+      std::make_shared<Socket>(Socket::connect("127.0.0.1", server.port()));
+  FrameReader reader{std::make_shared<SocketInputStream>(client)};
+  EXPECT_EQ(to_string({reader.read_frame().payload.data(), 3}), "one");
+  EXPECT_EQ(to_string({reader.read_frame().payload.data(), 3}), "two");
+  EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
+}
+
+}  // namespace
+}  // namespace dpn::net

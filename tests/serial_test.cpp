@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "io/memory.hpp"
+#include "serial/serial.hpp"
+
+namespace dpn::serial {
+namespace {
+
+/// A simple serializable record.
+class Point final : public Serializable {
+ public:
+  Point() = default;
+  Point(std::int64_t x, std::int64_t y) : x_(x), y_(y) {}
+
+  std::int64_t x() const { return x_; }
+  std::int64_t y() const { return y_; }
+
+  std::string type_name() const override { return "test.Point"; }
+  void write_fields(ObjectOutputStream& out) const override {
+    out.write_i64(x_);
+    out.write_i64(y_);
+  }
+  static std::shared_ptr<Point> read_object(ObjectInputStream& in) {
+    auto p = std::make_shared<Point>();
+    p->x_ = in.read_i64();
+    p->y_ = in.read_i64();
+    return p;
+  }
+
+ private:
+  std::int64_t x_ = 0;
+  std::int64_t y_ = 0;
+};
+
+/// A node referencing other objects (shared references).
+class Pair final : public Serializable {
+ public:
+  std::shared_ptr<Serializable> first;
+  std::shared_ptr<Serializable> second;
+
+  std::string type_name() const override { return "test.Pair"; }
+  void write_fields(ObjectOutputStream& out) const override {
+    out.write_object(first);
+    out.write_object(second);
+  }
+  static std::shared_ptr<Pair> read_object(ObjectInputStream& in) {
+    auto p = std::make_shared<Pair>();
+    p->first = in.read_object();
+    p->second = in.read_object();
+    return p;
+  }
+};
+
+/// write_replace: serializes as its replacement.
+class Alias final : public Serializable {
+ public:
+  explicit Alias(std::shared_ptr<Serializable> target)
+      : target_(std::move(target)) {}
+  std::string type_name() const override { return "test.Alias"; }
+  void write_fields(ObjectOutputStream&) const override {
+    FAIL() << "write_fields must not run when write_replace substitutes";
+  }
+  std::shared_ptr<Serializable> write_replace(ObjectOutputStream&) override {
+    return target_;
+  }
+
+ private:
+  std::shared_ptr<Serializable> target_;
+};
+
+/// read_resolve: deserializes as a resolved object.
+class Marker final : public Serializable {
+ public:
+  std::string type_name() const override { return "test.Marker"; }
+  void write_fields(ObjectOutputStream&) const override {}
+  static std::shared_ptr<Marker> read_object(ObjectInputStream&) {
+    return std::make_shared<Marker>();
+  }
+  std::shared_ptr<Serializable> read_resolve(ObjectInputStream&) override {
+    return std::make_shared<Point>(99, 100);
+  }
+};
+
+[[maybe_unused]] const bool kRegistered =
+    register_type<Point>("test.Point") && register_type<Pair>("test.Pair") &&
+    register_type<Marker>("test.Marker");
+
+TEST(Serial, NullRoundTrip) {
+  const ByteVector bytes = to_bytes(nullptr);
+  EXPECT_EQ(from_bytes({bytes.data(), bytes.size()}), nullptr);
+}
+
+TEST(Serial, SimpleObjectRoundTrip) {
+  auto point = std::make_shared<Point>(-5, 7);
+  const ByteVector bytes = to_bytes(point);
+  auto restored = from_bytes_as<Point>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->x(), -5);
+  EXPECT_EQ(restored->y(), 7);
+}
+
+TEST(Serial, NestedObjects) {
+  auto pair = std::make_shared<Pair>();
+  pair->first = std::make_shared<Point>(1, 2);
+  pair->second = std::make_shared<Point>(3, 4);
+  const ByteVector bytes = to_bytes(pair);
+  auto restored = from_bytes_as<Pair>({bytes.data(), bytes.size()});
+  EXPECT_EQ(std::dynamic_pointer_cast<Point>(restored->first)->x(), 1);
+  EXPECT_EQ(std::dynamic_pointer_cast<Point>(restored->second)->y(), 4);
+}
+
+TEST(Serial, SharedReferenceIdentityPreserved) {
+  auto shared = std::make_shared<Point>(8, 9);
+  auto pair = std::make_shared<Pair>();
+  pair->first = shared;
+  pair->second = shared;
+  const ByteVector bytes = to_bytes(pair);
+  auto restored = from_bytes_as<Pair>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->first, restored->second);  // same object, not a copy
+}
+
+TEST(Serial, SharedReferenceSerializedOnce) {
+  auto shared = std::make_shared<Point>(8, 9);
+  auto pair = std::make_shared<Pair>();
+  pair->first = shared;
+  pair->second = shared;
+  auto lone = std::make_shared<Pair>();
+  lone->first = std::make_shared<Point>(8, 9);
+  lone->second = std::make_shared<Point>(8, 9);
+  // Back-reference encoding is smaller than writing the object twice.
+  EXPECT_LT(to_bytes(pair).size(), to_bytes(lone).size());
+}
+
+TEST(Serial, WriteReplaceSubstitutes) {
+  auto alias = std::make_shared<Alias>(std::make_shared<Point>(11, 12));
+  const ByteVector bytes = to_bytes(alias);
+  auto restored = from_bytes_as<Point>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->x(), 11);
+}
+
+TEST(Serial, WriteReplaceKeepsIdentity) {
+  auto target = std::make_shared<Point>(1, 1);
+  auto alias = std::make_shared<Alias>(target);
+  auto pair = std::make_shared<Pair>();
+  pair->first = alias;
+  pair->second = alias;  // second reference must become a back-reference
+  const ByteVector bytes = to_bytes(pair);
+  auto restored = from_bytes_as<Pair>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->first, restored->second);
+}
+
+TEST(Serial, ReadResolveSubstitutes) {
+  const ByteVector bytes = to_bytes(std::make_shared<Marker>());
+  auto restored = from_bytes_as<Point>({bytes.data(), bytes.size()});
+  EXPECT_EQ(restored->x(), 99);
+}
+
+TEST(Serial, UnknownTypeThrows) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  ObjectOutputStream out{sink};
+  out.write_object(std::make_shared<Point>(0, 0));
+  ByteVector bytes = sink->take();
+  // Corrupt the embedded type name "test.Point" -> "zest.Point".
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    if (bytes[i] == 't' && bytes[i + 1] == 'e' && bytes[i + 2] == 's') {
+      bytes[i] = 'z';
+      break;
+    }
+  }
+  EXPECT_THROW(from_bytes({bytes.data(), bytes.size()}), SerializationError);
+}
+
+TEST(Serial, CorruptTagThrows) {
+  ByteVector bytes{0x77};
+  EXPECT_THROW(from_bytes({bytes.data(), bytes.size()}), SerializationError);
+}
+
+TEST(Serial, BadBackReferenceThrows) {
+  ByteVector bytes{1 /*kTagReference*/, 5 /*handle*/};
+  EXPECT_THROW(from_bytes({bytes.data(), bytes.size()}), SerializationError);
+}
+
+TEST(Serial, TruncatedStreamThrows) {
+  auto point = std::make_shared<Point>(-5, 7);
+  ByteVector bytes = to_bytes(point);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(from_bytes({bytes.data(), bytes.size()}), IoError);
+}
+
+TEST(Serial, DuplicateRegistrationThrows) {
+  EXPECT_THROW(register_type<Point>("test.Point"), UsageError);
+}
+
+TEST(Serial, RegistryListsNames) {
+  const auto names = TypeRegistry::global().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.Point"), names.end());
+  EXPECT_TRUE(TypeRegistry::global().contains("test.Pair"));
+  EXPECT_FALSE(TypeRegistry::global().contains("test.Nope"));
+}
+
+TEST(Serial, ManyObjectsStreamed) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  ObjectOutputStream out{sink};
+  for (int i = 0; i < 100; ++i) {
+    out.write_object(std::make_shared<Point>(i, -i));
+  }
+  ObjectInputStream in{
+      std::make_shared<io::MemoryInputStream>(sink->take())};
+  for (int i = 0; i < 100; ++i) {
+    auto p = in.read_object_as<Point>();
+    EXPECT_EQ(p->x(), i);
+    EXPECT_EQ(p->y(), -i);
+  }
+}
+
+}  // namespace
+}  // namespace dpn::serial
