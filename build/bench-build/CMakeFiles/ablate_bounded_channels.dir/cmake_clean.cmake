@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_bounded_channels"
+  "../bench/ablate_bounded_channels.pdb"
+  "CMakeFiles/ablate_bounded_channels.dir/ablate_bounded_channels.cpp.o"
+  "CMakeFiles/ablate_bounded_channels.dir/ablate_bounded_channels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bounded_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

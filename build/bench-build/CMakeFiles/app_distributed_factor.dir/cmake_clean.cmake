@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_distributed_factor"
+  "../bench/app_distributed_factor.pdb"
+  "CMakeFiles/app_distributed_factor.dir/app_distributed_factor.cpp.o"
+  "CMakeFiles/app_distributed_factor.dir/app_distributed_factor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_distributed_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

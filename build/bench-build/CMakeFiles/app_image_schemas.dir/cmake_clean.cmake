@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_image_schemas"
+  "../bench/app_image_schemas.pdb"
+  "CMakeFiles/app_image_schemas.dir/app_image_schemas.cpp.o"
+  "CMakeFiles/app_image_schemas.dir/app_image_schemas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_image_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dpn_bench_harness.dir/harness.cpp.o.d"
+  "libdpn_bench_harness.a"
+  "libdpn_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

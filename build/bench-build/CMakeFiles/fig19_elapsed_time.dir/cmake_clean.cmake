@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_elapsed_time"
+  "../bench/fig19_elapsed_time.pdb"
+  "CMakeFiles/fig19_elapsed_time.dir/fig19_elapsed_time.cpp.o"
+  "CMakeFiles/fig19_elapsed_time.dir/fig19_elapsed_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_elapsed_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

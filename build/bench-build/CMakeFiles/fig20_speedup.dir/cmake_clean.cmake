@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_speedup"
+  "../bench/fig20_speedup.pdb"
+  "CMakeFiles/fig20_speedup.dir/fig20_speedup.cpp.o"
+  "CMakeFiles/fig20_speedup.dir/fig20_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

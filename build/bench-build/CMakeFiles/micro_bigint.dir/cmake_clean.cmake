@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bigint"
+  "../bench/micro_bigint.pdb"
+  "CMakeFiles/micro_bigint.dir/micro_bigint.cpp.o"
+  "CMakeFiles/micro_bigint.dir/micro_bigint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

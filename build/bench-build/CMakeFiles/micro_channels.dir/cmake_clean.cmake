@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_channels"
+  "../bench/micro_channels.pdb"
+  "CMakeFiles/micro_channels.dir/micro_channels.cpp.o"
+  "CMakeFiles/micro_channels.dir/micro_channels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

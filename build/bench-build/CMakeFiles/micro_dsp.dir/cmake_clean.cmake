@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dsp"
+  "../bench/micro_dsp.pdb"
+  "CMakeFiles/micro_dsp.dir/micro_dsp.cpp.o"
+  "CMakeFiles/micro_dsp.dir/micro_dsp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

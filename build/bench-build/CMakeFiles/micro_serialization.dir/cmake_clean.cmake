@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_serialization"
+  "../bench/micro_serialization.pdb"
+  "CMakeFiles/micro_serialization.dir/micro_serialization.cpp.o"
+  "CMakeFiles/micro_serialization.dir/micro_serialization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

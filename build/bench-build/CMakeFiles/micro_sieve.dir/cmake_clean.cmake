@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sieve"
+  "../bench/micro_sieve.pdb"
+  "CMakeFiles/micro_sieve.dir/micro_sieve.cpp.o"
+  "CMakeFiles/micro_sieve.dir/micro_sieve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sequential"
+  "../bench/table1_sequential.pdb"
+  "CMakeFiles/table1_sequential.dir/table1_sequential.cpp.o"
+  "CMakeFiles/table1_sequential.dir/table1_sequential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fibonacci.dir/distributed_fibonacci.cpp.o"
+  "CMakeFiles/distributed_fibonacci.dir/distributed_fibonacci.cpp.o.d"
+  "distributed_fibonacci"
+  "distributed_fibonacci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fibonacci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

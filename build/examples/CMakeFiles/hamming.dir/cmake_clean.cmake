@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamming.dir/hamming.cpp.o"
+  "CMakeFiles/hamming.dir/hamming.cpp.o.d"
+  "hamming"
+  "hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

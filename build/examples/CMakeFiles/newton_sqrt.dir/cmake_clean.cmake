@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_sqrt.dir/newton_sqrt.cpp.o"
+  "CMakeFiles/newton_sqrt.dir/newton_sqrt.cpp.o.d"
+  "newton_sqrt"
+  "newton_sqrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_sqrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

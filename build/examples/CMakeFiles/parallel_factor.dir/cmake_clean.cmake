@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_factor.dir/parallel_factor.cpp.o"
+  "CMakeFiles/parallel_factor.dir/parallel_factor.cpp.o.d"
+  "parallel_factor"
+  "parallel_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

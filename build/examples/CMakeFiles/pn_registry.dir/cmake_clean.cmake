@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_registry.dir/pn_registry.cpp.o"
+  "CMakeFiles/pn_registry.dir/pn_registry.cpp.o.d"
+  "pn_registry"
+  "pn_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pn_server.cpp" "examples/CMakeFiles/pn_server.dir/pn_server.cpp.o" "gcc" "examples/CMakeFiles/pn_server.dir/pn_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dpn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/dpn_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dpn_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dpn_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/dpn_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmi/CMakeFiles/dpn_rmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dpn_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/processes/CMakeFiles/dpn_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dpn_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dpn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/dpn_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_server.dir/pn_server.cpp.o"
+  "CMakeFiles/pn_server.dir/pn_server.cpp.o.d"
+  "pn_server"
+  "pn_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_tasks.dir/remote_tasks.cpp.o"
+  "CMakeFiles/remote_tasks.dir/remote_tasks.cpp.o.d"
+  "remote_tasks"
+  "remote_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sieve.dir/sieve.cpp.o"
+  "CMakeFiles/sieve.dir/sieve.cpp.o.d"
+  "sieve"
+  "sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "5")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fibonacci "/root/repo/build/examples/fibonacci" "15")
+set_tests_properties(example_fibonacci PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sieve_below "/root/repo/build/examples/sieve" "below" "100")
+set_tests_properties(example_sieve_below PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sieve_first "/root/repo/build/examples/sieve" "first" "50")
+set_tests_properties(example_sieve_first PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_newton "/root/repo/build/examples/newton_sqrt" "2" "9" "1e6")
+set_tests_properties(example_newton PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hamming "/root/repo/build/examples/hamming" "30")
+set_tests_properties(example_hamming PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_fibonacci "/root/repo/build/examples/distributed_fibonacci" "15")
+set_tests_properties(example_distributed_fibonacci PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parallel_factor "/root/repo/build/examples/parallel_factor" "8" "32" "80" "dynamic")
+set_tests_properties(example_parallel_factor PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parallel_factor_static "/root/repo/build/examples/parallel_factor" "4" "32" "80" "static")
+set_tests_properties(example_parallel_factor_static PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_pipeline "/root/repo/build/examples/image_pipeline" "256" "192" "4")
+set_tests_properties(example_image_pipeline PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_beamformer "/root/repo/build/examples/beamformer" "0.35" "0.25")
+set_tests_properties(example_beamformer PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_migration "/root/repo/build/examples/migration" "400")
+set_tests_properties(example_migration PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remote_tasks "/root/repo/build/examples/remote_tasks" "3" "32" "80")
+set_tests_properties(example_remote_tasks PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("io")
+subdirs("serial")
+subdirs("net")
+subdirs("core")
+subdirs("processes")
+subdirs("rmi")
+subdirs("dist")
+subdirs("par")
+subdirs("bigint")
+subdirs("factor")
+subdirs("cluster")
+subdirs("image")
+subdirs("dsp")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/dpn_bigint.dir/bigint.cpp.o.d"
+  "libdpn_bigint.a"
+  "libdpn_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

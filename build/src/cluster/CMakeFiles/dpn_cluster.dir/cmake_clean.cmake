@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dpn_cluster.dir/cluster.cpp.o.d"
+  "libdpn_cluster.a"
+  "libdpn_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_core.dir/channel.cpp.o"
+  "CMakeFiles/dpn_core.dir/channel.cpp.o.d"
+  "CMakeFiles/dpn_core.dir/network.cpp.o"
+  "CMakeFiles/dpn_core.dir/network.cpp.o.d"
+  "CMakeFiles/dpn_core.dir/process.cpp.o"
+  "CMakeFiles/dpn_core.dir/process.cpp.o.d"
+  "libdpn_core.a"
+  "libdpn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

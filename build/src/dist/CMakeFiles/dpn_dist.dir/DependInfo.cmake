@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/ddm.cpp" "src/dist/CMakeFiles/dpn_dist.dir/ddm.cpp.o" "gcc" "src/dist/CMakeFiles/dpn_dist.dir/ddm.cpp.o.d"
+  "/root/repo/src/dist/node.cpp" "src/dist/CMakeFiles/dpn_dist.dir/node.cpp.o" "gcc" "src/dist/CMakeFiles/dpn_dist.dir/node.cpp.o.d"
+  "/root/repo/src/dist/remote_streams.cpp" "src/dist/CMakeFiles/dpn_dist.dir/remote_streams.cpp.o" "gcc" "src/dist/CMakeFiles/dpn_dist.dir/remote_streams.cpp.o.d"
+  "/root/repo/src/dist/ship.cpp" "src/dist/CMakeFiles/dpn_dist.dir/ship.cpp.o" "gcc" "src/dist/CMakeFiles/dpn_dist.dir/ship.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dpn_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dpn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

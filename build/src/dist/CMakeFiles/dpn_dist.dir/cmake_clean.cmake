@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_dist.dir/ddm.cpp.o"
+  "CMakeFiles/dpn_dist.dir/ddm.cpp.o.d"
+  "CMakeFiles/dpn_dist.dir/node.cpp.o"
+  "CMakeFiles/dpn_dist.dir/node.cpp.o.d"
+  "CMakeFiles/dpn_dist.dir/remote_streams.cpp.o"
+  "CMakeFiles/dpn_dist.dir/remote_streams.cpp.o.d"
+  "CMakeFiles/dpn_dist.dir/ship.cpp.o"
+  "CMakeFiles/dpn_dist.dir/ship.cpp.o.d"
+  "libdpn_dist.a"
+  "libdpn_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

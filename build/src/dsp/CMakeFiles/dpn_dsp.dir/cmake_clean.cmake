@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_dsp.dir/beam.cpp.o"
+  "CMakeFiles/dpn_dsp.dir/beam.cpp.o.d"
+  "CMakeFiles/dpn_dsp.dir/fft.cpp.o"
+  "CMakeFiles/dpn_dsp.dir/fft.cpp.o.d"
+  "libdpn_dsp.a"
+  "libdpn_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_factor.dir/factor.cpp.o"
+  "CMakeFiles/dpn_factor.dir/factor.cpp.o.d"
+  "libdpn_factor.a"
+  "libdpn_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_image.dir/codec.cpp.o"
+  "CMakeFiles/dpn_image.dir/codec.cpp.o.d"
+  "CMakeFiles/dpn_image.dir/image.cpp.o"
+  "CMakeFiles/dpn_image.dir/image.cpp.o.d"
+  "CMakeFiles/dpn_image.dir/tasks.cpp.o"
+  "CMakeFiles/dpn_image.dir/tasks.cpp.o.d"
+  "libdpn_image.a"
+  "libdpn_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

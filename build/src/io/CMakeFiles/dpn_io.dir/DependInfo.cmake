@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/data.cpp" "src/io/CMakeFiles/dpn_io.dir/data.cpp.o" "gcc" "src/io/CMakeFiles/dpn_io.dir/data.cpp.o.d"
+  "/root/repo/src/io/pipe.cpp" "src/io/CMakeFiles/dpn_io.dir/pipe.cpp.o" "gcc" "src/io/CMakeFiles/dpn_io.dir/pipe.cpp.o.d"
+  "/root/repo/src/io/sequence.cpp" "src/io/CMakeFiles/dpn_io.dir/sequence.cpp.o" "gcc" "src/io/CMakeFiles/dpn_io.dir/sequence.cpp.o.d"
+  "/root/repo/src/io/stream.cpp" "src/io/CMakeFiles/dpn_io.dir/stream.cpp.o" "gcc" "src/io/CMakeFiles/dpn_io.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_io.dir/data.cpp.o"
+  "CMakeFiles/dpn_io.dir/data.cpp.o.d"
+  "CMakeFiles/dpn_io.dir/pipe.cpp.o"
+  "CMakeFiles/dpn_io.dir/pipe.cpp.o.d"
+  "CMakeFiles/dpn_io.dir/sequence.cpp.o"
+  "CMakeFiles/dpn_io.dir/sequence.cpp.o.d"
+  "CMakeFiles/dpn_io.dir/stream.cpp.o"
+  "CMakeFiles/dpn_io.dir/stream.cpp.o.d"
+  "libdpn_io.a"
+  "libdpn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

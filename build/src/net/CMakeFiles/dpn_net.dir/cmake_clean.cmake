@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_net.dir/frames.cpp.o"
+  "CMakeFiles/dpn_net.dir/frames.cpp.o.d"
+  "CMakeFiles/dpn_net.dir/socket.cpp.o"
+  "CMakeFiles/dpn_net.dir/socket.cpp.o.d"
+  "libdpn_net.a"
+  "libdpn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

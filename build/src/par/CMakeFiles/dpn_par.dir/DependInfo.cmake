@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/generic.cpp" "src/par/CMakeFiles/dpn_par.dir/generic.cpp.o" "gcc" "src/par/CMakeFiles/dpn_par.dir/generic.cpp.o.d"
+  "/root/repo/src/par/schema.cpp" "src/par/CMakeFiles/dpn_par.dir/schema.cpp.o" "gcc" "src/par/CMakeFiles/dpn_par.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/processes/CMakeFiles/dpn_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dpn_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dpn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_par.dir/generic.cpp.o"
+  "CMakeFiles/dpn_par.dir/generic.cpp.o.d"
+  "CMakeFiles/dpn_par.dir/schema.cpp.o"
+  "CMakeFiles/dpn_par.dir/schema.cpp.o.d"
+  "libdpn_par.a"
+  "libdpn_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/processes/arith.cpp" "src/processes/CMakeFiles/dpn_processes.dir/arith.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/arith.cpp.o.d"
+  "/root/repo/src/processes/basic.cpp" "src/processes/CMakeFiles/dpn_processes.dir/basic.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/basic.cpp.o.d"
+  "/root/repo/src/processes/copy.cpp" "src/processes/CMakeFiles/dpn_processes.dir/copy.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/copy.cpp.o.d"
+  "/root/repo/src/processes/merge.cpp" "src/processes/CMakeFiles/dpn_processes.dir/merge.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/merge.cpp.o.d"
+  "/root/repo/src/processes/router.cpp" "src/processes/CMakeFiles/dpn_processes.dir/router.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/router.cpp.o.d"
+  "/root/repo/src/processes/sieve.cpp" "src/processes/CMakeFiles/dpn_processes.dir/sieve.cpp.o" "gcc" "src/processes/CMakeFiles/dpn_processes.dir/sieve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dpn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dpn_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

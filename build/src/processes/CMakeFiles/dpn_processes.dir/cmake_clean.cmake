@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_processes.dir/arith.cpp.o"
+  "CMakeFiles/dpn_processes.dir/arith.cpp.o.d"
+  "CMakeFiles/dpn_processes.dir/basic.cpp.o"
+  "CMakeFiles/dpn_processes.dir/basic.cpp.o.d"
+  "CMakeFiles/dpn_processes.dir/copy.cpp.o"
+  "CMakeFiles/dpn_processes.dir/copy.cpp.o.d"
+  "CMakeFiles/dpn_processes.dir/merge.cpp.o"
+  "CMakeFiles/dpn_processes.dir/merge.cpp.o.d"
+  "CMakeFiles/dpn_processes.dir/router.cpp.o"
+  "CMakeFiles/dpn_processes.dir/router.cpp.o.d"
+  "CMakeFiles/dpn_processes.dir/sieve.cpp.o"
+  "CMakeFiles/dpn_processes.dir/sieve.cpp.o.d"
+  "libdpn_processes.a"
+  "libdpn_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpn_processes.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmi/compute_server.cpp" "src/rmi/CMakeFiles/dpn_rmi.dir/compute_server.cpp.o" "gcc" "src/rmi/CMakeFiles/dpn_rmi.dir/compute_server.cpp.o.d"
+  "/root/repo/src/rmi/migrate.cpp" "src/rmi/CMakeFiles/dpn_rmi.dir/migrate.cpp.o" "gcc" "src/rmi/CMakeFiles/dpn_rmi.dir/migrate.cpp.o.d"
+  "/root/repo/src/rmi/registry.cpp" "src/rmi/CMakeFiles/dpn_rmi.dir/registry.cpp.o" "gcc" "src/rmi/CMakeFiles/dpn_rmi.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/dpn_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dpn_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dpn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

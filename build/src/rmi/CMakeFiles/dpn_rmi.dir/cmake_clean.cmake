@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_rmi.dir/compute_server.cpp.o"
+  "CMakeFiles/dpn_rmi.dir/compute_server.cpp.o.d"
+  "CMakeFiles/dpn_rmi.dir/migrate.cpp.o"
+  "CMakeFiles/dpn_rmi.dir/migrate.cpp.o.d"
+  "CMakeFiles/dpn_rmi.dir/registry.cpp.o"
+  "CMakeFiles/dpn_rmi.dir/registry.cpp.o.d"
+  "libdpn_rmi.a"
+  "libdpn_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

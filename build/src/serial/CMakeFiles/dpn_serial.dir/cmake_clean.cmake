@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_serial.dir/serial.cpp.o"
+  "CMakeFiles/dpn_serial.dir/serial.cpp.o.d"
+  "libdpn_serial.a"
+  "libdpn_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

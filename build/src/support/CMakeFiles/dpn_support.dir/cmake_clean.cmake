@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpn_support.dir/bytes.cpp.o"
+  "CMakeFiles/dpn_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpn_support.dir/log.cpp.o"
+  "CMakeFiles/dpn_support.dir/log.cpp.o.d"
+  "libdpn_support.a"
+  "libdpn_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpn_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

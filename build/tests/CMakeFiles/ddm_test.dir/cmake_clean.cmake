@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_test.dir/ddm_test.cpp.o"
+  "CMakeFiles/ddm_test.dir/ddm_test.cpp.o.d"
+  "ddm_test"
+  "ddm_test.pdb"
+  "ddm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

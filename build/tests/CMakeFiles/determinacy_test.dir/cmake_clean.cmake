@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinacy_test.dir/determinacy_test.cpp.o"
+  "CMakeFiles/determinacy_test.dir/determinacy_test.cpp.o.d"
+  "determinacy_test"
+  "determinacy_test.pdb"
+  "determinacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

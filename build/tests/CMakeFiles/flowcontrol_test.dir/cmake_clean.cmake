@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowcontrol_test.dir/flowcontrol_test.cpp.o"
+  "CMakeFiles/flowcontrol_test.dir/flowcontrol_test.cpp.o.d"
+  "flowcontrol_test"
+  "flowcontrol_test.pdb"
+  "flowcontrol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowcontrol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

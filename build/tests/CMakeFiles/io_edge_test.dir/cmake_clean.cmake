@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_edge_test.dir/io_edge_test.cpp.o"
+  "CMakeFiles/io_edge_test.dir/io_edge_test.cpp.o.d"
+  "io_edge_test"
+  "io_edge_test.pdb"
+  "io_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_serial_test.dir/process_serial_test.cpp.o"
+  "CMakeFiles/process_serial_test.dir/process_serial_test.cpp.o.d"
+  "process_serial_test"
+  "process_serial_test.pdb"
+  "process_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processes_test.dir/processes_test.cpp.o"
+  "CMakeFiles/processes_test.dir/processes_test.cpp.o.d"
+  "processes_test"
+  "processes_test.pdb"
+  "processes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

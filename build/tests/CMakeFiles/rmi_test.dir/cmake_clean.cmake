@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmi_test.dir/rmi_test.cpp.o"
+  "CMakeFiles/rmi_test.dir/rmi_test.cpp.o.d"
+  "rmi_test"
+  "rmi_test.pdb"
+  "rmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

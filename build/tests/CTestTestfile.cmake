@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/processes_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/rmi_test[1]_include.cmake")
+include("/root/repo/build/tests/par_test[1]_include.cmake")
+include("/root/repo/build/tests/factor_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/migrate_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/determinacy_test[1]_include.cmake")
+include("/root/repo/build/tests/ddm_test[1]_include.cmake")
+include("/root/repo/build/tests/flowcontrol_test[1]_include.cmake")
+include("/root/repo/build/tests/process_serial_test[1]_include.cmake")
+include("/root/repo/build/tests/multiprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/io_edge_test[1]_include.cmake")
