@@ -60,6 +60,84 @@ void BM_ChannelElementRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelElementRoundTrip);
 
+void BM_ChannelElementRoundTripBuffered(benchmark::State& state) {
+  // Ping-style round trip through *buffered* endpoints.  The producer must
+  // flush at every rendezvous, so coalescing cannot help here -- this
+  // bounds the worst case of the fast path: the pure overhead of the
+  // extra buffer layer when its batching never pays off.
+  core::ChannelOptions options;
+  options.capacity = 4096;
+  options.write_buffer = 8192;
+  options.read_buffer = 8192;
+  core::Channel channel{options};
+  io::DataOutputStream out{channel.output()};
+  io::DataInputStream in{channel.input()};
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    out.write_i64(value);
+    channel.output()->flush();
+    benchmark::DoNotOptimize(in.read_i64());
+    ++value;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelElementRoundTripBuffered);
+
+void BM_ChannelWriteThroughput(benchmark::State& state) {
+  // Per-element cost of the streaming write path: one i64 per iteration
+  // into a channel a background thread keeps drained.  Arg 0 is the
+  // write-through default (every element crosses the pipe mutex); larger
+  // args set ChannelOptions::write_buffer, so elements coalesce and cross
+  // once per buffer-full.
+  core::ChannelOptions options;
+  options.capacity = 1 << 16;
+  options.write_buffer = static_cast<std::size_t>(state.range(0));
+  core::Channel channel{options};
+  std::jthread drain{[in = channel.input()] {
+    ByteVector buffer(1 << 16);
+    try {
+      while (in->read_some({buffer.data(), buffer.size()}) > 0) {
+      }
+    } catch (const IoError&) {
+    }
+  }};
+  io::DataOutputStream out{channel.output()};
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    out.write_i64(value++);
+  }
+  channel.output()->close();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelWriteThroughput)->Arg(0)->Arg(512)->Arg(8192);
+
+void BM_ChannelReadThroughput(benchmark::State& state) {
+  // Per-element cost of the streaming read path: a background producer
+  // keeps the channel full (through a large write buffer, so it is never
+  // the bottleneck); the measured thread reads one i64 per iteration.
+  // Arg 0 is the read-through default; larger args set
+  // ChannelOptions::read_buffer.
+  core::ChannelOptions options;
+  options.capacity = 1 << 16;
+  options.write_buffer = 8192;
+  options.read_buffer = static_cast<std::size_t>(state.range(0));
+  core::Channel channel{options};
+  std::jthread feed{[out = channel.output()] {
+    io::DataOutputStream data{out};
+    try {
+      for (std::int64_t i = 0;; ++i) data.write_i64(i);
+    } catch (const IoError&) {
+    }
+  }};
+  io::DataInputStream in{channel.input()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.read_i64());
+  }
+  channel.input()->close();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelReadThroughput)->Arg(0)->Arg(8192);
+
 void BM_DataStreamOverMemory(benchmark::State& state) {
   // The serialization layer alone, no synchronization.
   for (auto _ : state) {

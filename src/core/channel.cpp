@@ -22,18 +22,30 @@ const DistributionHooks& distribution_hooks() {
 ChannelInputStream::ChannelInputStream(
     std::shared_ptr<ChannelState> state,
     std::shared_ptr<io::SequenceInputStream> sequence)
-    : state_(std::move(state)), sequence_(std::move(sequence)) {}
-
-std::size_t ChannelInputStream::read_some(MutableByteSpan out) {
-  return sequence_->read_some(out);
+    : state_(std::move(state)), sequence_(std::move(sequence)) {
+  if (state_->read_buffer > 0) {
+    buffer_ = std::make_shared<io::BufferedInputStream>(sequence_,
+                                                        state_->read_buffer);
+    source_ = buffer_.get();
+  } else {
+    source_ = sequence_.get();
+  }
 }
 
-int ChannelInputStream::read() { return sequence_->read(); }
+std::size_t ChannelInputStream::read_some(MutableByteSpan out) {
+  return source_->read_some(out);
+}
 
-void ChannelInputStream::close() { sequence_->close(); }
+int ChannelInputStream::read() { return source_->read(); }
+
+void ChannelInputStream::close() { source_->close(); }
 
 void ChannelInputStream::read_fully(MutableByteSpan out) {
-  io::read_fully(*sequence_, out);
+  io::read_fully(*source_, out);
+}
+
+ByteVector ChannelInputStream::take_read_buffer() {
+  return buffer_ ? buffer_->take_buffered() : ByteVector{};
 }
 
 void ChannelInputStream::write_fields(serial::ObjectOutputStream&) const {
@@ -55,17 +67,27 @@ std::shared_ptr<serial::Serializable> ChannelInputStream::write_replace(
 ChannelOutputStream::ChannelOutputStream(
     std::shared_ptr<ChannelState> state,
     std::shared_ptr<io::SequenceOutputStream> sequence)
-    : state_(std::move(state)), sequence_(std::move(sequence)) {}
-
-void ChannelOutputStream::write(ByteSpan data) { sequence_->write(data); }
-
-void ChannelOutputStream::write_byte(std::uint8_t b) {
-  sequence_->write_byte(b);
+    : state_(std::move(state)), sequence_(std::move(sequence)) {
+  if (state_->write_buffer > 0) {
+    buffer_ = std::make_shared<io::BufferedOutputStream>(
+        sequence_, state_->write_buffer);
+    sink_ = buffer_.get();
+  } else {
+    sink_ = sequence_.get();
+  }
 }
 
-void ChannelOutputStream::flush() { sequence_->flush(); }
+void ChannelOutputStream::write(ByteSpan data) { sink_->write(data); }
 
-void ChannelOutputStream::close() { sequence_->close(); }
+void ChannelOutputStream::write_byte(std::uint8_t b) { sink_->write_byte(b); }
+
+void ChannelOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
+  sink_->write_vectored(a, b);
+}
+
+void ChannelOutputStream::flush() { sink_->flush(); }
+
+void ChannelOutputStream::close() { sink_->close(); }
 
 void ChannelOutputStream::write_fields(serial::ObjectOutputStream&) const {
   throw SerializationError{
@@ -83,11 +105,16 @@ std::shared_ptr<serial::Serializable> ChannelOutputStream::write_replace(
   return hooks.replace_output(shared_from_this(), out);
 }
 
-Channel::Channel(std::size_t capacity, std::string label) {
+Channel::Channel(std::size_t capacity, std::string label)
+    : Channel(ChannelOptions{capacity, std::move(label), 0, 0}) {}
+
+Channel::Channel(ChannelOptions options) {
   state_ = std::make_shared<ChannelState>();
-  state_->pipe = std::make_shared<io::Pipe>(capacity);
-  state_->capacity = capacity;
-  state_->label = std::move(label);
+  state_->pipe = std::make_shared<io::Pipe>(options.capacity);
+  state_->capacity = options.capacity;
+  state_->label = std::move(options.label);
+  state_->write_buffer = options.write_buffer;
+  state_->read_buffer = options.read_buffer;
 
   auto in_seq = std::make_shared<io::SequenceInputStream>(
       std::make_shared<io::LocalInputStream>(state_->pipe));

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "io/blocking.hpp"
+#include "io/buffered.hpp"
 #include "io/pipe.hpp"
 #include "io/sequence.hpp"
 #include "serial/serial.hpp"
@@ -31,6 +32,21 @@ namespace dpn::core {
 class ChannelInputStream;
 class ChannelOutputStream;
 
+/// Construction knobs for a Channel.  write_buffer/read_buffer of 0 (the
+/// default) keep the endpoints write-through: every write crosses the pipe
+/// mutex immediately and every ChannelClosed/window interaction is
+/// observable per call.  Non-zero sizes interpose io::Buffered*Stream above
+/// the Sequence layer -- the batched fast path.  Buffered producers must
+/// flush() at rendezvous points their consumers wait on (or rely on
+/// flush-on-close); see DESIGN.md "Performance architecture" for why KPN
+/// determinacy is unaffected either way.
+struct ChannelOptions {
+  std::size_t capacity = io::Pipe::kDefaultCapacity;
+  std::string label;
+  std::size_t write_buffer = 0;
+  std::size_t read_buffer = 0;
+};
+
 /// State shared by the two endpoints of a channel while they can still see
 /// each other (i.e. until one of them is shipped away).
 struct ChannelState {
@@ -41,6 +57,10 @@ struct ChannelState {
   std::weak_ptr<ChannelOutputStream> output;
   std::size_t capacity = io::Pipe::kDefaultCapacity;
   std::string label;
+  /// Endpoint buffering config (0 = write-through).  Travels with shipped
+  /// endpoints so a migrated channel keeps its performance profile.
+  std::size_t write_buffer = 0;
+  std::size_t read_buffer = 0;
   /// Set by the distribution layer when an endpoint has been shipped to
   /// another server; the remaining local endpoint then knows its peer is
   /// no longer reachable in this address space (used e.g. by Cons to
@@ -56,7 +76,8 @@ class ChannelInputStream final
       public std::enable_shared_from_this<ChannelInputStream> {
  public:
   /// Used by Channel and by the distribution machinery; user code obtains
-  /// endpoints from Channel::input().
+  /// endpoints from Channel::input().  A non-zero state->read_buffer
+  /// interposes a BufferedInputStream above the sequence.
   ChannelInputStream(std::shared_ptr<ChannelState> state,
                      std::shared_ptr<io::SequenceInputStream> sequence);
 
@@ -69,6 +90,12 @@ class ChannelInputStream final
   /// Reads exactly out.size() bytes or throws EndOfStream (the blocking
   /// read discipline used by all element-structured processes).
   void read_fully(MutableByteSpan out);
+
+  /// Unconsumed read-ahead bytes held above the sequence (empty for an
+  /// unbuffered endpoint).  The migration protocol ships these as the
+  /// oldest prefix of the channel's unconsumed history, ahead of
+  /// Pipe::steal_buffer's bytes.
+  ByteVector take_read_buffer();
 
   /// The splice point used by reconfiguration (Section 3.3) and by the
   /// remote machinery: streams appended here are drained after everything
@@ -89,6 +116,10 @@ class ChannelInputStream final
  private:
   std::shared_ptr<ChannelState> state_;
   std::shared_ptr<io::SequenceInputStream> sequence_;
+  /// Set iff state_->read_buffer > 0; wraps sequence_.
+  std::shared_ptr<io::BufferedInputStream> buffer_;
+  /// The stream reads actually go through: buffer_ or sequence_.
+  io::InputStream* source_ = nullptr;
 };
 
 /// Producing endpoint of a channel.
@@ -97,6 +128,9 @@ class ChannelOutputStream final
       public serial::Serializable,
       public std::enable_shared_from_this<ChannelOutputStream> {
  public:
+  /// A non-zero state->write_buffer interposes a BufferedOutputStream
+  /// above the sequence: token writes coalesce and cross the pipe mutex
+  /// (or socket) once per buffer-full, not once per call.
   ChannelOutputStream(std::shared_ptr<ChannelState> state,
                       std::shared_ptr<io::SequenceOutputStream> sequence);
 
@@ -105,6 +139,10 @@ class ChannelOutputStream final
   // reader has closed -- Section 3.4's termination mechanism) ---
   void write(ByteSpan data) override;
   void write_byte(std::uint8_t b) override;
+  void write_vectored(ByteSpan a, ByteSpan b) override;
+  /// For a buffered endpoint: publishes coalesced bytes downstream.  The
+  /// migration cut points (ship/redirect/switch) call this so exact byte
+  /// positions exist where the protocols need them.
   void flush() override;
   void close() override;
 
@@ -124,6 +162,10 @@ class ChannelOutputStream final
  private:
   std::shared_ptr<ChannelState> state_;
   std::shared_ptr<io::SequenceOutputStream> sequence_;
+  /// Set iff state_->write_buffer > 0; wraps sequence_.
+  std::shared_ptr<io::BufferedOutputStream> buffer_;
+  /// The stream writes actually go through: buffer_ or sequence_.
+  io::OutputStream* sink_ = nullptr;
 };
 
 /// A first-in first-out connection between two processes.
@@ -131,6 +173,7 @@ class Channel {
  public:
   explicit Channel(std::size_t capacity = io::Pipe::kDefaultCapacity,
                    std::string label = {});
+  explicit Channel(ChannelOptions options);
 
   /// The producing endpoint (paper: getOutputStream).  Exactly one process
   /// should hold it.

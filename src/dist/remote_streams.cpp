@@ -57,17 +57,26 @@ std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
       const std::size_t n = std::min(out.size(), buffer_.size() - position_);
       std::memcpy(out.data(), buffer_.data() + position_, n);
       position_ += n;
-      // Consumption frees window.  Credits are batched, but always flushed
-      // when the buffer empties: the consumer is about to block on the
-      // socket, so nothing may be withheld from the producer.
+      // Consumption frees window.  Small grants coalesce instead of
+      // costing a credit frame (header + syscall) each; they travel once
+      // they amount to a useful batch, or -- below -- just before this
+      // consumer blocks on the socket.
       pending_credit_ += static_cast<std::uint32_t>(n);
-      if (position_ >= buffer_.size() || pending_credit_ >= 4096) {
+      if (pending_credit_ >= kCreditBatch) {
         send_credit(pending_credit_);
         pending_credit_ = 0;
       }
       return n;
     }
     if (eof_) return 0;
+    // About to block for the next frame: flush withheld credits first.
+    // The producer may need them to make the very progress we wait for
+    // (windows as small as one byte are legal), so nothing may be held
+    // back past this point.
+    if (pending_credit_ > 0) {
+      send_credit(pending_credit_);
+      pending_credit_ = 0;
+    }
     TrafficStats* stats = node_ ? node_->traffic().get() : nullptr;
     net::Frame frame = [&] {
       // Waiting for the next frame is this node "blocked on a remote

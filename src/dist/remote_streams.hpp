@@ -71,6 +71,9 @@ class FrameChannelInput final : public io::InputStream {
   std::optional<net::FrameReader> reader_;
 
   // Reverse-direction flow control (see net::FrameType::kCredit).
+  // Consumption credits below this size coalesce into one grant instead
+  // of costing a frame (header + syscall) each.
+  static constexpr std::uint32_t kCreditBatch = 4096;
   std::mutex credit_mutex_;
   std::optional<net::FrameWriter> credit_writer_;
   bool credit_channel_dead_ = false;

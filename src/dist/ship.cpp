@@ -45,6 +45,9 @@ class RemoteInputStub final : public serial::Serializable {
   std::uint64_t token = 0;
   std::string label;
   std::uint64_t capacity = io::Pipe::kDefaultCapacity;
+  // Endpoint buffering config; the reconstructed endpoint keeps the
+  // channel's performance profile.
+  std::uint64_t read_buffer = 0;
 
   std::string type_name() const override { return "dpn.RemoteInputStub"; }
 
@@ -56,6 +59,7 @@ class RemoteInputStub final : public serial::Serializable {
     out.write_u64(token);
     out.write_string(label);
     out.write_u64(capacity);
+    out.write_u64(read_buffer);
   }
 
   static std::shared_ptr<RemoteInputStub> read_object(
@@ -68,6 +72,7 @@ class RemoteInputStub final : public serial::Serializable {
     stub->token = in.read_u64();
     stub->label = in.read_string();
     stub->capacity = in.read_u64();
+    stub->read_buffer = in.read_u64();
     return stub;
   }
 
@@ -78,6 +83,7 @@ class RemoteInputStub final : public serial::Serializable {
     state->pipe = nullptr;  // the producer is on another server
     state->capacity = static_cast<std::size_t>(capacity);
     state->label = label;
+    state->read_buffer = static_cast<std::size_t>(read_buffer);
     state->output_remote = true;
 
     auto sequence = std::make_shared<io::SequenceInputStream>();
@@ -114,6 +120,7 @@ class RemoteOutputStub final : public serial::Serializable {
   std::uint64_t token = 0;
   std::string label;
   std::uint64_t capacity = io::Pipe::kDefaultCapacity;
+  std::uint64_t write_buffer = 0;
 
   std::string type_name() const override { return "dpn.RemoteOutputStub"; }
 
@@ -124,6 +131,7 @@ class RemoteOutputStub final : public serial::Serializable {
     out.write_u64(token);
     out.write_string(label);
     out.write_u64(capacity);
+    out.write_u64(write_buffer);
   }
 
   static std::shared_ptr<RemoteOutputStub> read_object(
@@ -135,6 +143,7 @@ class RemoteOutputStub final : public serial::Serializable {
     stub->token = in.read_u64();
     stub->label = in.read_string();
     stub->capacity = in.read_u64();
+    stub->write_buffer = in.read_u64();
     return stub;
   }
 
@@ -145,6 +154,7 @@ class RemoteOutputStub final : public serial::Serializable {
     state->pipe = nullptr;
     state->capacity = static_cast<std::size_t>(capacity);
     state->label = label;
+    state->write_buffer = static_cast<std::size_t>(write_buffer);
     state->input_remote = true;
 
     std::shared_ptr<io::OutputStream> sink;
@@ -180,6 +190,8 @@ class LocalPairStub final : public serial::Serializable {
   ByteVector buffered;
   bool write_closed = false;
   bool read_closed = false;
+  std::uint64_t write_buffer = 0;
+  std::uint64_t read_buffer = 0;
 
   std::string type_name() const override { return "dpn.LocalPairStub"; }
 
@@ -193,6 +205,8 @@ class LocalPairStub final : public serial::Serializable {
       out.write_bytes({buffered.data(), buffered.size()});
       out.write_bool(write_closed);
       out.write_bool(read_closed);
+      out.write_u64(write_buffer);
+      out.write_u64(read_buffer);
     }
   }
 
@@ -208,6 +222,8 @@ class LocalPairStub final : public serial::Serializable {
       stub->buffered = in.read_bytes();
       stub->write_closed = in.read_bool();
       stub->read_closed = in.read_bool();
+      stub->write_buffer = in.read_u64();
+      stub->read_buffer = in.read_u64();
     }
     return stub;
   }
@@ -222,7 +238,9 @@ class LocalPairStub final : public serial::Serializable {
       }
       const std::size_t cap = std::max<std::size_t>(
           static_cast<std::size_t>(capacity), buffered.size());
-      channel = std::make_shared<core::Channel>(cap, label);
+      channel = std::make_shared<core::Channel>(core::ChannelOptions{
+          cap, label, static_cast<std::size_t>(write_buffer),
+          static_cast<std::size_t>(read_buffer)});
       if (!buffered.empty()) {
         channel->pipe()->write({buffered.data(), buffered.size()});
       }
@@ -236,6 +254,32 @@ class LocalPairStub final : public serial::Serializable {
     return channel->output();
   }
 };
+
+/// Publishes a buffered producer's coalesced bytes into the pipe so the
+/// cut sees exact byte positions.  A dead reader means the bytes would be
+/// discarded anyway, so ChannelClosed is swallowed.
+void flush_producer(const std::shared_ptr<core::ChannelState>& state) {
+  auto producer = state->output.lock();
+  if (!producer) return;
+  try {
+    producer->flush();
+  } catch (const ChannelClosed&) {
+  }
+}
+
+/// The channel's unconsumed history at a cut: the consumer's read-ahead
+/// bytes (pulled from the pipe first, so the older prefix) followed by the
+/// bytes still in the pipe.  Any producer write buffer must have been
+/// flushed into the pipe beforehand.
+ByteVector drain_unconsumed(const std::shared_ptr<core::ChannelState>& state) {
+  ByteVector out;
+  if (auto consumer = state->input.lock()) {
+    out = consumer->take_read_buffer();
+  }
+  ByteVector piped = state->pipe->steal_buffer();
+  out.insert(out.end(), piped.begin(), piped.end());
+  return out;
+}
 
 std::shared_ptr<serial::Serializable> make_pair_stub(
     SendContext& ctx, const std::shared_ptr<core::ChannelState>& state,
@@ -255,7 +299,16 @@ std::shared_ptr<serial::Serializable> make_pair_stub(
     stub->has_meta = true;
     stub->capacity = state->capacity;
     stub->label = state->label;
-    stub->buffered = state->pipe->steal_buffer();
+    stub->write_buffer = state->write_buffer;
+    stub->read_buffer = state->read_buffer;
+    // Both endpoints travel in this shipment and neither is running:
+    // flush the producer's coalesced bytes into the pipe, then collect
+    // [reader read-ahead][pipe contents] as the unconsumed history.
+    if (!state->pipe->read_closed()) {
+      state->pipe->set_unbounded();  // nobody is draining; don't block
+      flush_producer(state);
+    }
+    stub->buffered = drain_unconsumed(state);
     stub->write_closed = state->pipe->write_closed();
     stub->read_closed = state->pipe->read_closed();
   }
@@ -288,26 +341,33 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
   auto stub = std::make_shared<RemoteInputStub>();
   stub->label = state->label;
   stub->capacity = state->capacity;
+  stub->read_buffer = state->read_buffer;
   NodeContext& node = *ctx->node;
 
   auto producer = state->output.lock();
   if (state->pipe->write_closed() || !producer) {
     // The producer already closed (or vanished): ship the remaining bytes
-    // only; the endpoint ends cleanly after draining them.
+    // only; the endpoint ends cleanly after draining them.  A buffered
+    // producer flushed on close, so the pipe already holds its bytes; the
+    // moving consumer's read-ahead is the older prefix.
     stub->live = false;
-    stub->buffered = state->pipe->steal_buffer();
+    stub->buffered = drain_unconsumed(state);
   } else {
     // Live cut: the staying producer is switched onto a pending socket;
     // whatever is still in the pipe travels with the stub.  Order is
-    // preserved: pipe bytes first (Memory segment), socket bytes after.
+    // preserved: consumer read-ahead first, pipe bytes after it (Memory
+    // segment), socket bytes last.  A buffered producer is flushed into
+    // the pipe before the switch so the pipe steal captures exact byte
+    // positions; writes after the switch coalesce towards the socket.
     const std::uint64_t token = node.next_token();
     auto promise = node.rendezvous().expect(token);
     auto socket_out =
         std::make_shared<FrameChannelOutput>(promise, token, ctx->node);
     state->pipe->set_unbounded();  // unwedge any in-flight producer write
+    flush_producer(state);
     producer->sequence().switch_to(std::move(socket_out),
                                    /*close_old=*/false);
-    stub->buffered = state->pipe->steal_buffer();
+    stub->buffered = drain_unconsumed(state);
     stub->live = true;
     stub->host = node.host();
     stub->port = node.rendezvous().port();
@@ -330,6 +390,15 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
         "channel output endpoint was already shipped away"};
   }
   NodeContext& node = *ctx->node;
+  // A buffered producer must publish its coalesced bytes into the current
+  // transport before the cut: the protocols below reason about exact byte
+  // positions (pipe contents when the write side closes, socket history
+  // ahead of the redirect marker).  A dead consumer surfaces as
+  // ChannelClosed; those bytes would have been discarded anyway.
+  try {
+    endpoint->flush();
+  } catch (const ChannelClosed&) {
+  }
   auto current = endpoint->sequence().current();
 
   if (std::dynamic_pointer_cast<io::LocalOutputStream>(current)) {
@@ -340,6 +409,7 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     auto stub = std::make_shared<RemoteOutputStub>();
     stub->label = state->label;
     stub->capacity = state->capacity;
+    stub->write_buffer = state->write_buffer;
     auto consumer = state->input.lock();
     if (!consumer || state->pipe->read_closed()) {
       stub->dead = true;  // reader already terminated
@@ -373,6 +443,7 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     auto stub = std::make_shared<RemoteOutputStub>();
     stub->label = state->label;
     stub->capacity = state->capacity;
+    stub->write_buffer = state->write_buffer;
     stub->host = peer.host;
     stub->port = peer.port;
     stub->token = successor_token;
@@ -385,6 +456,7 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->dead = true;
     stub->label = state->label;
     stub->capacity = state->capacity;
+    stub->write_buffer = state->write_buffer;
     state->output_remote = true;
     return stub;
   }

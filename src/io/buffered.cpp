@@ -1,0 +1,146 @@
+#include "io/buffered.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dpn::io {
+
+BufferedOutputStream::BufferedOutputStream(std::shared_ptr<OutputStream> out,
+                                           std::size_t buffer_size)
+    : out_(std::move(out)),
+      capacity_(std::max<std::size_t>(buffer_size, 1)) {
+  buffer_.resize(capacity_);
+}
+
+void BufferedOutputStream::flush_buffer_locked() {
+  if (size_ == 0) return;
+  // Reset before writing: if the write throws (reader gone), the bytes are
+  // discarded -- the same outcome a dead reader gives an unbuffered writer.
+  const std::size_t n = size_;
+  size_ = 0;
+  out_->write({buffer_.data(), n});
+}
+
+void BufferedOutputStream::write(ByteSpan data) {
+  std::scoped_lock lock{mutex_};
+  if (closed_) throw IoError{"write to closed BufferedOutputStream"};
+  if (data.empty()) return;
+  if (data.size() >= capacity_) {
+    // Oversized write: pass through (one underlying write, no extra copy),
+    // after draining the buffer to keep byte order.
+    flush_buffer_locked();
+    out_->write(data);
+    return;
+  }
+  if (size_ + data.size() > capacity_) flush_buffer_locked();
+  std::memcpy(buffer_.data() + size_, data.data(), data.size());
+  size_ += data.size();
+}
+
+void BufferedOutputStream::write_byte(std::uint8_t b) {
+  std::scoped_lock lock{mutex_};
+  if (closed_) throw IoError{"write to closed BufferedOutputStream"};
+  if (size_ == capacity_) flush_buffer_locked();
+  buffer_[size_++] = b;
+}
+
+void BufferedOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
+  std::scoped_lock lock{mutex_};
+  if (closed_) throw IoError{"write to closed BufferedOutputStream"};
+  const std::size_t total = a.size() + b.size();
+  if (total >= capacity_) {
+    flush_buffer_locked();
+    out_->write_vectored(a, b);
+    return;
+  }
+  if (size_ + total > capacity_) flush_buffer_locked();
+  if (!a.empty()) std::memcpy(buffer_.data() + size_, a.data(), a.size());
+  if (!b.empty()) {
+    std::memcpy(buffer_.data() + size_ + a.size(), b.data(), b.size());
+  }
+  size_ += total;
+}
+
+void BufferedOutputStream::flush() {
+  std::scoped_lock lock{mutex_};
+  if (closed_) return;
+  flush_buffer_locked();
+  out_->flush();
+}
+
+void BufferedOutputStream::close() {
+  std::scoped_lock lock{mutex_};
+  if (closed_) return;
+  closed_ = true;
+  try {
+    flush_buffer_locked();
+  } catch (const IoError&) {
+    // Reader already gone (ChannelClosed included); remaining bytes are
+    // discarded, as they would be from the pipe of an unbuffered channel.
+  }
+  out_->close();
+}
+
+std::size_t BufferedOutputStream::buffered() const {
+  std::scoped_lock lock{mutex_};
+  return size_;
+}
+
+BufferedInputStream::BufferedInputStream(std::shared_ptr<InputStream> in,
+                                         std::size_t buffer_size)
+    : in_(std::move(in)) {
+  buffer_.resize(std::max<std::size_t>(buffer_size, 1));
+}
+
+std::size_t BufferedInputStream::read_some(MutableByteSpan out) {
+  if (out.empty()) return 0;
+  std::scoped_lock lock{mutex_};
+  if (closed_.load()) throw IoError{"read from closed BufferedInputStream"};
+  if (pos_ >= limit_) {
+    if (out.size() >= buffer_.size()) {
+      // Large read: bypass the buffer entirely.
+      return in_->read_some(out);
+    }
+    const std::size_t n = in_->read_some({buffer_.data(), buffer_.size()});
+    if (n == 0) return 0;  // end-of-stream surfaces unbuffered
+    pos_ = 0;
+    limit_ = n;
+  }
+  const std::size_t n = std::min(out.size(), limit_ - pos_);
+  std::memcpy(out.data(), buffer_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+int BufferedInputStream::read() {
+  {
+    std::scoped_lock lock{mutex_};
+    if (closed_.load()) throw IoError{"read from closed BufferedInputStream"};
+    if (pos_ < limit_) return buffer_[pos_++];
+  }
+  std::uint8_t b = 0;
+  return read_some({&b, 1}) == 0 ? -1 : static_cast<int>(b);
+}
+
+void BufferedInputStream::close() {
+  // No mutex: the reader may be blocked inside a refill holding it; the
+  // underlying close (pipe close_read, socket shutdown, ...) is what wakes
+  // it.  Idempotent via the atomic flag.
+  if (closed_.exchange(true)) return;
+  in_->close();
+}
+
+std::size_t BufferedInputStream::buffered() const {
+  std::scoped_lock lock{mutex_};
+  return limit_ - pos_;
+}
+
+ByteVector BufferedInputStream::take_buffered() {
+  std::scoped_lock lock{mutex_};
+  ByteVector out{buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                 buffer_.begin() + static_cast<std::ptrdiff_t>(limit_)};
+  pos_ = limit_ = 0;
+  return out;
+}
+
+}  // namespace dpn::io

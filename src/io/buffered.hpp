@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "io/stream.hpp"
+#include "support/bytes.hpp"
+
+/// Buffered stream decorators: the batched fast path through the channel
+/// stack.
+///
+/// Every layer under a channel endpoint (Sequence gate, Pipe mutex, socket
+/// syscall) charges per *call*, not per byte, so element-granular writers
+/// (DataOutputStream::write_u32 and friends) pay the full stack price per
+/// token.  These decorators coalesce small operations into buffer-sized
+/// batches.  KPN semantics make this safe: consumers use blocking reads and
+/// cannot observe the *absence* of data, so delaying when buffered bytes
+/// become visible never changes a channel's byte history -- only when it is
+/// produced (cf. DESIGN.md "Performance architecture").
+///
+/// The reconfiguration/migration protocols (SequenceOutputStream::switch_to,
+/// endpoint serialization, Pipe::steal_buffer) need exact byte positions;
+/// they call flush() / take_buffered() at their cut points, which is why
+/// both classes are internally synchronized: the flushing thread is not the
+/// writing thread.
+namespace dpn::io {
+
+/// Coalesces writes into a fixed-size buffer; the underlying stream sees
+/// one write per buffer-full (or per oversized write).  flush() makes all
+/// buffered bytes visible downstream; close() flushes first (flush-on-close)
+/// and then closes the underlying stream.
+class BufferedOutputStream final : public OutputStream {
+ public:
+  static constexpr std::size_t kDefaultBufferSize = 8192;
+
+  explicit BufferedOutputStream(std::shared_ptr<OutputStream> out,
+                                std::size_t buffer_size = kDefaultBufferSize);
+
+  void write(ByteSpan data) override;
+  void write_byte(std::uint8_t b) override;
+  void write_vectored(ByteSpan a, ByteSpan b) override;
+
+  /// Drains the buffer into the underlying stream and flushes it too.
+  /// Safe to call from a thread other than the writer (migration cut
+  /// points); if the writer is blocked inside the underlying stream the
+  /// caller must unblock it first (e.g. Pipe::set_unbounded), exactly as
+  /// for SequenceOutputStream::switch_to.
+  void flush() override;
+
+  /// Flush-on-close, then closes the underlying stream.  If the reader is
+  /// already gone (ChannelClosed/IoError from the flush) the remaining
+  /// bytes are discarded, matching the unbuffered endpoint's behaviour
+  /// where a dead reader discards pipe contents.
+  void close() override;
+
+  std::size_t buffered() const;
+  std::size_t buffer_size() const { return capacity_; }
+  const std::shared_ptr<OutputStream>& underlying() const { return out_; }
+
+ private:
+  void flush_buffer_locked();
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<OutputStream> out_;
+  ByteVector buffer_;
+  std::size_t size_ = 0;  // bytes pending in buffer_
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Reads ahead into a fixed-size buffer so element-granular readers cross
+/// the underlying stream (and its locks) once per buffer-full.  Never
+/// blocks for more than the underlying stream's own blocking rule: one
+/// read_some refill per empty buffer, so short reads and end-of-stream
+/// surface exactly as they would unbuffered.
+class BufferedInputStream final : public InputStream {
+ public:
+  static constexpr std::size_t kDefaultBufferSize = 8192;
+
+  explicit BufferedInputStream(std::shared_ptr<InputStream> in,
+                               std::size_t buffer_size = kDefaultBufferSize);
+
+  std::size_t read_some(MutableByteSpan out) override;
+  int read() override;
+
+  /// Closes the underlying stream.  Deliberately lock-free: cascading
+  /// termination closes an input endpoint from another thread while the
+  /// reader may be blocked inside a refill (holding the buffer mutex), and
+  /// the wakeup comes from closing the underlying stream, not from us.
+  void close() override;
+
+  /// Unconsumed read-ahead bytes currently buffered.
+  std::size_t buffered() const;
+
+  /// Atomically removes and returns the unconsumed read-ahead bytes.  The
+  /// migration protocol ships these ahead of Pipe::steal_buffer's bytes:
+  /// they were read from the transport first, so they are the older prefix
+  /// of the channel history.  Requires the owning reader to be quiescent
+  /// (the same precondition as serializing the endpoint at all).
+  ByteVector take_buffered();
+
+  const std::shared_ptr<InputStream>& underlying() const { return in_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<InputStream> in_;
+  ByteVector buffer_;
+  std::size_t pos_ = 0;    // next unread byte in buffer_
+  std::size_t limit_ = 0;  // bytes valid in buffer_
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace dpn::io

@@ -24,7 +24,7 @@ void DataOutputStream::write_varint(std::uint64_t v) {
   std::uint8_t buf[10];
   std::size_t n = 0;
   while (v >= 0x80) {
-    buf[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    buf[n++] = static_cast<std::uint8_t>((v & 0x7f) | 0x80);
     v >>= 7;
   }
   buf[n++] = static_cast<std::uint8_t>(v);
@@ -32,8 +32,17 @@ void DataOutputStream::write_varint(std::uint64_t v) {
 }
 
 void DataOutputStream::write_bytes(ByteSpan data) {
-  write_varint(data.size());
-  if (!data.empty()) out_->write(data);
+  // Length prefix and payload travel as one vectored write: one pipe-mutex
+  // crossing (or one syscall) per blob instead of two.
+  std::uint8_t prefix[10];
+  std::size_t n = 0;
+  std::uint64_t v = data.size();
+  while (v >= 0x80) {
+    prefix[n++] = static_cast<std::uint8_t>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  prefix[n++] = static_cast<std::uint8_t>(v);
+  out_->write_vectored({prefix, n}, data);
 }
 
 std::uint8_t DataInputStream::read_u8() {

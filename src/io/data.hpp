@@ -23,6 +23,9 @@ class DataOutputStream final : public OutputStream {
 
   void write(ByteSpan data) override { out_->write(data); }
   void write_byte(std::uint8_t b) override { out_->write_byte(b); }
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    out_->write_vectored(a, b);
+  }
   void flush() override { out_->flush(); }
   void close() override { out_->close(); }
 

@@ -39,6 +39,13 @@ class MemoryOutputStream final : public OutputStream {
     buffer_.insert(buffer_.end(), data.begin(), data.end());
   }
 
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    if (closed_) throw IoError{"write to closed MemoryOutputStream"};
+    buffer_.reserve(buffer_.size() + a.size() + b.size());
+    buffer_.insert(buffer_.end(), a.begin(), a.end());
+    buffer_.insert(buffer_.end(), b.begin(), b.end());
+  }
+
   void close() override { closed_ = true; }
 
   const ByteVector& data() const { return buffer_; }

@@ -9,40 +9,72 @@ Pipe::Pipe(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1))
   buffer_.resize(capacity_);
 }
 
+void Pipe::notify_readers_locked() {
+  // Wakeup elision: the counters are exact under mutex_, so when nobody is
+  // waiting the (potentially syscall-priced) notify is skipped entirely,
+  // and a single waiter gets notify_one instead of a broadcast.
+  if (blocked_readers_ == 0) return;
+  if (blocked_readers_ == 1) {
+    readable_.notify_one();
+  } else {
+    readable_.notify_all();
+  }
+}
+
+void Pipe::notify_writers_locked() {
+  if (blocked_writers_ == 0) return;
+  if (blocked_writers_ == 1) {
+    writable_.notify_one();
+  } else {
+    writable_.notify_all();
+  }
+}
+
 std::size_t Pipe::read_some(MutableByteSpan out) {
   if (out.empty()) return 0;
   std::unique_lock lock{mutex_};
-  ++blocked_readers_;
-  readable_.wait(lock, [&] {
-    return count_ > 0 || write_closed_ || read_closed_ || aborted_;
-  });
-  --blocked_readers_;
+  while (count_ == 0 && !write_closed_ && !read_closed_ && !aborted_) {
+    ++blocked_readers_;
+    readable_.wait(lock, [&] {
+      return count_ > 0 || write_closed_ || read_closed_ || aborted_;
+    });
+    --blocked_readers_;
+  }
   if (aborted_) throw Interrupted{"pipe aborted during read"};
   if (read_closed_) throw IoError{"read from closed pipe"};
   if (count_ == 0) return 0;  // write end closed and drained
   const std::size_t n = take_locked(out);
-  lock.unlock();
-  writable_.notify_all();
+  notify_writers_locked();
   return n;
 }
 
-void Pipe::write(ByteSpan data) {
+void Pipe::write(ByteSpan data) { write_vectored(data, {}); }
+
+void Pipe::write_vectored(ByteSpan a, ByteSpan b) {
   std::unique_lock lock{mutex_};
-  while (!data.empty()) {
-    ++blocked_writers_;
-    writable_.wait(lock, [&] {
-      return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
-             count_ < capacity_;
-    });
-    --blocked_writers_;
-    if (aborted_) throw Interrupted{"pipe aborted during write"};
-    if (read_closed_) throw ChannelClosed{};
-    if (write_closed_) throw IoError{"write to closed pipe"};
-    const std::size_t room = unbounded_ ? data.size() : capacity_ - count_;
-    const std::size_t n = std::min(room, data.size());
-    put_locked(data.first(n));
-    data = data.subspan(n);
-    readable_.notify_all();
+  for (ByteSpan data : {a, b}) {
+    while (!data.empty()) {
+      if (aborted_) throw Interrupted{"pipe aborted during write"};
+      if (read_closed_) throw ChannelClosed{};
+      if (write_closed_) throw IoError{"write to closed pipe"};
+      // Room is computed once per loop pass; when the pipe is full we wait
+      // (the reader was already woken by the previous pass's notify, so no
+      // extra notify is issued before sleeping) and re-enter the loop.
+      const std::size_t room = unbounded_ ? data.size() : capacity_ - count_;
+      if (room == 0) {
+        ++blocked_writers_;
+        writable_.wait(lock, [&] {
+          return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
+                 count_ < capacity_;
+        });
+        --blocked_writers_;
+        continue;
+      }
+      const std::size_t n = std::min(room, data.size());
+      put_locked(data.first(n));
+      data = data.subspan(n);
+      notify_readers_locked();
+    }
   }
 }
 
@@ -59,9 +91,12 @@ void Pipe::close_read() {
   {
     std::scoped_lock lock{mutex_};
     read_closed_ = true;
-    // Data still buffered is discarded: the reader is gone.
+    // Data still buffered is discarded: the reader is gone.  The storage is
+    // released too -- the pipe can never carry bytes again, and a shipped
+    // endpoint's steal_buffer must deterministically find it empty.
     count_ = 0;
     head_ = 0;
+    ByteVector{}.swap(buffer_);
   }
   readable_.notify_all();
   writable_.notify_all();
@@ -77,31 +112,25 @@ void Pipe::abort() {
 }
 
 void Pipe::grow(std::size_t new_capacity) {
-  {
-    std::scoped_lock lock{mutex_};
-    if (new_capacity <= capacity_) return;
-    ensure_storage_locked(new_capacity);
-    capacity_ = new_capacity;
-  }
-  writable_.notify_all();
+  std::scoped_lock lock{mutex_};
+  if (new_capacity <= capacity_) return;
+  ensure_storage_locked(new_capacity);
+  capacity_ = new_capacity;
+  notify_writers_locked();
 }
 
 void Pipe::set_unbounded() {
-  {
-    std::scoped_lock lock{mutex_};
-    unbounded_ = true;
-  }
-  writable_.notify_all();
+  std::scoped_lock lock{mutex_};
+  unbounded_ = true;
+  notify_writers_locked();
 }
 
 ByteVector Pipe::steal_buffer() {
   ByteVector out;
-  {
-    std::scoped_lock lock{mutex_};
-    out.resize(count_);
-    take_locked({out.data(), out.size()});
-  }
-  writable_.notify_all();
+  std::scoped_lock lock{mutex_};
+  out.resize(count_);
+  take_locked({out.data(), out.size()});
+  notify_writers_locked();
   return out;
 }
 
@@ -137,6 +166,8 @@ std::size_t Pipe::blocked_writers() const {
 
 std::size_t Pipe::take_locked(MutableByteSpan out) {
   const std::size_t n = std::min(out.size(), count_);
+  if (n == 0) return 0;  // also guards % by zero once storage is released
+  // Bulk ring copy: at most two memcpys, split exactly at the wrap point.
   const std::size_t cap = buffer_.size();
   const std::size_t first = std::min(n, cap - head_);
   std::memcpy(out.data(), buffer_.data() + head_, first);
@@ -149,6 +180,8 @@ std::size_t Pipe::take_locked(MutableByteSpan out) {
 
 void Pipe::put_locked(ByteSpan data) {
   ensure_storage_locked(count_ + data.size());
+  // Bulk ring copy, mirror of take_locked: one memcpy up to the wrap point,
+  // one for the remainder at offset 0.
   const std::size_t cap = buffer_.size();
   const std::size_t tail = (head_ + count_) % cap;
   const std::size_t first = std::min(data.size(), cap - tail);
@@ -166,10 +199,12 @@ void Pipe::ensure_storage_locked(std::size_t needed) {
   ByteVector fresh(new_size);
   // Linearize existing contents at offset 0.
   const std::size_t cap = buffer_.size();
-  const std::size_t first = std::min(count_, cap - head_);
-  std::memcpy(fresh.data(), buffer_.data() + head_, first);
-  if (count_ > first) {
-    std::memcpy(fresh.data() + first, buffer_.data(), count_ - first);
+  if (count_ > 0) {
+    const std::size_t first = std::min(count_, cap - head_);
+    std::memcpy(fresh.data(), buffer_.data() + head_, first);
+    if (count_ > first) {
+      std::memcpy(fresh.data() + first, buffer_.data(), count_ - first);
+    }
   }
   buffer_ = std::move(fresh);
   head_ = 0;

@@ -41,6 +41,11 @@ class Pipe {
   /// read end is closed, Interrupted if aborted while waiting.
   void write(ByteSpan data);
 
+  /// Writes `a` then `b` under a single mutex acquisition (one blocking
+  /// protocol pass instead of two); the gather path for length-prefixed
+  /// payloads and frame headers.
+  void write_vectored(ByteSpan a, ByteSpan b);
+
   void close_write();
   void close_read();
 
@@ -87,6 +92,12 @@ class Pipe {
   std::size_t take_locked(MutableByteSpan out);
   void put_locked(ByteSpan data);
   void ensure_storage_locked(std::size_t needed);
+  // Condition notification with wakeup elision: no-ops when the exact
+  // waiter counters (valid under mutex_) say nobody is blocked, and uses
+  // notify_one for a single waiter.  Callers may hold mutex_; a waiter
+  // woken before we release it just blocks briefly on the mutex.
+  void notify_readers_locked();
+  void notify_writers_locked();
 };
 
 /// Read end of a Pipe as an InputStream.
@@ -113,6 +124,9 @@ class LocalOutputStream final : public OutputStream {
       : pipe_(std::move(pipe)) {}
 
   void write(ByteSpan data) override { pipe_->write(data); }
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    pipe_->write_vectored(a, b);
+  }
   void close() override { pipe_->close_write(); }
 
   const std::shared_ptr<Pipe>& pipe() const { return pipe_; }

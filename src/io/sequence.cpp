@@ -90,6 +90,12 @@ void SequenceOutputStream::write_byte(std::uint8_t b) {
   current_->write_byte(b);
 }
 
+void SequenceOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
+  std::shared_lock gate{gate_};
+  if (closed_) throw IoError{"write to closed SequenceOutputStream"};
+  current_->write_vectored(a, b);
+}
+
 void SequenceOutputStream::flush() {
   std::shared_lock gate{gate_};
   if (!closed_) current_->flush();

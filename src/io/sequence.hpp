@@ -67,6 +67,7 @@ class SequenceOutputStream final : public OutputStream {
 
   void write(ByteSpan data) override;
   void write_byte(std::uint8_t b) override;
+  void write_vectored(ByteSpan a, ByteSpan b) override;
   void flush() override;
   void close() override;
 

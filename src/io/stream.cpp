@@ -4,6 +4,18 @@
 
 namespace dpn::io {
 
+void OutputStream::write_vectored(ByteSpan a, ByteSpan b) {
+  if (a.empty()) return write(b);
+  if (b.empty()) return write(a);
+  // One coalesced write(), not two: callers (the frame codec above all)
+  // rely on the two parts being un-tearable on shared streams.
+  ByteVector joined;
+  joined.reserve(a.size() + b.size());
+  joined.insert(joined.end(), a.begin(), a.end());
+  joined.insert(joined.end(), b.begin(), b.end());
+  write({joined.data(), joined.size()});
+}
+
 void read_fully(InputStream& in, MutableByteSpan out) {
   std::size_t got = 0;
   while (got < out.size()) {

@@ -45,6 +45,13 @@ class OutputStream {
 
   virtual void write_byte(std::uint8_t b) { write({&b, 1}); }
 
+  /// Writes `a` immediately followed by `b` as one atomic write: the two
+  /// parts cannot be torn apart by other writers on the same stream, and
+  /// leaf transports collapse them into a single operation (one pipe-mutex
+  /// crossing, one ::writev syscall).  The default implementation coalesces
+  /// into a temporary buffer; override where gathering is cheaper.
+  virtual void write_vectored(ByteSpan a, ByteSpan b);
+
   /// Pushes buffered bytes toward the reader.  Most dpn streams are
   /// unbuffered; this is a hook for buffered decorators.
   virtual void flush() {}
@@ -68,6 +75,7 @@ std::size_t pump(InputStream& in, OutputStream& out,
 class NullOutputStream final : public OutputStream {
  public:
   void write(ByteSpan) override {}
+  void write_vectored(ByteSpan, ByteSpan) override {}
   void close() override {}
 };
 

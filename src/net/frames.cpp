@@ -53,14 +53,16 @@ void FrameWriter::write_frame(FrameType type, ByteSpan payload) {
   std::uint8_t header[5];
   header[0] = static_cast<std::uint8_t>(type);
   put_u32(header + 1, static_cast<std::uint32_t>(payload.size()));
-  // Header and payload are written as one buffer per frame so concurrent
-  // framing layers on the same stream cannot interleave (writers serialize
-  // in the stream below us, but a torn frame must be impossible).
-  ByteVector buffer;
-  buffer.reserve(sizeof header + payload.size());
-  buffer.insert(buffer.end(), header, header + sizeof header);
-  buffer.insert(buffer.end(), payload.begin(), payload.end());
-  out_->write({buffer.data(), buffer.size()});
+  // Header and payload travel as ONE vectored write per frame: a kData
+  // frame is a single ::writev on a socket (no per-frame allocation or
+  // copy), and the un-tearable write keeps concurrent framing layers on
+  // the same stream from interleaving (writers serialize in the stream
+  // below us, but a torn frame must be impossible).
+  if (payload.empty()) {
+    out_->write({header, sizeof header});
+  } else {
+    out_->write_vectored({header, sizeof header}, payload);
+  }
 }
 
 Frame FrameReader::read_frame() {

@@ -86,6 +86,38 @@ void Socket::write_all(ByteSpan data) {
   }
 }
 
+void Socket::write_vectored(ByteSpan a, ByteSpan b) {
+  if (a.empty()) return write_all(b);
+  if (b.empty()) return write_all(a);
+  // Common case: the whole frame leaves in one ::writev.  A short write
+  // (send buffer full) falls back to advancing the iovecs.
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::uint8_t*>(a.data());
+  iov[0].iov_len = a.size();
+  iov[1].iov_base = const_cast<std::uint8_t*>(b.data());
+  iov[1].iov_len = b.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  std::size_t skip = 0;  // bytes of `a` already sent
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
+      throw_errno("sendmsg");
+    }
+    std::size_t sent = static_cast<std::size_t>(n);
+    if (skip + sent >= a.size() + b.size()) return;
+    skip += sent;
+    if (skip >= a.size()) {
+      return write_all(b.subspan(skip - a.size()));
+    }
+    iov[0].iov_base = const_cast<std::uint8_t*>(a.data() + skip);
+    iov[0].iov_len = a.size() - skip;
+  }
+}
+
 void Socket::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }

@@ -40,6 +40,10 @@ class Socket {
   /// otherwise.
   void write_all(ByteSpan data);
 
+  /// Writes `a` then `b` via ::writev -- normally one syscall for both
+  /// parts (frame header + payload).  Error mapping as write_all.
+  void write_vectored(ByteSpan a, ByteSpan b);
+
   /// Half-close of the send direction (delivers EOF to the peer).
   void shutdown_write();
   /// Half-close of the receive direction.
@@ -106,6 +110,10 @@ class SocketOutputStream final : public io::OutputStream {
       : socket_(std::move(socket)) {}
 
   void write(ByteSpan data) override { socket_->write_all(data); }
+
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    socket_->write_vectored(a, b);
+  }
 
   void close() override { socket_->shutdown_write(); }
 

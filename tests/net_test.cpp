@@ -125,6 +125,56 @@ TEST(Frames, DataRoundTrip) {
   EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
 }
 
+/// Counts discrete write operations -- each stands for one syscall when
+/// the underlying stream is a socket.
+class CountingOutputStream final : public io::OutputStream {
+ public:
+  void write(ByteSpan data) override {
+    ++ops;
+    bytes.insert(bytes.end(), data.begin(), data.end());
+  }
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    ++ops;
+    bytes.insert(bytes.end(), a.begin(), a.end());
+    bytes.insert(bytes.end(), b.begin(), b.end());
+  }
+  void close() override {}
+  int ops = 0;
+  ByteVector bytes;
+};
+
+TEST(Frames, DataFrameIsOneWriteOperation) {
+  // Header and payload travel as one gathered write: on a socket that is
+  // a single ::sendmsg, not a 5-byte header syscall plus a payload one.
+  auto sink = std::make_shared<CountingOutputStream>();
+  FrameWriter writer{sink};
+  const ByteVector payload{1, 2, 3, 4, 5};
+  writer.write_data({payload.data(), payload.size()});
+  EXPECT_EQ(sink->ops, 1);
+
+  // And the wire bytes are still a well-formed frame.
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->bytes)};
+  const Frame frame = reader.read_frame();
+  EXPECT_EQ(frame.type, FrameType::kData);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Frames, ControlFramesAreOneWriteOperation) {
+  auto sink = std::make_shared<CountingOutputStream>();
+  FrameWriter writer{sink};
+  writer.write_fin();
+  EXPECT_EQ(sink->ops, 1);
+  writer.write_credit(4096);
+  EXPECT_EQ(sink->ops, 2);
+
+  FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->bytes)};
+  EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
+  const Frame credit = reader.read_frame();
+  EXPECT_EQ(credit.type, FrameType::kCredit);
+  ASSERT_EQ(credit.payload.size(), 4u);
+  EXPECT_EQ(get_u32(credit.payload.data()), 4096u);
+}
+
 TEST(Frames, EmptyDataFrameElided) {
   auto sink = std::make_shared<io::MemoryOutputStream>();
   FrameWriter writer{sink};
