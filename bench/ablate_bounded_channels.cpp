@@ -34,10 +34,10 @@ struct Outcome {
 Outcome run_figure13(std::int64_t n, long total, std::size_t capacity_bytes,
                      bool monitored) {
   core::Network network;
-  auto source = network.make_channel(4096, "source");
-  auto multiples = network.make_channel(capacity_bytes, "multiples");
-  auto others = network.make_channel(capacity_bytes, "others");
-  auto merged = network.make_channel(4096, "merged");
+  auto source = network.make_channel({.capacity = 4096, .label = "source"});
+  auto multiples = network.make_channel({.capacity = capacity_bytes, .label = "multiples"});
+  auto others = network.make_channel({.capacity = capacity_bytes, .label = "others"});
+  auto merged = network.make_channel({.capacity = 4096, .label = "merged"});
   auto sink = std::make_shared<processes::CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<processes::Sequence>(1, source->output(),

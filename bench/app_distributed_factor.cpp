@@ -53,7 +53,7 @@ Run run_distributed(const bench::Workload& workload, std::size_t n_workers,
         "factor-worker-" + std::to_string(i)));
     rmi::ServerHandle handle{
         rmi::Endpoint{"127.0.0.1", servers.back()->port()}, node};
-    handle.run_async(worker);  // worker now lives on its own server
+    handle.submit(worker);  // worker now lives on its own server
     task_outs.push_back(tasks->output());
     result_ins.push_back(results->input());
   }

@@ -65,14 +65,14 @@ void BM_BeamSampleRate(benchmark::State& state) {
     core::Network network;
     std::vector<std::shared_ptr<core::ChannelInputStream>> taps;
     for (std::size_t s = 0; s < sensors; ++s) {
-      auto raw = network.make_channel(1 << 14);
+      auto raw = network.make_channel({.capacity = 1 << 14});
       network.add(std::make_shared<dsp::PlaneWaveSource>(
           raw->output(), 1.0 / 16.0, static_cast<double>(s) * 1.5, 0.1,
           100 + s, samples));
       taps.push_back(raw->input());
     }
-    auto summed = network.make_channel(1 << 14);
-    auto power = network.make_channel(1 << 14);
+    auto summed = network.make_channel({.capacity = 1 << 14});
+    auto power = network.make_channel({.capacity = 1 << 14});
     auto sink = std::make_shared<processes::CollectSink<double>>();
     network.add(std::make_shared<dsp::DelaySum>(
         taps, summed->output(),

@@ -23,8 +23,8 @@ struct Run {
 
 Run run_sieve(bool recursive, long limit) {
   core::Network network;
-  auto numbers = network.make_channel(4096);
-  auto primes = network.make_channel(4096);
+  auto numbers = network.make_channel({.capacity = 4096});
+  auto primes = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<processes::CollectSink<std::int64_t>>();
   network.add(
       std::make_shared<processes::Sequence>(2, numbers->output(), limit));

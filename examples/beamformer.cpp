@@ -44,12 +44,12 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::shared_ptr<core::ChannelInputStream>>> taps(
       bearings.size());
   for (std::size_t s = 0; s < kSensors; ++s) {
-    auto raw = network.make_channel(4096);
+    auto raw = network.make_channel({.capacity = 4096});
     network.add(std::make_shared<dsp::PlaneWaveSource>(
         raw->output(), kFrequency, arrivals[s], noise, 1000 + s, samples));
     std::vector<std::shared_ptr<core::ChannelOutputStream>> copies;
     for (std::size_t b = 0; b < bearings.size(); ++b) {
-      auto ch = network.make_channel(4096);
+      auto ch = network.make_channel({.capacity = 4096});
       copies.push_back(ch->output());
       taps[b].push_back(ch->input());
     }
@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::shared_ptr<processes::CollectSink<double>>> sinks;
   for (std::size_t b = 0; b < bearings.size(); ++b) {
-    auto summed = network.make_channel(4096);
-    auto power = network.make_channel(4096);
+    auto summed = network.make_channel({.capacity = 4096});
+    auto power = network.make_channel({.capacity = 4096});
     network.add(std::make_shared<dsp::DelaySum>(
         taps[b], summed->output(),
         dsp::steering_delays(kSensors, kSpacing, bearings[b])));

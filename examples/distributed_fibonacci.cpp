@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   auto handle_b =
       rmi::ServerHandle::lookup("127.0.0.1", registry.port(), "server-B",
                                 node_a);
-  handle_b.run_async(tail);
+  handle_b.submit(tail);
   std::printf("shipped the Print subgraph to server B\n");
 
   // ... then ship the lower half to C: its fh output endpoint is already
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   auto handle_c =
       rmi::ServerHandle::lookup("127.0.0.1", registry.port(), "server-C",
                                 node_a);
-  handle_c.run_async(lower);
+  handle_c.submit(lower);
   std::printf("shipped the generator subgraph to server C (fh redirected)\n");
 
   // Run A's share; the graph terminates when B's Print hits its limit and

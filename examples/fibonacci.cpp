@@ -18,35 +18,54 @@ int main(int argc, char** argv) {
   const long count = argc > 1 ? std::atol(argv[1]) : 20;
 
   core::Network network;
-  // Channel names follow Figure 6.
-  auto ab = network.make_channel(4096, "ab");
-  auto be = network.make_channel(4096, "be");
-  auto cd = network.make_channel(4096, "cd");
-  auto df = network.make_channel(4096, "df");
-  auto ed = network.make_channel(4096, "ed");
-  auto eg = network.make_channel(4096, "eg");
-  auto fg = network.make_channel(4096, "fg");
-  auto fh = network.make_channel(4096, "fh");
-  auto gb = network.make_channel(4096, "gb");
+  // Channel names follow Figure 6.  The feedback edges of the cycle are
+  // created explicitly (a cycle's channels need names anyway); the chains
+  // that start or end the graph are wired with connect().
+  auto be = network.make_channel({.capacity = 4096, .label = "be"});
+  auto df = network.make_channel({.capacity = 4096, .label = "df"});
+  auto ed = network.make_channel({.capacity = 4096, .label = "ed"});
+  auto eg = network.make_channel({.capacity = 4096, .label = "eg"});
+  auto fg = network.make_channel({.capacity = 4096, .label = "fg"});
+  auto gb = network.make_channel({.capacity = 4096, .label = "gb"});
 
-  auto cons_b = std::make_shared<processes::Cons>(ab->input(), gb->input(),
-                                                  be->output());
-  auto cons_d = std::make_shared<processes::Cons>(cd->input(), ed->input(),
-                                                  df->output());
-
-  network.add(std::make_shared<processes::Constant>(1, ab->output(), 1));
-  network.add(cons_b);
+  std::shared_ptr<processes::Cons> cons_b, cons_d;
+  // ab: the seed Constant feeds Cons_b, which splices in the gb feedback.
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<processes::Constant>(1, std::move(out), 1);
+      },
+      [&](auto in) {
+        cons_b = std::make_shared<processes::Cons>(std::move(in), gb->input(),
+                                                   be->output());
+        return cons_b;
+      },
+      {.capacity = 4096, .label = "ab"});
+  // cd: the second seed Constant feeds Cons_d.
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<processes::Constant>(1, std::move(out), 1);
+      },
+      [&](auto in) {
+        cons_d = std::make_shared<processes::Cons>(std::move(in), ed->input(),
+                                                   df->output());
+        return cons_d;
+      },
+      {.capacity = 4096, .label = "cd"});
+  // fh: Duplicate(f) emits the printable stream.
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<processes::Duplicate>(
+            df->input(), std::move(out), fg->output());
+      },
+      [&](auto in) {
+        return std::make_shared<processes::Print>(std::move(in), count, "fib");
+      },
+      {.capacity = 4096, .label = "fh"});
   network.add(std::make_shared<processes::Duplicate>(be->input(),
                                                      ed->output(),
                                                      eg->output()));
   network.add(std::make_shared<processes::Add>(eg->input(), fg->input(),
                                                gb->output()));
-  network.add(std::make_shared<processes::Constant>(1, cd->output(), 1));
-  network.add(cons_d);
-  network.add(std::make_shared<processes::Duplicate>(df->input(),
-                                                     fh->output(),
-                                                     fg->output()));
-  network.add(std::make_shared<processes::Print>(fh->input(), count, "fib"));
   network.run();
 
   std::printf("cons_b spliced out: %s\ncons_d spliced out: %s\n",

@@ -28,16 +28,16 @@ int main(int argc, char** argv) {
   core::Network network;
   // Deliberately tiny channels: let the monitor do the sizing.
   const std::size_t cap = 64;
-  auto out = network.make_channel(cap, "out");
-  auto seed = network.make_channel(cap, "seed");
-  auto stream = network.make_channel(cap, "stream");
-  auto printed = network.make_channel(cap, "printed");
-  auto c2 = network.make_channel(cap, "c2");
-  auto c3 = network.make_channel(cap, "c3");
-  auto c5 = network.make_channel(cap, "c5");
-  auto s2 = network.make_channel(cap, "s2");
-  auto s3 = network.make_channel(cap, "s3");
-  auto s5 = network.make_channel(cap, "s5");
+  auto out = network.make_channel({.capacity = cap, .label = "out"});
+  auto seed = network.make_channel({.capacity = cap, .label = "seed"});
+  auto stream = network.make_channel({.capacity = cap, .label = "stream"});
+  auto printed = network.make_channel({.capacity = cap, .label = "printed"});
+  auto c2 = network.make_channel({.capacity = cap, .label = "c2"});
+  auto c3 = network.make_channel({.capacity = cap, .label = "c3"});
+  auto c5 = network.make_channel({.capacity = cap, .label = "c5"});
+  auto s2 = network.make_channel({.capacity = cap, .label = "s2"});
+  auto s3 = network.make_channel({.capacity = cap, .label = "s3"});
+  auto s5 = network.make_channel({.capacity = cap, .label = "s5"});
 
   network.add(std::make_shared<processes::Constant>(1, seed->output(), 1));
   network.add(std::make_shared<processes::Cons>(seed->input(), out->input(),

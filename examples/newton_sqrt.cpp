@@ -23,20 +23,20 @@ namespace {
 double network_sqrt(double x) {
   using namespace dpn;
   core::Network network;
-  auto xs = network.make_channel(4096, "x");
-  auto r_init = network.make_channel(64, "r0");
-  auto r_feedback = network.make_channel(4096, "feedback");
-  auto r = network.make_channel(4096, "r");
-  auto r_div = network.make_channel(4096);
-  auto r_avg = network.make_channel(4096);
-  auto r_eq = network.make_channel(4096);
-  auto quotient = network.make_channel(4096);
-  auto r_next = network.make_channel(4096);
-  auto loop_copy = network.make_channel(4096);
-  auto eq_copy = network.make_channel(4096);
-  auto guard_copy = network.make_channel(4096);
-  auto control = network.make_channel(4096);
-  auto result = network.make_channel(64);
+  auto xs = network.make_channel({.capacity = 4096, .label = "x"});
+  auto r_init = network.make_channel({.capacity = 64, .label = "r0"});
+  auto r_feedback = network.make_channel({.capacity = 4096, .label = "feedback"});
+  auto r = network.make_channel({.capacity = 4096, .label = "r"});
+  auto r_div = network.make_channel({.capacity = 4096});
+  auto r_avg = network.make_channel({.capacity = 4096});
+  auto r_eq = network.make_channel({.capacity = 4096});
+  auto quotient = network.make_channel({.capacity = 4096});
+  auto r_next = network.make_channel({.capacity = 4096});
+  auto loop_copy = network.make_channel({.capacity = 4096});
+  auto eq_copy = network.make_channel({.capacity = 4096});
+  auto guard_copy = network.make_channel({.capacity = 4096});
+  auto control = network.make_channel({.capacity = 4096});
+  auto result = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<processes::CollectSink<double>>();
 
   network.add(std::make_shared<processes::ConstantF64>(x, xs->output()));

@@ -8,19 +8,37 @@
 // static-vs-dynamic behaviour of Figures 19/20 is visible on one machine.
 //
 //   ./parallel_factor [workers] [tasks] [prime_bits] [static|dynamic]
+//                     [--trace=out.json]
+//
+// With --trace=FILE the run records runtime events (channel ops, task
+// dispatch, monitor decisions) into the obs ring buffer and exports them
+// as Chrome trace_event JSON (load in chrome://tracing / ui.perfetto.dev).
+// Either way it finishes by printing the Network::snapshot() view of the
+// graph: per-channel traffic, blocked time, and batching counters.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 
 #include "cluster/cluster.hpp"
 #include "factor/factor.hpp"
+#include "obs/trace.hpp"
 #include "par/schema.hpp"
 #include "support/stopwatch.hpp"
 
 int main(int argc, char** argv) {
   using namespace dpn;
+  const char* trace_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_file = argv[i] + 8;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   const std::size_t workers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   const std::uint64_t tasks = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
   const std::size_t bits = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 96;
@@ -49,18 +67,51 @@ int main(int argc, char** argv) {
     }
   };
 
+  if (trace_file != nullptr) obs::Tracer::instance().enable();
+
+  // Figure 1 built with the connect() builder: Producer -> tasks ->
+  // schema -> results -> Consumer, all channels watched by the network.
   Stopwatch watch;
-  auto graph = par::pipeline(
-      std::make_shared<factor::FactorProducerTask>(problem.n, tasks),
-      observer, [&](auto in, auto out) {
-        return dynamic
-                   ? par::meta_dynamic(std::move(in), std::move(out), workers,
-                                       factory)
-                   : par::meta_static(std::move(in), std::move(out), workers,
-                                      factory);
-      });
-  graph->run();
+  core::Network network;
+  std::shared_ptr<core::ChannelInputStream> tasks_in;
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<par::Producer>(
+            std::make_shared<factor::FactorProducerTask>(problem.n, tasks),
+            std::move(out));
+      },
+      [&](auto in) { tasks_in = std::move(in); },
+      {.label = "pipeline.tasks"});
+  network.connect(
+      [&](auto out) {
+        const par::SchemaOptions schema_options{.watch = &network};
+        return dynamic ? par::meta_dynamic(std::move(tasks_in),
+                                           std::move(out), workers, factory,
+                                           schema_options)
+                       : par::meta_static(std::move(tasks_in), std::move(out),
+                                          workers, factory, schema_options);
+      },
+      [&](auto in) {
+        return std::make_shared<par::Consumer>(std::move(in), 0, observer);
+      },
+      {.label = "pipeline.results"});
+  network.run();
   const double elapsed = watch.elapsed_seconds();
+
+  // The runtime's own account of the run: per-channel traffic, blocked
+  // time, batching, and per-process step counts.
+  std::printf("\n-- network snapshot --\n%s\n",
+              network.snapshot().to_string().c_str());
+
+  if (trace_file != nullptr) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.disable();
+    std::ofstream out{trace_file};
+    out << tracer.chrome_trace_json();
+    std::printf("trace: %llu events recorded, newest %zu written to %s\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                tracer.drain().size(), trace_file);
+  }
 
   if (found) {
     std::printf("factored in %.3f s:\n  P = %s (expected %s)\n", elapsed,

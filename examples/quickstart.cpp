@@ -12,8 +12,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "core/network.hpp"
 #include "par/generic.hpp"
-#include "par/schema.hpp"
 
 namespace {
 
@@ -117,14 +117,29 @@ int main(int argc, char** argv) {
   const std::int64_t count = argc > 1 ? std::atoll(argv[1]) : 10;
 
   // Producer -> Worker -> Consumer, each on its own thread, connected by
-  // bounded FIFO channels with blocking reads (Kahn semantics).
-  auto graph = dpn::par::pipeline(
-      std::make_shared<CountTask>(count), /*observer=*/{},
-      [](auto in, auto out) {
-        return std::make_shared<dpn::par::Worker>(std::move(in),
-                                                  std::move(out));
-      });
-  graph->run();
+  // bounded FIFO channels with blocking reads (Kahn semantics).  Each
+  // connect() creates one channel and hands its endpoints to the
+  // neighbouring processes, so the code reads like Figure 1.
+  using namespace dpn;
+  core::Network network;
+  std::shared_ptr<core::ChannelInputStream> tasks_in;
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<par::Producer>(
+            std::make_shared<CountTask>(count), std::move(out));
+      },
+      [&](auto in) { tasks_in = std::move(in); },
+      {.capacity = 4096, .label = "tasks"});
+  network.connect(
+      [&](auto out) {
+        return std::make_shared<par::Worker>(std::move(tasks_in),
+                                             std::move(out));
+      },
+      [&](auto in) {
+        return std::make_shared<par::Consumer>(std::move(in), 0);
+      },
+      {.capacity = 4096, .label = "results"});
+  network.run();
   std::printf("done: %lld tasks through the pipeline\n",
               static_cast<long long>(count));
   return 0;

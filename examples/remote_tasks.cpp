@@ -56,21 +56,41 @@ int main(int argc, char** argv) {
   Stopwatch watch;
   std::size_t sent = 0;
   std::optional<bigint::BigInt> found;
+  // Round-robin submit() keeps one task in flight per server; each
+  // TaskFuture is collected just before its server is reused, so the pool
+  // works in parallel without a process network -- the contrast that
+  // motivates MetaDynamic.
+  std::vector<rmi::TaskFuture> in_flight{handles.size()};
+  auto collect = [&](rmi::TaskFuture& future) {
+    if (!future.valid()) return;
+    auto result =
+        std::dynamic_pointer_cast<factor::FactorResultTask>(future.get());
+    if (result && result->found) found = result->p;
+  };
   for (;;) {
     auto task = producer.run();
     if (!task) break;
-    // One synchronous remote evaluation per task, round-robin.
-    auto result_obj = handles[sent % handles.size()].run(
+    rmi::TaskFuture& slot = in_flight[sent % handles.size()];
+    collect(slot);
+    slot = handles[sent % handles.size()].submit(
         std::dynamic_pointer_cast<core::Task>(task));
     ++sent;
-    auto result =
-        std::dynamic_pointer_cast<factor::FactorResultTask>(result_obj);
-    if (result && result->found) found = result->p;
   }
+  for (auto& future : in_flight) collect(future);
   const double elapsed = watch.elapsed_seconds();
 
   std::printf("%zu tasks executed remotely in %.3f s (%.0f tasks/s)\n",
               sent, elapsed, static_cast<double>(sent) / elapsed);
+
+  // remote_bytes_* count channel frames only; a pure task farm ships its
+  // work over the RMI op sockets, so zero here means "no channels cut".
+  const obs::NetworkSnapshot fleet = rmi::fleet_stats(handles);
+  std::printf(
+      "fleet: %llu hosted processes live, %llu channel bytes in flight "
+      "(tasks travel on the RMI sockets, not channels)\n",
+      static_cast<unsigned long long>(fleet.live),
+      static_cast<unsigned long long>(fleet.remote_bytes_sent +
+                                      fleet.remote_bytes_received));
   if (found && *found == problem.p) {
     std::printf("factor found: P = %s\n", found->to_decimal().c_str());
   } else {

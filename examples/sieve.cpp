@@ -24,22 +24,35 @@ int main(int argc, char** argv) {
   const long n = argc > 2 ? std::atol(argv[2]) : 100;
 
   core::Network network;
-  auto numbers = network.make_channel(4096, "numbers");
-  auto primes = network.make_channel(4096, "primes");
-  auto sift = std::make_shared<processes::Sift>(numbers->input(),
-                                                primes->output());
+  std::shared_ptr<processes::Sift> sift;
+  std::shared_ptr<core::ChannelInputStream> numbers_in;
 
-  if (first_mode) {
-    // Unbounded source; the Print's iteration limit terminates the run.
-    network.add(std::make_shared<processes::Sequence>(2, numbers->output()));
-    network.add(std::make_shared<processes::Print>(primes->input(), n));
-  } else {
-    // Source limit: integers 2..n; everything downstream drains.
-    network.add(
-        std::make_shared<processes::Sequence>(2, numbers->output(), n - 1));
-    network.add(std::make_shared<processes::Print>(primes->input()));
-  }
-  network.add(sift);
+  // Figure 7 reads straight off the two connect() calls:
+  //   Sequence -> numbers -> Sift -> primes -> Print.
+  // In "first" mode the source is unbounded and the Print's iteration
+  // limit kills the upstream via cascading channel closure; in "below"
+  // mode the source stops at n and the sieve drains.
+  network.connect(
+      [&](auto out) {
+        return first_mode
+                   ? std::make_shared<processes::Sequence>(2, std::move(out))
+                   : std::make_shared<processes::Sequence>(2, std::move(out),
+                                                           n - 1);
+      },
+      [&](auto in) { numbers_in = std::move(in); },
+      {.capacity = 4096, .label = "numbers"});
+  network.connect(
+      [&](auto out) {
+        sift = std::make_shared<processes::Sift>(std::move(numbers_in),
+                                                 std::move(out));
+        return sift;
+      },
+      [&](auto in) {
+        return first_mode
+                   ? std::make_shared<processes::Print>(std::move(in), n)
+                   : std::make_shared<processes::Print>(std::move(in));
+      },
+      {.capacity = 4096, .label = "primes"});
   network.run();
 
   std::printf("filters inserted into the running graph: %zu\n",

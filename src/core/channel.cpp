@@ -1,13 +1,41 @@
 #include "core/channel.hpp"
 
+#include <atomic>
 #include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace dpn::core {
 
 namespace {
 DistributionHooks g_hooks;
 std::mutex g_hooks_mutex;
+
+/// Flips the owning process's observable state to `blocked` for the
+/// duration of a channel operation, restoring kRunning on the way out --
+/// including the exception paths (EndOfStream, ChannelClosed), where the
+/// process is briefly "running" again until its run() winds down.
+class BlockedScope {
+ public:
+  BlockedScope(obs::ProcessStats* owner, obs::ProcessState blocked)
+      : owner_(owner) {
+    if (owner_ != nullptr) owner_->set_state(blocked);
+  }
+  ~BlockedScope() {
+    if (owner_ != nullptr) owner_->set_state(obs::ProcessState::kRunning);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  obs::ProcessStats* owner_;
+};
 }  // namespace
+
+std::uint64_t next_channel_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void set_distribution_hooks(DistributionHooks hooks) {
   std::scoped_lock lock{g_hooks_mutex};
@@ -22,7 +50,9 @@ const DistributionHooks& distribution_hooks() {
 ChannelInputStream::ChannelInputStream(
     std::shared_ptr<ChannelState> state,
     std::shared_ptr<io::SequenceInputStream> sequence)
-    : state_(std::move(state)), sequence_(std::move(sequence)) {
+    : state_(std::move(state)),
+      sequence_(std::move(sequence)),
+      metrics_(state_->metrics.get()) {
   if (state_->read_buffer > 0) {
     buffer_ = std::make_shared<io::BufferedInputStream>(sequence_,
                                                         state_->read_buffer);
@@ -33,15 +63,36 @@ ChannelInputStream::ChannelInputStream(
 }
 
 std::size_t ChannelInputStream::read_some(MutableByteSpan out) {
-  return source_->read_some(out);
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedReading};
+  const std::size_t n = source_->read_some(out);
+  if (n > 0) {
+    // A zero-byte return is the end-of-stream probe, not a token.
+    metrics_->on_read(n);
+    DPN_TRACE_EVENT(obs::TraceKind::kChannelRead, state_->label, n);
+  }
+  return n;
 }
 
-int ChannelInputStream::read() { return source_->read(); }
+int ChannelInputStream::read() {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedReading};
+  const int b = source_->read();
+  if (b >= 0) {
+    metrics_->on_read(1);
+    DPN_TRACE_EVENT(obs::TraceKind::kChannelRead, state_->label, 1);
+  }
+  return b;
+}
 
-void ChannelInputStream::close() { source_->close(); }
+void ChannelInputStream::close() {
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelClose, state_->label);
+  source_->close();
+}
 
 void ChannelInputStream::read_fully(MutableByteSpan out) {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedReading};
   io::read_fully(*source_, out);
+  metrics_->on_read(out.size());
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelRead, state_->label, out.size());
 }
 
 ByteVector ChannelInputStream::take_read_buffer() {
@@ -67,7 +118,9 @@ std::shared_ptr<serial::Serializable> ChannelInputStream::write_replace(
 ChannelOutputStream::ChannelOutputStream(
     std::shared_ptr<ChannelState> state,
     std::shared_ptr<io::SequenceOutputStream> sequence)
-    : state_(std::move(state)), sequence_(std::move(sequence)) {
+    : state_(std::move(state)),
+      sequence_(std::move(sequence)),
+      metrics_(state_->metrics.get()) {
   if (state_->write_buffer > 0) {
     buffer_ = std::make_shared<io::BufferedOutputStream>(
         sequence_, state_->write_buffer);
@@ -77,17 +130,39 @@ ChannelOutputStream::ChannelOutputStream(
   }
 }
 
-void ChannelOutputStream::write(ByteSpan data) { sink_->write(data); }
-
-void ChannelOutputStream::write_byte(std::uint8_t b) { sink_->write_byte(b); }
-
-void ChannelOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
-  sink_->write_vectored(a, b);
+void ChannelOutputStream::write(ByteSpan data) {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedWriting};
+  sink_->write(data);
+  metrics_->on_write(data.size());
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelWrite, state_->label, data.size());
 }
 
-void ChannelOutputStream::flush() { sink_->flush(); }
+void ChannelOutputStream::write_byte(std::uint8_t b) {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedWriting};
+  sink_->write_byte(b);
+  metrics_->on_write(1);
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelWrite, state_->label, 1);
+}
 
-void ChannelOutputStream::close() { sink_->close(); }
+void ChannelOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedWriting};
+  sink_->write_vectored(a, b);
+  metrics_->on_write(a.size() + b.size());
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelWrite, state_->label,
+                  a.size() + b.size());
+}
+
+void ChannelOutputStream::flush() {
+  BlockedScope scope{owner_.get(), obs::ProcessState::kBlockedWriting};
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelFlush, state_->label,
+                  buffer_ ? buffer_->buffered() : 0);
+  sink_->flush();
+}
+
+void ChannelOutputStream::close() {
+  DPN_TRACE_EVENT(obs::TraceKind::kChannelClose, state_->label);
+  sink_->close();
+}
 
 void ChannelOutputStream::write_fields(serial::ObjectOutputStream&) const {
   throw SerializationError{
@@ -103,6 +178,50 @@ std::shared_ptr<serial::Serializable> ChannelOutputStream::write_replace(
         "(link dpn_dist and create a NodeContext)"};
   }
   return hooks.replace_output(shared_from_this(), out);
+}
+
+obs::ChannelSnapshot snapshot_channel(const ChannelState& state) {
+  obs::ChannelSnapshot c;
+  c.id = state.id;
+  c.label = state.label;
+  c.input_remote = state.input_remote;
+  c.output_remote = state.output_remote;
+  c.bytes_written =
+      state.metrics->bytes_written.load(std::memory_order_relaxed);
+  c.tokens_written =
+      state.metrics->tokens_written.load(std::memory_order_relaxed);
+  c.bytes_read = state.metrics->bytes_read.load(std::memory_order_relaxed);
+  c.tokens_read = state.metrics->tokens_read.load(std::memory_order_relaxed);
+  if (state.pipe) {
+    c.has_pipe = true;
+    const io::Pipe::Stats s = state.pipe->stats();
+    c.capacity = s.capacity;
+    c.buffered = s.size;
+    c.occupancy_hwm = s.occupancy_hwm;
+    c.blocked_read_ns = s.blocked_read_ns;
+    c.blocked_write_ns = s.blocked_write_ns;
+    c.reader_wakeups = s.reader_wakeups;
+    c.writer_wakeups = s.writer_wakeups;
+    c.blocked_readers = static_cast<std::uint32_t>(s.blocked_readers);
+    c.blocked_writers = static_cast<std::uint32_t>(s.blocked_writers);
+    c.write_closed = s.write_closed;
+    c.read_closed = s.read_closed;
+  } else {
+    c.capacity = state.capacity;
+  }
+  if (const auto out = state.output.lock()) {
+    if (const auto& buffer = out->buffered_stream()) {
+      c.flushes = buffer->flush_count();
+      c.coalesced_writes = buffer->coalesced_writes();
+      c.write_buffered = buffer->buffered();
+    }
+  }
+  if (const auto in = state.input.lock()) {
+    if (const auto& buffer = in->buffered_stream()) {
+      c.read_buffered = buffer->buffered();
+    }
+  }
+  return c;
 }
 
 Channel::Channel(std::size_t capacity, std::string label)

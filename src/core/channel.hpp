@@ -7,6 +7,8 @@
 #include "io/buffered.hpp"
 #include "io/pipe.hpp"
 #include "io/sequence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "serial/serial.hpp"
 
 /// Channels: the operational embodiment of Kahn's streams (paper
@@ -47,6 +49,14 @@ struct ChannelOptions {
   std::size_t read_buffer = 0;
 };
 
+/// Process-wide unique id for a ChannelState; stable for the life of the
+/// state object.  Snapshots carry it so a growth decision computed from a
+/// snapshot can be re-validated against the live network (the id survives
+/// neither shipping nor decode -- a reconstructed remote endpoint gets a
+/// fresh state and a fresh id, which is correct: it is a different local
+/// object with its own pipe).
+std::uint64_t next_channel_id();
+
 /// State shared by the two endpoints of a channel while they can still see
 /// each other (i.e. until one of them is shipped away).
 struct ChannelState {
@@ -67,6 +77,13 @@ struct ChannelState {
   /// decide whether self-removal splicing is possible).
   bool input_remote = false;
   bool output_remote = false;
+  /// Stable identity for snapshots (see next_channel_id above).
+  std::uint64_t id = next_channel_id();
+  /// Lock-free traffic counters, updated by the endpoints.  Shared_ptr so
+  /// the serialization hooks can carry the counters across a shipment and
+  /// hand them to the reconstructed state: metrics survive migration.
+  std::shared_ptr<obs::ChannelMetrics> metrics =
+      std::make_shared<obs::ChannelMetrics>();
 };
 
 /// Consuming endpoint of a channel.
@@ -107,6 +124,20 @@ class ChannelInputStream final
 
   const std::shared_ptr<ChannelState>& state() const { return state_; }
 
+  /// The read-ahead decorator, if this endpoint is buffered (else null).
+  /// Snapshots read its buffered() through this.
+  const std::shared_ptr<io::BufferedInputStream>& buffered_stream() const {
+    return buffer_;
+  }
+
+  /// Installs the owning process's stats so blocking reads flip its
+  /// observable state to blocked-reading.  Called by
+  /// IterativeProcess::track_input; an unowned endpoint just skips the
+  /// state flips.
+  void set_owner(std::shared_ptr<obs::ProcessStats> owner) {
+    owner_ = std::move(owner);
+  }
+
   // --- serial::Serializable (serialization ships the endpoint) ---
   std::string type_name() const override { return "dpn.ChannelInputStream"; }
   void write_fields(serial::ObjectOutputStream&) const override;
@@ -120,6 +151,10 @@ class ChannelInputStream final
   std::shared_ptr<io::BufferedInputStream> buffer_;
   /// The stream reads actually go through: buffer_ or sequence_.
   io::InputStream* source_ = nullptr;
+  /// state_->metrics.get(), cached: the metrics object lives and dies
+  /// with state_, and the extra pointer chase is measurable per-token.
+  obs::ChannelMetrics* metrics_ = nullptr;
+  std::shared_ptr<obs::ProcessStats> owner_;
 };
 
 /// Producing endpoint of a channel.
@@ -153,6 +188,17 @@ class ChannelOutputStream final
 
   const std::shared_ptr<ChannelState>& state() const { return state_; }
 
+  /// The coalescing decorator, if this endpoint is buffered (else null).
+  /// Snapshots read its buffered()/flush_count()/coalesced_writes().
+  const std::shared_ptr<io::BufferedOutputStream>& buffered_stream() const {
+    return buffer_;
+  }
+
+  /// See ChannelInputStream::set_owner; flips blocked-writing instead.
+  void set_owner(std::shared_ptr<obs::ProcessStats> owner) {
+    owner_ = std::move(owner);
+  }
+
   // --- serial::Serializable ---
   std::string type_name() const override { return "dpn.ChannelOutputStream"; }
   void write_fields(serial::ObjectOutputStream&) const override;
@@ -166,6 +212,9 @@ class ChannelOutputStream final
   std::shared_ptr<io::BufferedOutputStream> buffer_;
   /// The stream writes actually go through: buffer_ or sequence_.
   io::OutputStream* sink_ = nullptr;
+  /// state_->metrics.get(), cached (see ChannelInputStream::metrics_).
+  obs::ChannelMetrics* metrics_ = nullptr;
+  std::shared_ptr<obs::ProcessStats> owner_;
 };
 
 /// A first-in first-out connection between two processes.
@@ -206,5 +255,12 @@ struct DistributionHooks {
 
 void set_distribution_hooks(DistributionHooks hooks);
 const DistributionHooks& distribution_hooks();
+
+/// Builds the observability row for one channel: traffic counters from the
+/// shared metrics, occupancy/pressure from the pipe (when local), batching
+/// counters from whichever endpoints are still reachable.  Used by
+/// Network::snapshot() and by a ComputeServer answering STATS for its
+/// hosted processes.
+obs::ChannelSnapshot snapshot_channel(const ChannelState& state);
 
 }  // namespace dpn::core

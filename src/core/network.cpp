@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace dpn::core {
@@ -17,11 +18,23 @@ void Network::add(std::shared_ptr<Process> process) {
   processes_.push_back(std::move(process));
 }
 
-std::shared_ptr<Channel> Network::make_channel(std::size_t capacity,
-                                               std::string label) {
-  auto channel = std::make_shared<Channel>(capacity, std::move(label));
+std::shared_ptr<Channel> Network::make_channel(ChannelOptions options) {
+  auto channel = std::make_shared<Channel>(std::move(options));
   watch(channel);
   return channel;
+}
+
+std::shared_ptr<Channel> Network::make_channel(std::size_t capacity,
+                                               std::string label) {
+  return make_channel(ChannelOptions{capacity, std::move(label), 0, 0});
+}
+
+void Network::add_connected(std::shared_ptr<Process> process) {
+  if (!process) return;  // slot wired the endpoint into an existing process
+  for (const auto& existing : processes_) {
+    if (existing == process) return;
+  }
+  add(std::move(process));
 }
 
 void Network::watch(const std::shared_ptr<Channel>& channel) {
@@ -93,31 +106,23 @@ void Network::join() {
   if (!failures_.empty()) std::rethrow_exception(failures_.front());
 }
 
-std::string Network::channel_report() const {
-  std::string out;
-  std::scoped_lock lock{channels_mutex_};
-  for (const auto& state : channels_) {
-    out += state->label.empty() ? "<unnamed>" : state->label;
-    if (!state->pipe) {
-      out += ": remote\n";
-      continue;
-    }
-    out += ": " + std::to_string(state->pipe->size()) + "/" +
-           std::to_string(state->pipe->capacity()) + " bytes";
-    const std::size_t readers = state->pipe->blocked_readers();
-    const std::size_t writers = state->pipe->blocked_writers();
-    if (readers > 0) {
-      out += ", " + std::to_string(readers) + " blocked reader(s)";
-    }
-    if (writers > 0) {
-      out += ", " + std::to_string(writers) + " blocked writer(s)";
-    }
-    if (state->pipe->write_closed()) out += ", writer closed";
-    if (state->pipe->read_closed()) out += ", reader closed";
-    out += "\n";
+obs::NetworkSnapshot Network::snapshot() const {
+  obs::NetworkSnapshot snap;
+  snap.live = live_.load();
+  snap.outcome = static_cast<std::uint8_t>(outcome_.load());
+  snap.growth_events = growth_events_.load();
+  for (const auto& process : processes_) {
+    append_process_snapshots(*process, snap.processes);
   }
-  return out;
+  std::scoped_lock lock{channels_mutex_};
+  snap.channels.reserve(channels_.size());
+  for (const auto& state : channels_) {
+    snap.channels.push_back(snapshot_channel(*state));
+  }
+  return snap;
 }
+
+std::string Network::channel_report() const { return snapshot().to_string(); }
 
 Network::BlockedCounts Network::blocked_counts() const {
   BlockedCounts counts;
@@ -160,6 +165,8 @@ bool Network::grow_smallest_blocked(double factor, std::size_t max_capacity) {
   if (new_capacity <= old_capacity) return false;
   victim->grow(new_capacity);
   growth_events_.fetch_add(1);
+  DPN_TRACE_EVENT(obs::TraceKind::kMonitorGrow, "ddm", old_capacity,
+                  new_capacity);
   return true;
 }
 
@@ -175,20 +182,14 @@ void Network::monitor_loop(std::stop_token stop) {
   while (!stop.stop_requested() && live_.load() > 0) {
     std::this_thread::sleep_for(options_.poll_interval);
 
-    std::size_t blocked = 0;
-    {
-      std::scoped_lock lock{channels_mutex_};
-      for (const auto& state : channels_) {
-        if (!state->pipe) continue;
-        blocked += state->pipe->blocked_readers();
-        blocked += state->pipe->blocked_writers();
-      }
-    }
-    const std::size_t live = live_.load();
-    const bool stalled = live > 0 && blocked >= live;
+    // One structured snapshot per poll: the same view an operator gets, so
+    // every monitor decision can be reproduced from snapshot data.
+    const obs::NetworkSnapshot snap = snapshot();
+    const std::uint64_t blocked = snap.blocked_readers() + snap.blocked_writers();
+    const bool stalled = snap.live > 0 && blocked >= snap.live;
     if (stalled && stalled_last_poll) {
       // Confirmed on two consecutive polls: act.
-      if (!try_resolve_stall()) return;  // true deadlock handled
+      if (!resolve_stall(snap)) return;  // true deadlock handled
       stalled_last_poll = false;
     } else {
       stalled_last_poll = stalled;
@@ -196,47 +197,76 @@ void Network::monitor_loop(std::stop_token stop) {
   }
 }
 
-bool Network::try_resolve_stall() {
-  // Find the write-blocked pipe with the smallest capacity.
-  std::shared_ptr<io::Pipe> victim;
-  std::string victim_label;
-  {
-    std::scoped_lock lock{channels_mutex_};
-    for (const auto& state : channels_) {
-      if (!state->pipe) continue;
-      if (state->pipe->blocked_writers() == 0) continue;
-      if (!victim || state->pipe->capacity() < victim->capacity()) {
-        victim = state->pipe;
-        victim_label = state->label;
-      }
-    }
-  }
-  if (!victim) {
-    // Everyone is blocked reading: Kahn-style true deadlock.  Nothing the
-    // scheduler can do; report (and optionally abort so join() returns).
+bool Network::resolve_stall(const obs::NetworkSnapshot& stall) {
+  const obs::ChannelSnapshot* victim = stall.smallest_write_blocked();
+  if (victim == nullptr) {
+    // Everyone was blocked reading when the snapshot was taken -- but a
+    // process finishing in between (its final close wakes its neighbours)
+    // makes that evidence stale, not a deadlock.  Re-poll in that case.
+    if (live_.load() != stall.live) return true;
     outcome_.store(DeadlockOutcome::kTrueDeadlock);
+    DPN_TRACE_EVENT(obs::TraceKind::kMonitorDeadlock, "all-blocked-reading");
     log::warn("network: true deadlock (all processes blocked reading)");
     if (options_.abort_on_true_deadlock) abort();
     return false;
   }
-  const std::size_t old_capacity = victim->capacity();
+  const std::size_t old_capacity = victim->capacity;
   const auto grown = static_cast<std::size_t>(
       static_cast<double>(old_capacity) * options_.growth_factor);
   const std::size_t new_capacity = std::max(grown, old_capacity + 1);
   if (new_capacity > options_.max_channel_capacity) {
+    if (live_.load() != stall.live) return true;  // stale evidence
     outcome_.store(DeadlockOutcome::kTrueDeadlock);
-    log::warn("network: channel '", victim_label, "' hit the capacity cap (",
+    DPN_TRACE_EVENT(obs::TraceKind::kMonitorDeadlock, victim->label,
+                    old_capacity);
+    log::warn("network: channel '", victim->label, "' hit the capacity cap (",
               options_.max_channel_capacity, " bytes); treating as deadlock");
     if (options_.abort_on_true_deadlock) abort();
     return false;
   }
-  victim->grow(new_capacity);
-  growth_events_.fetch_add(1);
+  if (!apply_growth(stall, options_.growth_factor,
+                    options_.max_channel_capacity)) {
+    // The stall dissolved between snapshot and growth (process exited, or
+    // the victim's writer got unblocked).  Nothing to fix; keep watching.
+    return true;
+  }
   if (outcome_.load() == DeadlockOutcome::kNone) {
     outcome_.store(DeadlockOutcome::kGrown);
   }
-  log::debug("network: grew channel '", victim_label, "' ", old_capacity,
+  log::debug("network: grew channel '", victim->label, "' ", old_capacity,
              " -> ", new_capacity, " bytes");
+  return true;
+}
+
+bool Network::apply_growth(const obs::NetworkSnapshot& stall, double factor,
+                           std::size_t max_capacity) {
+  const obs::ChannelSnapshot* victim_row = stall.smallest_write_blocked();
+  if (victim_row == nullptr) return false;
+  // Growth-after-finish guard: the snapshot deduced "everyone is blocked"
+  // from a live count that is no longer true.
+  if (live_.load() != stall.live) return false;
+  std::shared_ptr<io::Pipe> victim;
+  {
+    std::scoped_lock lock{channels_mutex_};
+    for (const auto& state : channels_) {
+      if (state->id == victim_row->id && state->pipe) {
+        victim = state->pipe;
+        break;
+      }
+    }
+  }
+  if (!victim) return false;                     // channel went remote/away
+  if (victim->blocked_writers() == 0) return false;  // writer moved on
+  const std::size_t old_capacity = victim->capacity();
+  const auto grown =
+      static_cast<std::size_t>(static_cast<double>(old_capacity) * factor);
+  const std::size_t new_capacity =
+      std::min(std::max(grown, old_capacity + 1), max_capacity);
+  if (new_capacity <= old_capacity) return false;
+  victim->grow(new_capacity);
+  growth_events_.fetch_add(1);
+  DPN_TRACE_EVENT(obs::TraceKind::kMonitorGrow, victim_row->label,
+                  old_capacity, new_capacity);
   return true;
 }
 

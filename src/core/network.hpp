@@ -6,10 +6,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/channel.hpp"
 #include "core/process.hpp"
+#include "obs/snapshot.hpp"
 
 /// Top-level execution of a process network, plus the buffer-management
 /// procedure of paper Section 3.5 / [13] (Parks' bounded scheduling).
@@ -59,9 +62,39 @@ class Network {
   void add(std::shared_ptr<Process> process);
 
   /// Convenience: creates a channel and registers it with the monitor.
-  std::shared_ptr<Channel> make_channel(
-      std::size_t capacity = io::Pipe::kDefaultCapacity,
-      std::string label = {});
+  /// Designated initializers make call sites read like the paper's figures:
+  ///   network.make_channel({.capacity = 4096, .label = "primes"});
+  std::shared_ptr<Channel> make_channel(ChannelOptions options = {});
+
+  /// Positional form, superseded by the ChannelOptions overload above --
+  /// every new knob (endpoint buffering, and whatever comes next) would
+  /// otherwise grow this signature positionally.
+  [[deprecated(
+      "use make_channel(ChannelOptions{...}) or Network::connect()")]]
+  std::shared_ptr<Channel> make_channel(std::size_t capacity,
+                                        std::string label = {});
+
+  /// Fluent graph construction: creates a channel and hands each endpoint
+  /// to a slot.  A slot is any invocable taking the endpoint; if it returns
+  /// a process (anything convertible to shared_ptr<Process>), that process
+  /// is add()ed -- deduplicated, so the same process instance may appear in
+  /// several connect() calls as it accumulates endpoints.
+  ///
+  ///   network.connect(
+  ///       [&](auto out) { return std::make_shared<Ramp>(out, 100); },
+  ///       [&](auto in) { return std::make_shared<Print>(in); },
+  ///       {.capacity = 4096, .label = "numbers"});
+  ///
+  /// Returns the channel so it can also be kept for wiring by hand.
+  template <typename ProducerSlot, typename ConsumerSlot>
+  std::shared_ptr<Channel> connect(ProducerSlot&& producer,
+                                   ConsumerSlot&& consumer,
+                                   ChannelOptions options = {}) {
+    auto channel = make_channel(std::move(options));
+    attach_slot(std::forward<ProducerSlot>(producer), channel->output());
+    attach_slot(std::forward<ConsumerSlot>(consumer), channel->input());
+    return channel;
+  }
 
   /// Registers an externally created channel for monitoring.
   void watch(const std::shared_ptr<Channel>& channel);
@@ -91,10 +124,29 @@ class Network {
   /// Number of processes that have not finished yet.
   std::size_t live_processes() const { return live_.load(); }
 
+  /// Structured view of the whole network at one instant: every process's
+  /// observable state and step count, every watched channel's occupancy,
+  /// traffic, wait and batching counters.  This is what the deadlock
+  /// monitor consumes, what channel_report() renders, and what a
+  /// ComputeServer returns for a STATS request (NetworkSnapshot::encode
+  /// puts it on the wire).  Never blocks a channel operation: counters are
+  /// relaxed atomics plus per-pipe mutex reads.
+  obs::NetworkSnapshot snapshot() const;
+
+  /// Applies Parks' growth rule using a previously taken snapshot as the
+  /// stall evidence, re-validating it against the live network first: the
+  /// victim must still exist, still have blocked writers, and no process
+  /// may have finished since the snapshot (a finished process invalidates
+  /// the "everyone is blocked" deduction -- growing on stale evidence is
+  /// how phantom growth after process exit happens).  Returns true when a
+  /// channel was actually grown.
+  bool apply_growth(const obs::NetworkSnapshot& stall, double factor = 2.0,
+                    std::size_t max_capacity = 1u << 24);
+
   /// Human-readable snapshot of every watched channel: label, fill,
   /// capacity, and who is blocked on it.  The deadlock monitor's victim
   /// choice can be audited with this; tests and operators use it to see
-  /// where a graph is stuck.
+  /// where a graph is stuck.  Rendered from snapshot().
   std::string channel_report() const;
 
   /// Machine-readable stall state (used by the distributed deadlock
@@ -115,7 +167,30 @@ class Network {
 
  private:
   void monitor_loop(std::stop_token stop);
-  bool try_resolve_stall();
+  bool resolve_stall(const obs::NetworkSnapshot& stall);
+
+  /// connect() plumbing: invoke the slot with the endpoint; a non-void
+  /// result is a process to register.
+  template <typename Slot, typename Endpoint>
+  void attach_slot(Slot&& slot, const std::shared_ptr<Endpoint>& endpoint) {
+    static_assert(
+        std::is_invocable_v<Slot&&, const std::shared_ptr<Endpoint>&>,
+        "connect() slot must be invocable with the channel endpoint");
+    using Result =
+        std::invoke_result_t<Slot&&, const std::shared_ptr<Endpoint>&>;
+    if constexpr (std::is_void_v<Result>) {
+      std::forward<Slot>(slot)(endpoint);
+    } else {
+      static_assert(
+          std::is_convertible_v<Result, std::shared_ptr<Process>>,
+          "connect() slot must return void or something convertible to "
+          "shared_ptr<Process>");
+      add_connected(std::forward<Slot>(slot)(endpoint));
+    }
+  }
+
+  /// add() with instance dedup (and nullptr tolerated: "slot handled it").
+  void add_connected(std::shared_ptr<Process> process);
 
   std::vector<std::shared_ptr<Process>> processes_;
   std::vector<std::shared_ptr<ChannelState>> channels_;

@@ -3,6 +3,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace dpn::core {
@@ -29,8 +30,15 @@ class StopGuard {
 }  // namespace
 
 void IterativeProcess::run() {
+  stats()->set_state(obs::ProcessState::kRunning);
+  DPN_TRACE_EVENT(obs::TraceKind::kProcessStart, name());
   bool abandoned = false;
   StopGuard guard{[this, &abandoned] {
+    // Either way the local instance is done: a shipped process's successor
+    // carries its own stats object.
+    stats()->set_state(obs::ProcessState::kFinished);
+    DPN_TRACE_EVENT(obs::TraceKind::kProcessStop, name(),
+                    stats()->steps.load(std::memory_order_relaxed));
     if (abandoned) return;  // endpoints belong to the migrated successor
     on_stop();
     close_all();
@@ -47,6 +55,7 @@ void IterativeProcess::run() {
         }
         --iterations_;
         step();
+        obs::bump(stats()->steps, 1);
       }
     } else {
       for (;;) {
@@ -55,6 +64,7 @@ void IterativeProcess::run() {
           return;
         }
         step();
+        obs::bump(stats()->steps, 1);
       }
     }
   } catch (const IoError&) {
@@ -115,10 +125,12 @@ bool IterativeProcess::pause_point() {
   std::unique_lock lock{state_mutex_};
   if (state_ != RunState::kPauseRequested) return true;
   state_ = RunState::kPaused;
+  stats()->set_state(obs::ProcessState::kPaused);
   state_cv_.notify_all();
   state_cv_.wait(lock, [&] {
     return state_ == RunState::kIdle || state_ == RunState::kAbandoned;
   });
+  stats()->set_state(obs::ProcessState::kRunning);
   return state_ != RunState::kAbandoned;
 }
 
@@ -152,12 +164,26 @@ void IterativeProcess::read_base(serial::ObjectInputStream& in) {
   inputs_.reserve(n_in);
   for (std::uint64_t i = 0; i < n_in; ++i) {
     inputs_.push_back(in.read_object_as<ChannelInputStream>());
+    inputs_.back()->set_owner(stats());
   }
   const std::uint64_t n_out = in.read_varint();
   outputs_.clear();
   outputs_.reserve(n_out);
   for (std::uint64_t i = 0; i < n_out; ++i) {
     outputs_.push_back(in.read_object_as<ChannelOutputStream>());
+    outputs_.back()->set_owner(stats());
+  }
+}
+
+void append_process_snapshots(const Process& process,
+                              std::vector<obs::ProcessSnapshot>& out) {
+  obs::ProcessSnapshot p;
+  p.name = process.name();
+  p.state = process.stats()->get_state();
+  p.steps = process.stats()->steps.load(std::memory_order_relaxed);
+  out.push_back(std::move(p));
+  for (const auto& child : process.subprocesses()) {
+    if (child) append_process_snapshots(*child, out);
   }
 }
 
@@ -174,6 +200,9 @@ void CompositeProcess::run() {
     threads.reserve(processes_.size());
     for (const auto& process : processes_) {
       threads.emplace_back([&failures_mutex, &failures, process] {
+        // Raw Process implementations don't maintain their own stats;
+        // bracket them here (IterativeProcess overwrites redundantly).
+        process->stats()->set_state(obs::ProcessState::kRunning);
         try {
           process->run();
         } catch (const IoError&) {
@@ -182,6 +211,7 @@ void CompositeProcess::run() {
           std::scoped_lock lock{failures_mutex};
           failures.push_back(std::current_exception());
         }
+        process->stats()->set_state(obs::ProcessState::kFinished);
       });
     }
   }  // jthreads join here

@@ -41,6 +41,22 @@ class Process : public serial::Serializable {
       const {
     return {};
   }
+
+  /// Child processes, for hierarchical composition (CompositeProcess).
+  /// Snapshots recurse through this so a composite's components appear
+  /// individually.
+  virtual std::vector<std::shared_ptr<Process>> subprocesses() const {
+    return {};
+  }
+
+  /// Observable state + step counter.  The object is shared: channel
+  /// endpoints registered through IterativeProcess::track_* hold a
+  /// reference and flip the blocked states around their blocking calls.
+  const std::shared_ptr<obs::ProcessStats>& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<obs::ProcessStats> stats_ =
+      std::make_shared<obs::ProcessStats>();
 };
 
 /// Base class for the common iterative process shape: one-time setup, a
@@ -106,15 +122,19 @@ class IterativeProcess : public Process {
   virtual void on_stop() {}
 
   /// Registers a consuming endpoint for auto-close and distribution.
+  /// Also makes the endpoint report this process's blocked-reading state.
   const std::shared_ptr<ChannelInputStream>& track_input(
       std::shared_ptr<ChannelInputStream> in) {
+    in->set_owner(stats());
     inputs_.push_back(std::move(in));
     return inputs_.back();
   }
 
   /// Registers a producing endpoint for auto-close and distribution.
+  /// Also makes the endpoint report this process's blocked-writing state.
   const std::shared_ptr<ChannelOutputStream>& track_output(
       std::shared_ptr<ChannelOutputStream> out) {
+    out->set_owner(stats());
     outputs_.push_back(std::move(out));
     return outputs_.back();
   }
@@ -124,11 +144,13 @@ class IterativeProcess : public Process {
   /// adopts a fresh channel -- paper Figure 8).
   void replace_input(std::size_t index,
                      std::shared_ptr<ChannelInputStream> in) {
+    in->set_owner(stats());
     inputs_.at(index) = std::move(in);
   }
 
   void replace_output(std::size_t index,
                       std::shared_ptr<ChannelOutputStream> out) {
+    out->set_owner(stats());
     outputs_.at(index) = std::move(out);
   }
 
@@ -188,6 +210,12 @@ class IterativeProcess : public Process {
   RunState state_ = RunState::kIdle;
 };
 
+/// Appends the observability rows for a process and (recursively) its
+/// subprocesses: composite components appear individually, since each has
+/// its own thread and its own blocked/running state.
+void append_process_snapshots(const Process& process,
+                              std::vector<obs::ProcessSnapshot>& out);
+
 /// Hierarchical composition (paper Section 3.2): each component keeps its
 /// own thread, so composing processes can never introduce deadlock.
 class CompositeProcess final : public Process {
@@ -201,6 +229,10 @@ class CompositeProcess final : public Process {
   void run() override;
 
   const std::vector<std::shared_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  std::vector<std::shared_ptr<Process>> subprocesses() const override {
     return processes_;
   }
 

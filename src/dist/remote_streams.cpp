@@ -155,9 +155,14 @@ void FrameChannelInput::close() {
     promise_->cancel();
   }
   if (socket_) {
-    // Full close: the producer's next write fails with ChannelClosed,
-    // propagating termination upstream across the network (Section 3.4).
-    socket_->close();
+    // Shutdown, not close: shutdown() wakes a reader currently blocked in
+    // recv() on this socket (a bare close() would leave it blocked
+    // forever -- the abort path closes endpoints from another thread),
+    // and it still makes the producer's next write fail with
+    // ChannelClosed, propagating termination upstream (Section 3.4).
+    // The descriptor itself is released when the last reference drops.
+    socket_->shutdown_read();
+    socket_->shutdown_write();
   }
 }
 

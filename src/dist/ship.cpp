@@ -4,6 +4,7 @@
 
 #include "dist/remote_streams.hpp"
 #include "io/memory.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace dpn::dist {
@@ -48,6 +49,10 @@ class RemoteInputStub final : public serial::Serializable {
   // Endpoint buffering config; the reconstructed endpoint keeps the
   // channel's performance profile.
   std::uint64_t read_buffer = 0;
+  // Consumer-side traffic counters travel with the endpoint so a shipped
+  // channel's metrics survive migration.
+  std::uint64_t bytes_read = 0;
+  std::uint64_t tokens_read = 0;
 
   std::string type_name() const override { return "dpn.RemoteInputStub"; }
 
@@ -60,6 +65,8 @@ class RemoteInputStub final : public serial::Serializable {
     out.write_string(label);
     out.write_u64(capacity);
     out.write_u64(read_buffer);
+    out.write_u64(bytes_read);
+    out.write_u64(tokens_read);
   }
 
   static std::shared_ptr<RemoteInputStub> read_object(
@@ -73,6 +80,8 @@ class RemoteInputStub final : public serial::Serializable {
     stub->label = in.read_string();
     stub->capacity = in.read_u64();
     stub->read_buffer = in.read_u64();
+    stub->bytes_read = in.read_u64();
+    stub->tokens_read = in.read_u64();
     return stub;
   }
 
@@ -85,6 +94,8 @@ class RemoteInputStub final : public serial::Serializable {
     state->label = label;
     state->read_buffer = static_cast<std::size_t>(read_buffer);
     state->output_remote = true;
+    state->metrics->bytes_read.store(bytes_read, std::memory_order_relaxed);
+    state->metrics->tokens_read.store(tokens_read, std::memory_order_relaxed);
 
     auto sequence = std::make_shared<io::SequenceInputStream>();
     if (!buffered.empty()) {
@@ -121,6 +132,9 @@ class RemoteOutputStub final : public serial::Serializable {
   std::string label;
   std::uint64_t capacity = io::Pipe::kDefaultCapacity;
   std::uint64_t write_buffer = 0;
+  // Producer-side traffic counters; see RemoteInputStub.
+  std::uint64_t bytes_written = 0;
+  std::uint64_t tokens_written = 0;
 
   std::string type_name() const override { return "dpn.RemoteOutputStub"; }
 
@@ -132,6 +146,8 @@ class RemoteOutputStub final : public serial::Serializable {
     out.write_string(label);
     out.write_u64(capacity);
     out.write_u64(write_buffer);
+    out.write_u64(bytes_written);
+    out.write_u64(tokens_written);
   }
 
   static std::shared_ptr<RemoteOutputStub> read_object(
@@ -144,6 +160,8 @@ class RemoteOutputStub final : public serial::Serializable {
     stub->label = in.read_string();
     stub->capacity = in.read_u64();
     stub->write_buffer = in.read_u64();
+    stub->bytes_written = in.read_u64();
+    stub->tokens_written = in.read_u64();
     return stub;
   }
 
@@ -156,6 +174,10 @@ class RemoteOutputStub final : public serial::Serializable {
     state->label = label;
     state->write_buffer = static_cast<std::size_t>(write_buffer);
     state->input_remote = true;
+    state->metrics->bytes_written.store(bytes_written,
+                                        std::memory_order_relaxed);
+    state->metrics->tokens_written.store(tokens_written,
+                                         std::memory_order_relaxed);
 
     std::shared_ptr<io::OutputStream> sink;
     if (dead) {
@@ -192,6 +214,12 @@ class LocalPairStub final : public serial::Serializable {
   bool read_closed = false;
   std::uint64_t write_buffer = 0;
   std::uint64_t read_buffer = 0;
+  // Full traffic counters: the whole channel moves, so both directions'
+  // metrics travel with the metadata stub.
+  std::uint64_t bytes_written = 0;
+  std::uint64_t tokens_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t tokens_read = 0;
 
   std::string type_name() const override { return "dpn.LocalPairStub"; }
 
@@ -207,6 +235,10 @@ class LocalPairStub final : public serial::Serializable {
       out.write_bool(read_closed);
       out.write_u64(write_buffer);
       out.write_u64(read_buffer);
+      out.write_u64(bytes_written);
+      out.write_u64(tokens_written);
+      out.write_u64(bytes_read);
+      out.write_u64(tokens_read);
     }
   }
 
@@ -224,6 +256,10 @@ class LocalPairStub final : public serial::Serializable {
       stub->read_closed = in.read_bool();
       stub->write_buffer = in.read_u64();
       stub->read_buffer = in.read_u64();
+      stub->bytes_written = in.read_u64();
+      stub->tokens_written = in.read_u64();
+      stub->bytes_read = in.read_u64();
+      stub->tokens_read = in.read_u64();
     }
     return stub;
   }
@@ -246,6 +282,11 @@ class LocalPairStub final : public serial::Serializable {
       }
       if (write_closed) channel->pipe()->close_write();
       if (read_closed) channel->pipe()->close_read();
+      auto& metrics = *channel->state()->metrics;
+      metrics.bytes_written.store(bytes_written, std::memory_order_relaxed);
+      metrics.tokens_written.store(tokens_written, std::memory_order_relaxed);
+      metrics.bytes_read.store(bytes_read, std::memory_order_relaxed);
+      metrics.tokens_read.store(tokens_read, std::memory_order_relaxed);
     } else if (!channel) {
       throw SerializationError{
           "channel endpoint stub arrived before its metadata"};
@@ -301,6 +342,14 @@ std::shared_ptr<serial::Serializable> make_pair_stub(
     stub->label = state->label;
     stub->write_buffer = state->write_buffer;
     stub->read_buffer = state->read_buffer;
+    stub->bytes_written =
+        state->metrics->bytes_written.load(std::memory_order_relaxed);
+    stub->tokens_written =
+        state->metrics->tokens_written.load(std::memory_order_relaxed);
+    stub->bytes_read =
+        state->metrics->bytes_read.load(std::memory_order_relaxed);
+    stub->tokens_read =
+        state->metrics->tokens_read.load(std::memory_order_relaxed);
     // Both endpoints travel in this shipment and neither is running:
     // flush the producer's coalesced bytes into the pipe, then collect
     // [reader read-ahead][pipe contents] as the unconsumed history.
@@ -342,6 +391,11 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
   stub->label = state->label;
   stub->capacity = state->capacity;
   stub->read_buffer = state->read_buffer;
+  stub->bytes_read =
+      state->metrics->bytes_read.load(std::memory_order_relaxed);
+  stub->tokens_read =
+      state->metrics->tokens_read.load(std::memory_order_relaxed);
+  DPN_TRACE_EVENT(obs::TraceKind::kShip, state->label, stub->bytes_read);
   NodeContext& node = *ctx->node;
 
   auto producer = state->output.lock();
@@ -410,6 +464,11 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->label = state->label;
     stub->capacity = state->capacity;
     stub->write_buffer = state->write_buffer;
+    stub->bytes_written =
+        state->metrics->bytes_written.load(std::memory_order_relaxed);
+    stub->tokens_written =
+        state->metrics->tokens_written.load(std::memory_order_relaxed);
+    DPN_TRACE_EVENT(obs::TraceKind::kShip, state->label, stub->bytes_written);
     auto consumer = state->input.lock();
     if (!consumer || state->pipe->read_closed()) {
       stub->dead = true;  // reader already terminated
@@ -444,10 +503,15 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->label = state->label;
     stub->capacity = state->capacity;
     stub->write_buffer = state->write_buffer;
+    stub->bytes_written =
+        state->metrics->bytes_written.load(std::memory_order_relaxed);
+    stub->tokens_written =
+        state->metrics->tokens_written.load(std::memory_order_relaxed);
     stub->host = peer.host;
     stub->port = peer.port;
     stub->token = successor_token;
     state->output_remote = true;
+    DPN_TRACE_EVENT(obs::TraceKind::kRedirect, state->label, successor_token);
     return stub;
   }
 

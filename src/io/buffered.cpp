@@ -18,6 +18,7 @@ void BufferedOutputStream::flush_buffer_locked() {
   // discarded -- the same outcome a dead reader gives an unbuffered writer.
   const std::size_t n = size_;
   size_ = 0;
+  ++flushes_;
   out_->write({buffer_.data(), n});
 }
 
@@ -35,6 +36,7 @@ void BufferedOutputStream::write(ByteSpan data) {
   if (size_ + data.size() > capacity_) flush_buffer_locked();
   std::memcpy(buffer_.data() + size_, data.data(), data.size());
   size_ += data.size();
+  ++coalesced_;
 }
 
 void BufferedOutputStream::write_byte(std::uint8_t b) {
@@ -42,6 +44,7 @@ void BufferedOutputStream::write_byte(std::uint8_t b) {
   if (closed_) throw IoError{"write to closed BufferedOutputStream"};
   if (size_ == capacity_) flush_buffer_locked();
   buffer_[size_++] = b;
+  ++coalesced_;
 }
 
 void BufferedOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
@@ -59,6 +62,7 @@ void BufferedOutputStream::write_vectored(ByteSpan a, ByteSpan b) {
     std::memcpy(buffer_.data() + size_ + a.size(), b.data(), b.size());
   }
   size_ += total;
+  ++coalesced_;
 }
 
 void BufferedOutputStream::flush() {
@@ -84,6 +88,16 @@ void BufferedOutputStream::close() {
 std::size_t BufferedOutputStream::buffered() const {
   std::scoped_lock lock{mutex_};
   return size_;
+}
+
+std::uint64_t BufferedOutputStream::flush_count() const {
+  std::scoped_lock lock{mutex_};
+  return flushes_;
+}
+
+std::uint64_t BufferedOutputStream::coalesced_writes() const {
+  std::scoped_lock lock{mutex_};
+  return coalesced_;
 }
 
 BufferedInputStream::BufferedInputStream(std::shared_ptr<InputStream> in,

@@ -58,6 +58,13 @@ class BufferedOutputStream final : public OutputStream {
   std::size_t buffer_size() const { return capacity_; }
   const std::shared_ptr<OutputStream>& underlying() const { return out_; }
 
+  /// Number of non-empty buffer drains into the underlying stream.
+  std::uint64_t flush_count() const;
+  /// Number of write calls fully absorbed by the buffer (no underlying
+  /// write).  flush_count vs coalesced_writes is the batching ratio the
+  /// observability layer reports per channel.
+  std::uint64_t coalesced_writes() const;
+
  private:
   void flush_buffer_locked();
 
@@ -67,6 +74,8 @@ class BufferedOutputStream final : public OutputStream {
   std::size_t size_ = 0;  // bytes pending in buffer_
   std::size_t capacity_;
   bool closed_ = false;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t coalesced_ = 0;
 };
 
 /// Reads ahead into a fixed-size buffer so element-granular readers cross

@@ -1,6 +1,7 @@
 #include "io/pipe.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace dpn::io {
@@ -35,9 +36,17 @@ std::size_t Pipe::read_some(MutableByteSpan out) {
   std::unique_lock lock{mutex_};
   while (count_ == 0 && !write_closed_ && !read_closed_ && !aborted_) {
     ++blocked_readers_;
+    // The clock is only consulted when actually parking; unblocked reads
+    // never pay for it.
+    const auto wait_start = std::chrono::steady_clock::now();
     readable_.wait(lock, [&] {
       return count_ > 0 || write_closed_ || read_closed_ || aborted_;
     });
+    blocked_read_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+    ++reader_wakeups_;
     --blocked_readers_;
   }
   if (aborted_) throw Interrupted{"pipe aborted during read"};
@@ -63,10 +72,16 @@ void Pipe::write_vectored(ByteSpan a, ByteSpan b) {
       const std::size_t room = unbounded_ ? data.size() : capacity_ - count_;
       if (room == 0) {
         ++blocked_writers_;
+        const auto wait_start = std::chrono::steady_clock::now();
         writable_.wait(lock, [&] {
           return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
                  count_ < capacity_;
         });
+        blocked_write_ns_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count());
+        ++writer_wakeups_;
         --blocked_writers_;
         continue;
       }
@@ -164,6 +179,23 @@ std::size_t Pipe::blocked_writers() const {
   return blocked_writers_;
 }
 
+Pipe::Stats Pipe::stats() const {
+  std::scoped_lock lock{mutex_};
+  Stats s;
+  s.size = count_;
+  s.capacity = capacity_;
+  s.occupancy_hwm = occupancy_hwm_;
+  s.blocked_read_ns = blocked_read_ns_;
+  s.blocked_write_ns = blocked_write_ns_;
+  s.reader_wakeups = reader_wakeups_;
+  s.writer_wakeups = writer_wakeups_;
+  s.blocked_readers = blocked_readers_;
+  s.blocked_writers = blocked_writers_;
+  s.write_closed = write_closed_;
+  s.read_closed = read_closed_;
+  return s;
+}
+
 std::size_t Pipe::take_locked(MutableByteSpan out) {
   const std::size_t n = std::min(out.size(), count_);
   if (n == 0) return 0;  // also guards % by zero once storage is released
@@ -190,6 +222,7 @@ void Pipe::put_locked(ByteSpan data) {
     std::memcpy(buffer_.data(), data.data() + first, data.size() - first);
   }
   count_ += data.size();
+  if (count_ > occupancy_hwm_) occupancy_hwm_ = count_;
 }
 
 void Pipe::ensure_storage_locked(std::size_t needed) {

@@ -73,6 +73,25 @@ class Pipe {
   std::size_t blocked_readers() const;
   std::size_t blocked_writers() const;
 
+  /// One consistent view of the pipe's occupancy and pressure counters
+  /// (dpn::obs feeds channel snapshots from this).  Blocked time is only
+  /// accumulated while a caller actually waits, so the fast path never
+  /// touches a clock.
+  struct Stats {
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::size_t occupancy_hwm = 0;
+    std::uint64_t blocked_read_ns = 0;
+    std::uint64_t blocked_write_ns = 0;
+    std::uint64_t reader_wakeups = 0;
+    std::uint64_t writer_wakeups = 0;
+    std::size_t blocked_readers = 0;
+    std::size_t blocked_writers = 0;
+    bool write_closed = false;
+    bool read_closed = false;
+  };
+  Stats stats() const;
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable readable_;
@@ -87,6 +106,11 @@ class Pipe {
   bool aborted_ = false;
   std::size_t blocked_readers_ = 0;
   std::size_t blocked_writers_ = 0;
+  std::size_t occupancy_hwm_ = 0;
+  std::uint64_t blocked_read_ns_ = 0;
+  std::uint64_t blocked_write_ns_ = 0;
+  std::uint64_t reader_wakeups_ = 0;
+  std::uint64_t writer_wakeups_ = 0;
 
   // All private helpers assume mutex_ is held.
   std::size_t take_locked(MutableByteSpan out);

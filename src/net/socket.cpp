@@ -159,35 +159,37 @@ void Socket::set_no_delay(bool on) {
 }
 
 ServerSocket::ServerSocket(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr = make_address("*", port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw NetError{"bind port " + std::to_string(port) + ": " +
                    std::strerror(err)};
   }
-  if (::listen(fd_, 64) != 0) {
+  if (::listen(fd, 64) != 0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw NetError{std::string{"listen: "} + std::strerror(err)};
   }
   socklen_t len = sizeof addr;
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    throw_errno("getsockname");
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw NetError{std::string{"getsockname: "} + std::strerror(err)};
   }
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
 }
 
 Socket ServerSocket::accept() {
   for (;;) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept(fd_.load(std::memory_order_acquire), nullptr,
+                            nullptr);
     if (fd >= 0) {
       Socket sock{fd};
       sock.set_no_delay(true);
@@ -199,14 +201,16 @@ Socket ServerSocket::accept() {
 }
 
 void ServerSocket::close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
     // shutdown() first so a concurrent accept() wakes with an error.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
-bool ServerSocket::closed() const { return fd_ < 0; }
+bool ServerSocket::closed() const {
+  return fd_.load(std::memory_order_acquire) < 0;
+}
 
 }  // namespace dpn::net

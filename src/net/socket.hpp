@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -81,7 +82,9 @@ class ServerSocket {
   bool closed() const;
 
  private:
-  int fd_ = -1;
+  /// Atomic because close() races with a blocked accept(): the accept
+  /// loop thread reads the descriptor while the owner shuts it down.
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -1,0 +1,17 @@
+#include "obs/metrics.hpp"
+
+namespace dpn::obs {
+
+const char* to_string(ProcessState state) {
+  switch (state) {
+    case ProcessState::kIdle: return "idle";
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kBlockedReading: return "blocked-reading";
+    case ProcessState::kBlockedWriting: return "blocked-writing";
+    case ProcessState::kPaused: return "paused";
+    case ProcessState::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+}  // namespace dpn::obs

@@ -1,0 +1,193 @@
+#include "obs/snapshot.hpp"
+
+#include <memory>
+
+#include "io/data.hpp"
+#include "io/memory.hpp"
+
+namespace dpn::obs {
+
+namespace {
+constexpr std::uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+std::uint64_t NetworkSnapshot::blocked_readers() const {
+  std::uint64_t n = 0;
+  for (const ChannelSnapshot& c : channels) n += c.blocked_readers;
+  return n;
+}
+
+std::uint64_t NetworkSnapshot::blocked_writers() const {
+  std::uint64_t n = 0;
+  for (const ChannelSnapshot& c : channels) n += c.blocked_writers;
+  return n;
+}
+
+const ChannelSnapshot* NetworkSnapshot::smallest_write_blocked() const {
+  const ChannelSnapshot* victim = nullptr;
+  for (const ChannelSnapshot& c : channels) {
+    if (!c.has_pipe || c.blocked_writers == 0) continue;
+    if (victim == nullptr || c.capacity < victim->capacity) victim = &c;
+  }
+  return victim;
+}
+
+ByteVector NetworkSnapshot::encode() const {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  io::DataOutputStream out{sink};
+  out.write_u8(kSnapshotVersion);
+  out.write_u64(live);
+  out.write_u8(outcome);
+  out.write_u64(growth_events);
+  out.write_u64(remote_bytes_sent);
+  out.write_u64(remote_bytes_received);
+
+  out.write_varint(processes.size());
+  for (const ProcessSnapshot& p : processes) {
+    out.write_string(p.name);
+    out.write_u8(static_cast<std::uint8_t>(p.state));
+    out.write_u64(p.steps);
+  }
+
+  out.write_varint(channels.size());
+  for (const ChannelSnapshot& c : channels) {
+    out.write_u64(c.id);
+    out.write_string(c.label);
+    out.write_bool(c.has_pipe);
+    out.write_bool(c.input_remote);
+    out.write_bool(c.output_remote);
+    out.write_bool(c.write_closed);
+    out.write_bool(c.read_closed);
+    out.write_u64(c.capacity);
+    out.write_u64(c.buffered);
+    out.write_u64(c.occupancy_hwm);
+    out.write_u64(c.bytes_written);
+    out.write_u64(c.tokens_written);
+    out.write_u64(c.bytes_read);
+    out.write_u64(c.tokens_read);
+    out.write_u64(c.blocked_read_ns);
+    out.write_u64(c.blocked_write_ns);
+    out.write_u64(c.reader_wakeups);
+    out.write_u64(c.writer_wakeups);
+    out.write_u32(c.blocked_readers);
+    out.write_u32(c.blocked_writers);
+    out.write_u64(c.flushes);
+    out.write_u64(c.coalesced_writes);
+    out.write_u64(c.write_buffered);
+    out.write_u64(c.read_buffered);
+  }
+  return sink->take();
+}
+
+NetworkSnapshot NetworkSnapshot::decode(ByteSpan bytes) {
+  io::DataInputStream in{std::make_shared<io::MemoryInputStream>(
+      ByteVector{bytes.begin(), bytes.end()})};
+  const std::uint8_t version = in.read_u8();
+  if (version == 0 || version > kSnapshotVersion) {
+    throw SerializationError{"unsupported NetworkSnapshot version " +
+                             std::to_string(version)};
+  }
+  NetworkSnapshot snapshot;
+  snapshot.live = in.read_u64();
+  snapshot.outcome = in.read_u8();
+  snapshot.growth_events = in.read_u64();
+  snapshot.remote_bytes_sent = in.read_u64();
+  snapshot.remote_bytes_received = in.read_u64();
+
+  const std::uint64_t n_processes = in.read_varint();
+  snapshot.processes.reserve(n_processes);
+  for (std::uint64_t i = 0; i < n_processes; ++i) {
+    ProcessSnapshot p;
+    p.name = in.read_string();
+    p.state = static_cast<ProcessState>(in.read_u8());
+    p.steps = in.read_u64();
+    snapshot.processes.push_back(std::move(p));
+  }
+
+  const std::uint64_t n_channels = in.read_varint();
+  snapshot.channels.reserve(n_channels);
+  for (std::uint64_t i = 0; i < n_channels; ++i) {
+    ChannelSnapshot c;
+    c.id = in.read_u64();
+    c.label = in.read_string();
+    c.has_pipe = in.read_bool();
+    c.input_remote = in.read_bool();
+    c.output_remote = in.read_bool();
+    c.write_closed = in.read_bool();
+    c.read_closed = in.read_bool();
+    c.capacity = in.read_u64();
+    c.buffered = in.read_u64();
+    c.occupancy_hwm = in.read_u64();
+    c.bytes_written = in.read_u64();
+    c.tokens_written = in.read_u64();
+    c.bytes_read = in.read_u64();
+    c.tokens_read = in.read_u64();
+    c.blocked_read_ns = in.read_u64();
+    c.blocked_write_ns = in.read_u64();
+    c.reader_wakeups = in.read_u64();
+    c.writer_wakeups = in.read_u64();
+    c.blocked_readers = in.read_u32();
+    c.blocked_writers = in.read_u32();
+    c.flushes = in.read_u64();
+    c.coalesced_writes = in.read_u64();
+    c.write_buffered = in.read_u64();
+    c.read_buffered = in.read_u64();
+    snapshot.channels.push_back(std::move(c));
+  }
+  return snapshot;
+}
+
+std::string NetworkSnapshot::to_string() const {
+  std::string out;
+  out += "live=" + std::to_string(live) +
+         " growth_events=" + std::to_string(growth_events) + "\n";
+  for (const ProcessSnapshot& p : processes) {
+    out += "process ";
+    out += p.name.empty() ? "<unnamed>" : p.name;
+    out += ": ";
+    out += obs::to_string(p.state);
+    out += ", " + std::to_string(p.steps) + " steps\n";
+  }
+  for (const ChannelSnapshot& c : channels) {
+    out += c.label.empty() ? "<unnamed>" : c.label;
+    out += ":";
+    if (!c.has_pipe) {
+      out += " remote";
+    } else {
+      out += " ";
+      out += std::to_string(c.buffered) + "/" + std::to_string(c.capacity);
+      out += " bytes (hwm " + std::to_string(c.occupancy_hwm) + ")";
+    }
+    out += ", ";
+    out += std::to_string(c.bytes_written) + "B/" +
+           std::to_string(c.tokens_written) + " tokens out, " +
+           std::to_string(c.bytes_read) + "B/" +
+           std::to_string(c.tokens_read) + " tokens in";
+    if (c.blocked_read_ns > 0 || c.blocked_write_ns > 0) {
+      out += ", waited r=";
+      out += std::to_string(c.blocked_read_ns / 1000) + "us w=" +
+             std::to_string(c.blocked_write_ns / 1000) + "us";
+    }
+    if (c.blocked_readers > 0) {
+      out += ", ";
+      out += std::to_string(c.blocked_readers) + " blocked reader(s)";
+    }
+    if (c.blocked_writers > 0) {
+      out += ", ";
+      out += std::to_string(c.blocked_writers) + " blocked writer(s)";
+    }
+    if (c.flushes > 0 || c.coalesced_writes > 0) {
+      out += ", ";
+      out += std::to_string(c.flushes) + " flushes/" +
+             std::to_string(c.coalesced_writes) + " coalesced";
+    }
+    if (c.write_closed) out += ", writer closed";
+    if (c.read_closed) out += ", reader closed";
+    if (c.output_remote) out += ", producer remote";
+    if (c.input_remote) out += ", consumer remote";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dpn::obs

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/bytes.hpp"
+
+/// Structured introspection of a process network.
+///
+/// A NetworkSnapshot is the one representation of "what is this graph
+/// doing" shared by every consumer: Network::snapshot() produces it, the
+/// deadlock monitor decides on it, tests assert on it, operators print
+/// it, and the compute-server STATS request serializes it across the wire
+/// so a distributed graph is observable per node (docs/OBSERVABILITY.md
+/// documents the schema, docs/PROTOCOLS.md the frame).
+///
+/// The encoding is the project-standard Data-stream format (big-endian
+/// primitives, varint lengths) with a leading version byte, so STATS
+/// replies survive mixed-revision fleets: unknown newer fields are
+/// appended, old decoders stop at what they know.
+namespace dpn::obs {
+
+/// One channel, merged from its ChannelMetrics, its local pipe (if any),
+/// and its buffered-endpoint counters (if configured).
+struct ChannelSnapshot {
+  /// Stable identity of the ChannelState (process-wide monotonic id);
+  /// lets a monitor correlate snapshots over time and re-find the live
+  /// channel a stall snapshot named.
+  std::uint64_t id = 0;
+  std::string label;
+
+  // --- topology flags ---
+  bool has_pipe = false;       // both endpoints local: a pipe exists here
+  bool input_remote = false;   // consuming endpoint shipped away
+  bool output_remote = false;  // producing endpoint shipped away
+  bool write_closed = false;
+  bool read_closed = false;
+
+  // --- occupancy (local pipe only) ---
+  std::uint64_t capacity = 0;
+  std::uint64_t buffered = 0;       // bytes currently in the pipe
+  std::uint64_t occupancy_hwm = 0;  // high-water mark of `buffered`
+
+  // --- traffic (endpoint counters; survive transport swaps) ---
+  std::uint64_t bytes_written = 0;
+  std::uint64_t tokens_written = 0;  // endpoint write calls
+  std::uint64_t bytes_read = 0;
+  std::uint64_t tokens_read = 0;  // endpoint read calls
+
+  // --- pressure (local pipe only) ---
+  std::uint64_t blocked_read_ns = 0;   // total time readers waited
+  std::uint64_t blocked_write_ns = 0;  // total time writers waited
+  std::uint64_t reader_wakeups = 0;
+  std::uint64_t writer_wakeups = 0;
+  std::uint32_t blocked_readers = 0;  // blocked right now
+  std::uint32_t blocked_writers = 0;
+
+  // --- fast path (buffered endpoints only) ---
+  std::uint64_t flushes = 0;           // buffer drains into the transport
+  std::uint64_t coalesced_writes = 0;  // writes absorbed without a drain
+  std::uint64_t write_buffered = 0;    // bytes pending in the write buffer
+  std::uint64_t read_buffered = 0;     // unconsumed read-ahead bytes
+};
+
+struct ProcessSnapshot {
+  std::string name;
+  ProcessState state = ProcessState::kIdle;
+  std::uint64_t steps = 0;
+};
+
+struct NetworkSnapshot {
+  /// Unfinished processes at snapshot time.
+  std::uint64_t live = 0;
+  /// Deadlock-monitor state (mirrors core::DeadlockOutcome's values).
+  std::uint8_t outcome = 0;
+  std::uint64_t growth_events = 0;
+  /// Remote-channel traffic of the hosting node, when one is attached
+  /// (compute servers fill these in for STATS replies).
+  std::uint64_t remote_bytes_sent = 0;
+  std::uint64_t remote_bytes_received = 0;
+
+  std::vector<ProcessSnapshot> processes;
+  std::vector<ChannelSnapshot> channels;
+
+  // --- derived queries (used by the monitor and tests) ---
+  std::uint64_t blocked_readers() const;
+  std::uint64_t blocked_writers() const;
+  bool has_write_blocked() const { return blocked_writers() > 0; }
+  /// The write-blocked channel with the smallest capacity (Parks' growth
+  /// victim), or nullptr when none is write-blocked.
+  const ChannelSnapshot* smallest_write_blocked() const;
+
+  ByteVector encode() const;
+  static NetworkSnapshot decode(ByteSpan bytes);
+
+  /// Multi-line human-readable rendering (the successor of the old
+  /// Network::channel_report()).
+  std::string to_string() const;
+};
+
+}  // namespace dpn::obs

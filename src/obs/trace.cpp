@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace dpn::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t thread_tag() {
+  // A stable small tag per thread; the hash is computed once per thread.
+  static thread_local const std::uint32_t tag = static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return tag;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void append_json_escaped(std::string& out, const char* s, std::size_t max) {
+  for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kChannelWrite: return "channel.write";
+    case TraceKind::kChannelRead: return "channel.read";
+    case TraceKind::kChannelFlush: return "channel.flush";
+    case TraceKind::kChannelClose: return "channel.close";
+    case TraceKind::kShip: return "dist.ship";
+    case TraceKind::kRedirect: return "dist.redirect";
+    case TraceKind::kMigrate: return "dist.migrate";
+    case TraceKind::kMonitorGrow: return "monitor.grow";
+    case TraceKind::kMonitorDeadlock: return "monitor.deadlock";
+    case TraceKind::kTaskDispatch: return "par.dispatch";
+    case TraceKind::kTaskComplete: return "par.complete";
+    case TraceKind::kProcessStart: return "process.start";
+    case TraceKind::kProcessStop: return "process.stop";
+  }
+  return "unknown";
+}
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  disable();
+  const std::size_t size = round_up_pow2(std::max<std::size_t>(capacity, 2));
+  ring_.assign(size, TraceEvent{});
+  mask_ = size - 1;
+  next_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = now_ns();
+  enabled_.store(true, std::memory_order_release);
+  detail::g_trace_on.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  detail::g_trace_on.store(false, std::memory_order_release);
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Tracer::record(TraceKind kind, std::string_view name, std::uint64_t arg0,
+                    std::uint64_t arg1) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& event = ring_[slot & mask_];
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.tid = thread_tag();
+  event.kind = kind;
+  const std::size_t n = std::min(name.size(), sizeof(event.name) - 1);
+  std::memcpy(event.name, name.data(), n);
+  event.name[n] = '\0';
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+}
+
+std::vector<TraceEvent> Tracer::drain() const {
+  std::vector<TraceEvent> out;
+  if (ring_.empty()) return out;
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t kept = std::min<std::uint64_t>(total, ring_.size());
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest surviving slot first: when the ring wrapped, that is the slot
+  // the *next* record would overwrite.
+  const std::uint64_t first = total - kept;
+  for (std::uint64_t i = first; i < total; ++i) {
+    out.push_back(ring_[i & mask_]);
+  }
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = drain();
+  std::string out = "{\"traceEvents\":[";
+  bool comma = false;
+  for (const TraceEvent& event : events) {
+    if (comma) out += ',';
+    comma = true;
+    out += "{\"name\":\"";
+    out += to_string(event.kind);
+    out += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    // Chrome expects microseconds; keep sub-microsecond as a fraction.
+    out += std::to_string(event.ts_ns / 1000);
+    out += '.';
+    out += std::to_string(event.ts_ns % 1000);
+    out += ",\"args\":{\"label\":\"";
+    append_json_escaped(out, event.name, sizeof(event.name));
+    out += "\",\"arg0\":";
+    out += std::to_string(event.arg0);
+    out += ",\"arg1\":";
+    out += std::to_string(event.arg1);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dpn::obs

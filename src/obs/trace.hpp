@@ -1,0 +1,136 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Event tracing: an opt-in, lock-free ring buffer of fixed-size events,
+/// exportable as Chrome trace_event JSON (chrome://tracing, Perfetto).
+///
+/// Design constraints, in order:
+///  1. when tracing is disabled the per-event cost is one relaxed atomic
+///     load and a predictable branch (and with DPN_TRACE=0 the calls
+///     compile out entirely);
+///  2. when enabled, recording never blocks and never allocates: events
+///     are POD slots claimed with one fetch_add, and the ring overwrites
+///     its oldest entries when full (tracing favours the recent past);
+///  3. events carry enough to reconstruct what the runtime did: channel
+///     operations, endpoint migrations/redirections, deadlock-monitor
+///     growth decisions, and par-framework task dispatch.
+///
+/// Concurrency note: drain() and chrome_trace_json() are meant to be
+/// called after disable() (or at quiescence).  Draining while writers are
+/// active cannot crash -- slots are PODs -- but racing slots may surface
+/// torn (mixed old/new) events.
+#ifndef DPN_TRACE
+#define DPN_TRACE 1
+#endif
+
+namespace dpn::obs {
+
+enum class TraceKind : std::uint8_t {
+  kChannelWrite = 0,   // arg0 = bytes
+  kChannelRead = 1,    // arg0 = bytes
+  kChannelFlush = 2,   // arg0 = bytes published
+  kChannelClose = 3,
+  kShip = 4,           // endpoint/process shipped to another node
+  kRedirect = 5,       // producer redirected (paper Section 4.3)
+  kMigrate = 6,        // running process migrated (Section 6.1)
+  kMonitorGrow = 7,    // arg0 = old capacity, arg1 = new capacity
+  kMonitorDeadlock = 8,
+  kTaskDispatch = 9,   // par framework: task blob written to a worker
+  kTaskComplete = 10,  // par framework: result blob produced
+  kProcessStart = 11,
+  kProcessStop = 12,   // arg0 = steps completed
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  // nanoseconds since enable()
+  std::uint32_t tid = 0;    // hashed thread id
+  TraceKind kind = TraceKind::kChannelWrite;
+  char name[23] = {};  // truncated label (channel label, process name, ...)
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// The process-wide tracer.  All methods are thread-safe.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  static Tracer& instance();
+
+  /// Starts recording into a fresh ring of `capacity` events (rounded up
+  /// to a power of two).  Discards anything previously recorded.
+  void enable(std::size_t capacity = kDefaultCapacity);
+
+  /// Stops recording.  Recorded events stay available for drain/export.
+  void disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one event (no-op when disabled).
+  void record(TraceKind kind, std::string_view name, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0);
+
+  /// Events currently held, oldest first.  When the ring wrapped, only the
+  /// newest `capacity` events survive.
+  std::vector<TraceEvent> drain() const;
+
+  /// Total record() calls since enable() -- minus drained ring size, the
+  /// number of events lost to wraparound.
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Chrome trace_event JSON ("traceEvents" array form): one instant
+  /// event per slot, with kind/args attached.  Load in chrome://tracing
+  /// or ui.perfetto.dev.
+  std::string chrome_trace_json() const;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::vector<TraceEvent> ring_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+  std::uint64_t epoch_ns_ = 0;  // steady-clock origin of ts_ns
+};
+
+namespace detail {
+/// Mirror of Tracer::enabled_, readable without going through
+/// Tracer::instance(): the singleton's static-local guard would put a
+/// call + acquire check on every channel op.  This keeps the disabled
+/// fast path at one relaxed load of a namespace-scope atomic.
+extern std::atomic<bool> g_trace_on;
+}  // namespace detail
+
+inline bool trace_enabled() {
+#if DPN_TRACE
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+#if DPN_TRACE
+#define DPN_TRACE_EVENT(kind, name, ...)                                   \
+  do {                                                                     \
+    if (::dpn::obs::trace_enabled()) {                                     \
+      ::dpn::obs::Tracer::instance().record((kind), (name), ##__VA_ARGS__); \
+    }                                                                      \
+  } while (0)
+#else
+#define DPN_TRACE_EVENT(kind, name, ...) \
+  do {                                   \
+  } while (0)
+#endif
+
+}  // namespace dpn::obs

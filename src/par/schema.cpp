@@ -9,8 +9,9 @@ namespace {
 
 std::shared_ptr<core::Channel> make_channel(const SchemaOptions& options,
                                             std::string label) {
-  auto channel = std::make_shared<core::Channel>(options.channel_capacity,
-                                                 std::move(label));
+  core::ChannelOptions channel_options = options.channel;
+  channel_options.label = std::move(label);
+  auto channel = std::make_shared<core::Channel>(std::move(channel_options));
   if (options.watch != nullptr) options.watch->watch(channel);
   return channel;
 }

@@ -34,8 +34,10 @@ using WorkerFactory = std::function<std::shared_ptr<core::Process>(
     std::shared_ptr<core::ChannelOutputStream> out)>;
 
 struct SchemaOptions {
-  /// Capacity of the channels created inside the schema.
-  std::size_t channel_capacity = io::Pipe::kDefaultCapacity;
+  /// Template for the channels created inside the schema (capacity and
+  /// endpoint buffering); the label is replaced with a per-channel one
+  /// ("dynamic.task.3", ...).
+  core::ChannelOptions channel{};
   /// If set, every channel created inside the schema is registered with
   /// this network's deadlock monitor.
   core::Network* watch = nullptr;

@@ -1,5 +1,8 @@
 #include "rmi/compute_server.hpp"
 
+#include <set>
+
+#include "core/channel.hpp"
 #include "dist/ship.hpp"
 #include "io/data.hpp"
 #include "support/log.hpp"
@@ -8,9 +11,13 @@ namespace dpn::rmi {
 namespace {
 
 enum class Op : std::uint8_t {
-  kRunProcess = 1,  // run(Runnable): async
-  kRunTask = 2,     // run(Task): sync, returns result
+  kRunProcess = 1,     // legacy run(Runnable): async, no process id
+  kRunTask = 2,        // run(Task) / submit(Task): sync, returns result
   kPing = 3,
+  kSubmitProcess = 4,  // submit(Process): replies with a process id
+  kJoinProcess = 5,    // block until a hosted process finishes
+  kAbortProcess = 6,   // close a hosted process's channel endpoints
+  kStats = 7,          // obs::NetworkSnapshot of everything hosted
 };
 
 io::DataInputStream make_in(const std::shared_ptr<net::Socket>& socket) {
@@ -55,6 +62,73 @@ void ComputeServer::stop() {
   }
 }
 
+obs::NetworkSnapshot ComputeServer::snapshot() const {
+  obs::NetworkSnapshot snap;
+  const auto& traffic = *node_->traffic();
+  snap.remote_bytes_sent =
+      traffic.bytes_sent.load(std::memory_order_relaxed);
+  snap.remote_bytes_received =
+      traffic.bytes_received.load(std::memory_order_relaxed);
+
+  std::scoped_lock lock{hosted_mutex_};
+  std::set<const core::ChannelState*> seen;
+  for (const auto& [id, hosted] : hosted_) {
+    if (!hosted->done) ++snap.live;
+    core::append_process_snapshots(*hosted->process, snap.processes);
+    for (const auto& in : hosted->process->channel_inputs()) {
+      const auto& state = in->state();
+      if (seen.insert(state.get()).second) {
+        snap.channels.push_back(core::snapshot_channel(*state));
+      }
+    }
+    for (const auto& out : hosted->process->channel_outputs()) {
+      const auto& state = out->state();
+      if (seen.insert(state.get()).second) {
+        snap.channels.push_back(core::snapshot_channel(*state));
+      }
+    }
+  }
+  return snap;
+}
+
+std::uint64_t ComputeServer::host_process(
+    std::shared_ptr<core::Process> process) {
+  processes_hosted_.fetch_add(1);
+  auto hosted = std::make_shared<Hosted>();
+  hosted->process = std::move(process);
+  std::scoped_lock lock{hosted_mutex_};
+  const std::uint64_t id = next_process_id_++;
+  hosted_.emplace(id, std::move(hosted));
+  return id;
+}
+
+void ComputeServer::run_hosted(std::uint64_t id) {
+  std::shared_ptr<Hosted> hosted;
+  {
+    std::scoped_lock lock{hosted_mutex_};
+    hosted = hosted_.at(id);
+  }
+  log::info("compute server '", name_, "' hosting process ",
+            hosted->process->name(), " (id ", id, ")");
+  std::string error;
+  try {
+    hosted->process->run();
+  } catch (const IoError&) {
+    // Graceful stop via channel closure.
+  } catch (const std::exception& e) {
+    error = e.what();
+    if (error.empty()) error = "hosted process failed";
+    log::error("compute server '", name_, "': hosted process ",
+               hosted->process->name(), " failed: ", error);
+  }
+  {
+    std::scoped_lock lock{hosted_mutex_};
+    hosted->done = true;
+    hosted->error = std::move(error);
+  }
+  hosted_cv_.notify_all();
+}
+
 void ComputeServer::accept_loop() {
   for (;;) {
     net::Socket socket;
@@ -83,7 +157,8 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
   auto out = make_out(socket);
   const auto op = static_cast<Op>(in.read_u8());
   switch (op) {
-    case Op::kRunProcess: {
+    case Op::kRunProcess:
+    case Op::kSubmitProcess: {
       const ByteVector shipment = in.read_bytes();
       std::shared_ptr<core::Process> process;
       try {
@@ -92,22 +167,15 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       } catch (const std::exception& e) {
         out.write_bool(false);
         out.write_string(e.what());
+        if (op == Op::kSubmitProcess) out.write_u64(0);
         return;
       }
-      processes_hosted_.fetch_add(1);
+      const std::uint64_t id = host_process(std::move(process));
       out.write_bool(true);
       out.write_string("");
-      log::info("compute server '", name_, "' hosting process ",
-                process->name());
-      // run(Runnable) returns immediately; the process executes here.
-      try {
-        process->run();
-      } catch (const IoError&) {
-        // Graceful stop via channel closure.
-      } catch (const std::exception& e) {
-        log::error("compute server '", name_, "': hosted process ",
-                   process->name(), " failed: ", e.what());
-      }
+      if (op == Op::kSubmitProcess) out.write_u64(id);
+      // submit()/run(Runnable) return immediately; the process runs here.
+      run_hosted(id);
       break;
     }
     case Op::kRunTask: {
@@ -135,6 +203,63 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       out.write_bytes({reply.data(), reply.size()});
       break;
     }
+    case Op::kJoinProcess: {
+      const std::uint64_t id = in.read_u64();
+      std::shared_ptr<Hosted> hosted;
+      {
+        std::unique_lock lock{hosted_mutex_};
+        const auto it = hosted_.find(id);
+        if (it != hosted_.end()) {
+          hosted = it->second;
+          hosted_cv_.wait(lock, [&] { return hosted->done; });
+        }
+      }
+      if (!hosted) {
+        out.write_bool(false);
+        out.write_string("unknown process id " + std::to_string(id));
+        return;
+      }
+      out.write_bool(hosted->error.empty());
+      out.write_string(hosted->error);
+      break;
+    }
+    case Op::kAbortProcess: {
+      const std::uint64_t id = in.read_u64();
+      std::shared_ptr<Hosted> hosted;
+      {
+        std::scoped_lock lock{hosted_mutex_};
+        const auto it = hosted_.find(id);
+        if (it != hosted_.end()) hosted = it->second;
+      }
+      if (!hosted) {
+        out.write_bool(false);
+        out.write_string("unknown process id " + std::to_string(id));
+        return;
+      }
+      // Closing the endpoints wakes the process out of any blocked channel
+      // op; it then stops via end-of-stream / ChannelClosed as usual.
+      for (const auto& input : hosted->process->channel_inputs()) {
+        try {
+          input->close();
+        } catch (const std::exception&) {
+        }
+      }
+      for (const auto& output : hosted->process->channel_outputs()) {
+        try {
+          output->close();
+        } catch (const std::exception&) {
+        }
+      }
+      out.write_bool(true);
+      out.write_string("");
+      break;
+    }
+    case Op::kStats: {
+      const ByteVector encoded = snapshot().encode();
+      out.write_bool(true);
+      out.write_bytes({encoded.data(), encoded.size()});
+      break;
+    }
     case Op::kPing: {
       out.write_bool(true);
       out.write_string(name_);
@@ -143,6 +268,51 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
     default:
       throw IoError{"compute server: unknown op"};
   }
+}
+
+std::shared_ptr<core::Task> TaskFuture::get() {
+  if (!socket_) throw UsageError{"TaskFuture::get on an invalid future"};
+  auto socket = std::move(socket_);
+  auto in = make_in(socket);
+  if (!in.read_bool()) {
+    throw IoError{"compute server task failed: " + in.read_string()};
+  }
+  const ByteVector reply = in.read_bytes();
+  auto object = dist::receive_object(local_, {reply.data(), reply.size()});
+  if (!object) return nullptr;
+  auto result = std::dynamic_pointer_cast<core::Task>(object);
+  if (!result) {
+    throw SerializationError{"compute server returned a non-Task object"};
+  }
+  return result;
+}
+
+void ProcessHandle::join() {
+  if (!valid()) throw UsageError{"ProcessHandle::join on an invalid handle"};
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kJoinProcess));
+  out.write_u64(id_);
+  if (!in.read_bool()) {
+    throw IoError{"hosted process failed: " + in.read_string()};
+  }
+  in.read_string();
+}
+
+void ProcessHandle::abort() {
+  if (!valid()) throw UsageError{"ProcessHandle::abort on an invalid handle"};
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kAbortProcess));
+  out.write_u64(id_);
+  if (!in.read_bool()) {
+    throw IoError{"abort failed: " + in.read_string()};
+  }
+  in.read_string();
 }
 
 ServerHandle::ServerHandle(Endpoint endpoint,
@@ -163,7 +333,8 @@ ServerHandle ServerHandle::lookup(const std::string& registry_host,
   return ServerHandle{*endpoint, std::move(local)};
 }
 
-void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
+ProcessHandle ServerHandle::submit(
+    const std::shared_ptr<core::Process>& process) {
   // Connect before serializing: shipping has side effects on the live
   // graph (endpoints are switched onto pending sockets), so an
   // unreachable server must fail before any of that happens.
@@ -172,35 +343,45 @@ void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
   const ByteVector shipment = dist::ship_process(local_, process);
   auto out = make_out(socket);
   auto in = make_in(socket);
-  out.write_u8(static_cast<std::uint8_t>(Op::kRunProcess));
+  out.write_u8(static_cast<std::uint8_t>(Op::kSubmitProcess));
   out.write_bytes({shipment.data(), shipment.size()});
   const bool ok = in.read_bool();
   const std::string error = in.read_string();
+  const std::uint64_t id = in.read_u64();
   if (!ok) {
     throw IoError{"compute server rejected process: " + error};
   }
+  return ProcessHandle{endpoint_, id};
 }
 
-std::shared_ptr<core::Task> ServerHandle::run(
-    const std::shared_ptr<core::Task>& task) {
+TaskFuture ServerHandle::submit(const std::shared_ptr<core::Task>& task) {
   const ByteVector shipment = dist::ship_object(local_, task);
   auto socket = std::make_shared<net::Socket>(
       net::Socket::connect(endpoint_.host, endpoint_.port));
   auto out = make_out(socket);
-  auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kRunTask));
   out.write_bytes({shipment.data(), shipment.size()});
-  if (!in.read_bool()) {
-    throw IoError{"compute server task failed: " + in.read_string()};
-  }
+  return TaskFuture{socket, local_};
+}
+
+obs::NetworkSnapshot ServerHandle::stats() {
+  auto socket = std::make_shared<net::Socket>(
+      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kStats));
+  if (!in.read_bool()) throw IoError{"compute server stats failed"};
   const ByteVector reply = in.read_bytes();
-  auto object = dist::receive_object(local_, {reply.data(), reply.size()});
-  if (!object) return nullptr;
-  auto result = std::dynamic_pointer_cast<core::Task>(object);
-  if (!result) {
-    throw SerializationError{"compute server returned a non-Task object"};
-  }
-  return result;
+  return obs::NetworkSnapshot::decode({reply.data(), reply.size()});
+}
+
+void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
+  submit(process);
+}
+
+std::shared_ptr<core::Task> ServerHandle::run(
+    const std::shared_ptr<core::Task>& task) {
+  return submit(task).get();
 }
 
 void ServerHandle::ping() {
@@ -211,6 +392,20 @@ void ServerHandle::ping() {
   out.write_u8(static_cast<std::uint8_t>(Op::kPing));
   if (!in.read_bool()) throw NetError{"ping failed"};
   in.read_string();
+}
+
+obs::NetworkSnapshot fleet_stats(std::vector<ServerHandle>& servers) {
+  obs::NetworkSnapshot fleet;
+  for (ServerHandle& server : servers) {
+    obs::NetworkSnapshot snap = server.stats();
+    fleet.live += snap.live;
+    fleet.growth_events += snap.growth_events;
+    fleet.remote_bytes_sent += snap.remote_bytes_sent;
+    fleet.remote_bytes_received += snap.remote_bytes_received;
+    for (auto& p : snap.processes) fleet.processes.push_back(std::move(p));
+    for (auto& c : snap.channels) fleet.channels.push_back(std::move(c));
+  }
+  return fleet;
 }
 
 }  // namespace dpn::rmi

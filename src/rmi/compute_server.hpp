@@ -1,27 +1,36 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/process.hpp"
 #include "core/task.hpp"
 #include "dist/node.hpp"
 #include "net/socket.hpp"
+#include "obs/snapshot.hpp"
 #include "rmi/registry.hpp"
 
 /// The generic compute server of paper Section 4.1 and its client stub.
 ///
-/// The Server interface has two remotely invocable methods:
+/// The Server interface has two remotely invocable methods (paper):
 ///
 ///   void run(Runnable)  -- ship a Process; the server starts it on its
 ///                          own thread and returns immediately;
 ///   Object run(Task)    -- ship a Task; the server runs it to completion
 ///                          and returns the (serialized) result.
+///
+/// The client stub unifies both behind `submit()` overloads that return
+/// typed handles: submit(Process) -> ProcessHandle (join/abort the hosted
+/// process later), submit(Task) -> TaskFuture (get() blocks for the
+/// result).  stats() fetches an obs::NetworkSnapshot of everything the
+/// server is hosting.
 ///
 /// Where the paper downloads class files via the RMI codebase, a C++
 /// server must already link the process/task types it is asked to run
@@ -57,9 +66,23 @@ class ComputeServer {
   std::size_t processes_hosted() const { return processes_hosted_.load(); }
   std::size_t tasks_run() const { return tasks_run_.load(); }
 
+  /// Everything this server is hosting right now: one ProcessSnapshot per
+  /// hosted process (recursing into composites), one ChannelSnapshot per
+  /// distinct channel endpoint held by those processes, plus this node's
+  /// remote traffic counters.  This is the payload of the STATS request.
+  obs::NetworkSnapshot snapshot() const;
+
  private:
+  struct Hosted {
+    std::shared_ptr<core::Process> process;
+    bool done = false;
+    std::string error;  // empty on success
+  };
+
   void accept_loop();
   void handle(std::shared_ptr<net::Socket> socket);
+  std::uint64_t host_process(std::shared_ptr<core::Process> process);
+  void run_hosted(std::uint64_t id);
 
   std::string name_;
   std::shared_ptr<dist::NodeContext> node_;
@@ -68,9 +91,66 @@ class ComputeServer {
   std::atomic<std::size_t> processes_hosted_{0};
   std::atomic<std::size_t> tasks_run_{0};
 
+  mutable std::mutex hosted_mutex_;
+  std::condition_variable hosted_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Hosted>> hosted_;
+  std::uint64_t next_process_id_ = 1;
+
   std::mutex workers_mutex_;
   std::vector<std::jthread> workers_;
   std::jthread acceptor_;
+};
+
+class ServerHandle;
+
+/// Pending result of ServerHandle::submit(Task).  The server runs the task
+/// while the caller holds the future; get() blocks for the reply.
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+
+  bool valid() const { return socket_ != nullptr; }
+
+  /// Blocks until the server replies, then deserializes and returns the
+  /// completed task.  Throws IoError if the task failed remotely.
+  /// Single-shot: the future is invalid afterwards.
+  std::shared_ptr<core::Task> get();
+
+ private:
+  friend class ServerHandle;
+  TaskFuture(std::shared_ptr<net::Socket> socket,
+             std::shared_ptr<dist::NodeContext> local)
+      : socket_(std::move(socket)), local_(std::move(local)) {}
+
+  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<dist::NodeContext> local_;
+};
+
+/// Handle to a process hosted by a remote ComputeServer, returned by
+/// ServerHandle::submit(Process).  Cheap to copy; all operations open a
+/// fresh connection, so a handle can outlive the submitting socket.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+  /// Blocks until the hosted process finishes; throws IoError if it
+  /// failed remotely.
+  void join();
+
+  /// Closes the hosted process's channel endpoints, unblocking it so it
+  /// stops via the normal end-of-stream / ChannelClosed paths.
+  void abort();
+
+ private:
+  friend class ServerHandle;
+  ProcessHandle(Endpoint endpoint, std::uint64_t id)
+      : endpoint_(std::move(endpoint)), id_(id) {}
+
+  Endpoint endpoint_;
+  std::uint64_t id_ = 0;
 };
 
 /// Client stub for a remote ComputeServer.
@@ -86,12 +166,22 @@ class ServerHandle {
 
   /// Ships `process` for asynchronous execution (paper: run(Runnable)).
   /// Returns once the server has deserialized and started it -- i.e. once
-  /// all cut channels have reconnected.
-  void run_async(const std::shared_ptr<core::Process>& process);
+  /// all cut channels have reconnected.  The handle can join() the hosted
+  /// process or abort() it.
+  ProcessHandle submit(const std::shared_ptr<core::Process>& process);
 
-  /// Ships `task`, waits for completion, returns its result (paper:
-  /// run(Task)).
-  std::shared_ptr<core::Task> run(const std::shared_ptr<core::Task>& task);
+  /// Ships `task` (paper: run(Task)); the returned future's get() blocks
+  /// for the result.
+  TaskFuture submit(const std::shared_ptr<core::Task>& task);
+
+  /// Fetches a snapshot of everything the server is hosting.
+  obs::NetworkSnapshot stats();
+
+  [[deprecated("use submit(process)")]] void run_async(
+      const std::shared_ptr<core::Process>& process);
+
+  [[deprecated("use submit(task).get()")]] std::shared_ptr<core::Task> run(
+      const std::shared_ptr<core::Task>& task);
 
   /// Round-trip health check.
   void ping();
@@ -102,5 +192,10 @@ class ServerHandle {
   Endpoint endpoint_;
   std::shared_ptr<dist::NodeContext> local_;
 };
+
+/// Merged snapshot across several servers: processes and channels are
+/// concatenated, counters summed.  The fleet-wide view of paper Section
+/// 6.2's global state, assembled from per-node STATS replies.
+obs::NetworkSnapshot fleet_stats(std::vector<ServerHandle>& servers);
 
 }  // namespace dpn::rmi

@@ -1,5 +1,6 @@
 #include "rmi/migrate.hpp"
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace dpn::rmi {
@@ -13,7 +14,8 @@ bool migrate(const std::shared_ptr<core::IterativeProcess>& process,
     return false;
   }
   try {
-    destination.run_async(process);
+    destination.submit(process);
+    DPN_TRACE_EVENT(obs::TraceKind::kMigrate, process->name());
   } catch (const NetError&) {
     // Could not reach the server: run_async connects before it
     // serializes, so the graph is untouched and resuming in place is

@@ -191,8 +191,8 @@ TEST(Composite, AggregatesEndpoints) {
 TEST(Network, PipelineTerminationByProducerLimit) {
   // Section 3.4 mode 2: the source stops; downstream drains everything.
   Network network;
-  auto a = network.make_channel(8, "a");
-  auto b = network.make_channel(8, "b");
+  auto a = network.make_channel({.capacity = 8, .label = "a"});
+  auto b = network.make_channel({.capacity = 8, .label = "b"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(1, a->output(), 50));
   network.add(std::make_shared<Identity>(a->input(), b->output()));
@@ -206,8 +206,8 @@ TEST(Network, PipelineTerminationByConsumerLimit) {
   // Section 3.4 mode 1: the sink stops first; upstream is killed by
   // ChannelClosed on its next write.
   Network network;
-  auto a = network.make_channel(8, "a");
-  auto b = network.make_channel(8, "b");
+  auto a = network.make_channel({.capacity = 8, .label = "a"});
+  auto b = network.make_channel({.capacity = 8, .label = "b"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(1, a->output()));  // unbounded!
   network.add(std::make_shared<Identity>(a->input(), b->output()));
@@ -241,10 +241,10 @@ TEST(Network, FigureThirteenDeadlocksWithoutMonitor) {
   // deadlock that growth can fix... here: confirm deadlock happens.
   constexpr std::int64_t kN = 10;
   Network network;
-  auto source = network.make_channel(64, "source");
-  auto multiples = network.make_channel(8, "multiples");
-  auto others = network.make_channel(8, "others");  // too small for N-1=9
-  auto merged = network.make_channel(64, "merged");
+  auto source = network.make_channel({.capacity = 64, .label = "source"});
+  auto multiples = network.make_channel({.capacity = 8, .label = "multiples"});
+  auto others = network.make_channel({.capacity = 8, .label = "others"});  // too small for N-1=9
+  auto merged = network.make_channel({.capacity = 64, .label = "merged"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Sequence>(1, source->output(), 200));
@@ -270,10 +270,10 @@ TEST(Network, FigureThirteenCompletesWithMonitor) {
   // the run completes with the full ordered output.
   constexpr std::int64_t kN = 10;
   Network network;
-  auto source = network.make_channel(64, "source");
-  auto multiples = network.make_channel(8, "multiples");
-  auto others = network.make_channel(8, "others");
-  auto merged = network.make_channel(64, "merged");
+  auto source = network.make_channel({.capacity = 64, .label = "source"});
+  auto multiples = network.make_channel({.capacity = 8, .label = "multiples"});
+  auto others = network.make_channel({.capacity = 8, .label = "others"});
+  auto merged = network.make_channel({.capacity = 64, .label = "merged"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Sequence>(1, source->output(), 200));
@@ -297,8 +297,8 @@ TEST(Network, TrueDeadlockDetectedOnCycle) {
   // Two processes each waiting to read from the other: a real deadlock
   // that no buffer growth can fix.
   Network network;
-  auto ab = network.make_channel(16, "ab");
-  auto ba = network.make_channel(16, "ba");
+  auto ab = network.make_channel({.capacity = 16, .label = "ab"});
+  auto ba = network.make_channel({.capacity = 16, .label = "ba"});
 
   class Echo final : public IterativeProcess {
    public:
@@ -334,9 +334,9 @@ TEST(Network, DeterminateAcrossCapacities) {
   std::vector<std::int64_t> reference;
   for (const std::size_t capacity : {1u, 2u, 3u, 8u, 64u, 4096u}) {
     Network network;
-    auto a = network.make_channel(capacity);
-    auto b = network.make_channel(capacity);
-    auto c = network.make_channel(capacity);
+    auto a = network.make_channel({.capacity = capacity});
+    auto b = network.make_channel({.capacity = capacity});
+    auto c = network.make_channel({.capacity = capacity});
     auto sink = std::make_shared<CollectSink<std::int64_t>>();
     network.add(std::make_shared<Sequence>(0, a->output(), 64));
     network.add(std::make_shared<Identity>(a->input(), b->output()));

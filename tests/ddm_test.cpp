@@ -48,7 +48,7 @@ TEST(Coordinator, HealthyFleetTriggersNothing) {
   DeadlockCoordinator coordinator;
   auto node = NodeContext::create();
   Network network;
-  auto ch = network.make_channel(64);
+  auto ch = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(0, ch->output(), 3000));
   network.add(std::make_shared<Collect>(ch->input(), sink));

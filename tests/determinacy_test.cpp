@@ -71,7 +71,7 @@ std::vector<std::int64_t> run_mixed_graph(std::size_t capacity,
                                           std::uint64_t jitter_seed) {
   Network network;
   const auto ch = [&](const char* label) {
-    return network.make_channel(capacity, label);
+    return network.make_channel({.capacity = capacity, .label = label});
   };
 
   // Fibonacci half (Figure 2).
@@ -207,7 +207,7 @@ TEST(Determinacy, DistributedRunMatchesLocalRun) {
 
 TEST(Determinacy, ChannelReportReflectsState) {
   Network network;
-  auto ch = network.make_channel(64, "probe");
+  auto ch = network.make_channel({.capacity = 64, .label = "probe"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(0, ch->output(), 4));
   network.add(std::make_shared<Collect>(ch->input(), sink));

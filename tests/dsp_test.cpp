@@ -176,12 +176,12 @@ std::vector<double> run_beam_bank(double true_bearing,
   std::vector<std::vector<std::shared_ptr<core::ChannelInputStream>>>
       taps(bearings.size());
   for (std::size_t s = 0; s < kSensors; ++s) {
-    auto raw = network.make_channel(4096);
+    auto raw = network.make_channel({.capacity = 4096});
     network.add(std::make_shared<PlaneWaveSource>(
         raw->output(), kFrequency, arrivals[s], noise, 100 + s, kSamples));
     std::vector<std::shared_ptr<core::ChannelOutputStream>> copies;
     for (std::size_t b = 0; b < bearings.size(); ++b) {
-      auto ch = network.make_channel(4096);
+      auto ch = network.make_channel({.capacity = 4096});
       copies.push_back(ch->output());
       taps[b].push_back(ch->input());
     }
@@ -191,8 +191,8 @@ std::vector<double> run_beam_bank(double true_bearing,
   // One delay-and-sum + spectral-power chain per steered beam.
   std::vector<std::shared_ptr<CollectSink<double>>> sinks;
   for (std::size_t b = 0; b < bearings.size(); ++b) {
-    auto summed = network.make_channel(4096);
-    auto power = network.make_channel(4096);
+    auto summed = network.make_channel({.capacity = 4096});
+    auto power = network.make_channel({.capacity = 4096});
     network.add(std::make_shared<DelaySum>(
         taps[b], summed->output(),
         steering_delays(kSensors, kSpacing, bearings[b])));
@@ -257,9 +257,9 @@ TEST(DelaySum, AlignsIntegerDelays) {
   // Two inputs carrying 0..N and a delayed copy; with the matching
   // steering the sum is exactly 2x the aligned stream.
   Network network;
-  auto a = network.make_channel(4096);
-  auto b = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto a = network.make_channel({.capacity = 4096});
+  auto b = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<double>>();
   {
     io::DataOutputStream da{a->output()};
@@ -283,8 +283,8 @@ TEST(DelaySum, AlignsIntegerDelays) {
 
 TEST(SpectralPower, ToneBeatsSilence) {
   Network network;
-  auto in = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<double>>();
   {
     io::DataOutputStream d{in->output()};

@@ -211,7 +211,7 @@ TEST(Failure, ServerStopsWhileHostedGraphRuns) {
   auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
   rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server->port()},
                            client_node};
-  handle.run_async(middle);
+  handle.submit(middle);
 
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   auto source = std::make_shared<Sequence>(0, ch1->output(), 50);
@@ -251,7 +251,7 @@ TEST(Failure, ReadAfterOwnCloseThrows) {
 
 TEST(Failure, NetworkAbortUnblocksEverything) {
   core::Network network;
-  auto ch = network.make_channel(64);
+  auto ch = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(0, ch->output()));  // unbounded
   network.add(std::make_shared<Collect>(ch->input(), sink));

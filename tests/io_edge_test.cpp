@@ -235,12 +235,19 @@ TEST(Buffered, LiveCutPreservesByteHistory) {
   BufferedOutputStream writer{seq, 32};
 
   std::atomic<bool> go{false};
+  std::atomic<bool> cut_done{false};
   std::jthread producer{[&] {
     for (int i = 0; i < 2000; ++i) {
       const std::uint8_t b = static_cast<std::uint8_t>(i & 0xff);
       writer.write({&b, 1});
       if (i == 16) go.store(true);
     }
+    // Writes legitimately race the cut (that is what this test checks),
+    // but hold the *close* until the cut is done: once set_unbounded
+    // unwedges the producer it can otherwise finish and close the
+    // sequence before switch_to runs, a shutdown interleaving the
+    // migration path never performs.
+    while (!cut_done.load()) std::this_thread::yield();
     writer.close();
   }};
   while (!go.load()) std::this_thread::yield();
@@ -250,6 +257,7 @@ TEST(Buffered, LiveCutPreservesByteHistory) {
   writer.flush();
   seq->switch_to(after, /*close_old=*/false);
   ByteVector history = pipe->steal_buffer();
+  cut_done.store(true);
   producer.join();
 
   const ByteVector tail = after->take();
@@ -294,7 +302,7 @@ TEST(ChannelEdge, LabelAndCapacityVisibleInState) {
 
 TEST(ChannelEdge, WatchDeduplicatesDiscoveredChannels) {
   core::Network network;
-  auto channel = network.make_channel(64, "shared");
+  auto channel = network.make_channel({.capacity = 64, .label = "shared"});
   // The same channel is also reachable through the process's endpoints;
   // start() must not double-count its blocked totals.
   network.add(std::make_shared<processes::Sequence>(0, channel->output(), 4));

@@ -93,7 +93,7 @@ TEST(MultiProcess, PipelineStageInSeparateOsProcess) {
   auto ch2 = std::make_shared<Channel>(4096, "from-server");
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
-  handle.run_async(middle);
+  handle.submit(middle);
 
   auto source = std::make_shared<Sequence>(0, ch1->output(), 500);
   auto drain = std::make_shared<Collect>(ch2->input(), sink);
@@ -119,7 +119,7 @@ TEST(MultiProcess, ConsumerLimitKillsRemoteProducerAcrossProcesses) {
   auto ch = std::make_shared<Channel>(4096, "stream");
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   auto producer = std::make_shared<Sequence>(0, ch->output());  // unbounded
-  handle.run_async(producer);
+  handle.submit(producer);
 
   auto drain = std::make_shared<Collect>(ch->input(), sink, 20);
   drain->run();

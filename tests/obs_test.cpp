@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/channel.hpp"
+#include "core/network.hpp"
+#include "core/process.hpp"
+#include "io/data.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+#include "processes/basic.hpp"
+#include "processes/copy.hpp"
+#include "rmi/compute_server.hpp"
+
+namespace dpn::obs {
+namespace {
+
+using core::Channel;
+using core::ChannelOptions;
+using core::Network;
+using processes::Collect;
+using processes::CollectSink;
+using processes::Identity;
+using processes::Sequence;
+
+// --- ChannelMetrics ---------------------------------------------------------
+
+TEST(Metrics, CountsBytesAndTokensPerEndpointCall) {
+  Channel channel{64};
+  const std::uint8_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (int i = 0; i < 3; ++i) channel.output()->write({payload, 8});
+
+  std::uint8_t sink[8];
+  for (int i = 0; i < 3; ++i) channel.input()->read_fully({sink, 8});
+
+  const ChannelSnapshot snap = core::snapshot_channel(*channel.state());
+  EXPECT_EQ(snap.bytes_written, 24u);
+  EXPECT_EQ(snap.tokens_written, 3u);
+  EXPECT_EQ(snap.bytes_read, 24u);
+  EXPECT_EQ(snap.tokens_read, 3u);
+}
+
+TEST(Metrics, BufferedAndWriteThroughAgreeOnTotals) {
+  // The counters live *above* the endpoint buffering, so the observable
+  // traffic of the same token stream must not drift with the transport
+  // configuration (zero-drift: ops teams compare these numbers across
+  // differently tuned deployments).
+  auto run_stream = [](ChannelOptions options) {
+    Channel channel{std::move(options)};
+    std::jthread producer{[&] {
+      io::DataOutputStream out{channel.output()};
+      for (std::int64_t i = 0; i < 100; ++i) out.write_i64(i);
+      channel.output()->close();
+    }};
+    io::DataInputStream in{channel.input()};
+    for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(in.read_i64(), i);
+    producer.join();
+    return core::snapshot_channel(*channel.state());
+  };
+
+  const ChannelSnapshot plain = run_stream({.capacity = 256});
+  const ChannelSnapshot buffered = run_stream(
+      {.capacity = 256, .write_buffer = 64, .read_buffer = 64});
+
+  EXPECT_EQ(plain.bytes_written, 800u);
+  EXPECT_EQ(buffered.bytes_written, plain.bytes_written);
+  EXPECT_EQ(buffered.tokens_written, plain.tokens_written);
+  EXPECT_EQ(buffered.bytes_read, plain.bytes_read);
+  EXPECT_EQ(buffered.tokens_read, plain.tokens_read);
+  // Only the *transport* behaviour differs: the buffered endpoint drained
+  // in coalesced flushes.
+  EXPECT_GT(buffered.flushes, 0u);
+  EXPECT_GT(buffered.coalesced_writes, 0u);
+  EXPECT_EQ(plain.flushes, 0u);
+}
+
+TEST(Metrics, BlockedTimeAndHighWaterMarkUnderBackpressure) {
+  Channel channel{ChannelOptions{.capacity = 16, .label = "tiny"}};
+  std::jthread producer{[&] {
+    io::DataOutputStream out{channel.output()};
+    for (std::int64_t i = 0; i < 16; ++i) out.write_i64(i);  // 128 B > 16
+    channel.output()->close();
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  io::DataInputStream in{channel.input()};
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(in.read_i64(), i);
+  producer.join();
+
+  const ChannelSnapshot snap = core::snapshot_channel(*channel.state());
+  EXPECT_GT(snap.blocked_write_ns, 0u);
+  EXPECT_GT(snap.occupancy_hwm, 0u);
+  EXPECT_LE(snap.occupancy_hwm, 16u);
+  EXPECT_GT(snap.writer_wakeups, 0u);
+}
+
+// --- Network::snapshot ------------------------------------------------------
+
+TEST(Snapshot, ReflectsCompletedRun) {
+  Network network;
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  network.connect(
+      [&](auto out) { return std::make_shared<Sequence>(0, out, 64); },
+      [&](auto in) { return std::make_shared<Collect>(in, sink); },
+      {.capacity = 256, .label = "nums"});
+  network.run();
+
+  const NetworkSnapshot snap = network.snapshot();
+  EXPECT_EQ(snap.live, 0u);
+  ASSERT_EQ(snap.processes.size(), 2u);
+  for (const ProcessSnapshot& p : snap.processes) {
+    EXPECT_EQ(p.state, ProcessState::kFinished) << p.name;
+    EXPECT_GT(p.steps, 0u) << p.name;
+  }
+  ASSERT_EQ(snap.channels.size(), 1u);
+  const ChannelSnapshot& c = snap.channels[0];
+  EXPECT_EQ(c.label, "nums");
+  EXPECT_EQ(c.bytes_written, 64u * 8u);
+  EXPECT_EQ(c.bytes_read, 64u * 8u);
+  EXPECT_EQ(c.tokens_written, c.tokens_read);
+  EXPECT_TRUE(c.write_closed);
+  // And the human rendering mentions the channel.
+  EXPECT_NE(snap.to_string().find("nums"), std::string::npos);
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  NetworkSnapshot snap;
+  snap.live = 3;
+  snap.outcome = 1;
+  snap.growth_events = 2;
+  snap.remote_bytes_sent = 11111;
+  snap.remote_bytes_received = 22222;
+  snap.processes.push_back({"alpha", ProcessState::kBlockedReading, 42});
+  snap.processes.push_back({"beta", ProcessState::kFinished, 7});
+  ChannelSnapshot c;
+  c.id = 99;
+  c.label = "wire";
+  c.has_pipe = true;
+  c.input_remote = true;
+  c.write_closed = true;
+  c.capacity = 4096;
+  c.buffered = 128;
+  c.occupancy_hwm = 512;
+  c.bytes_written = 1000;
+  c.tokens_written = 125;
+  c.bytes_read = 872;
+  c.tokens_read = 109;
+  c.blocked_read_ns = 1234567;
+  c.reader_wakeups = 55;
+  c.blocked_readers = 1;
+  c.flushes = 9;
+  c.coalesced_writes = 90;
+  c.write_buffered = 16;
+  snap.channels.push_back(c);
+
+  const ByteVector bytes = snap.encode();
+  const NetworkSnapshot copy = NetworkSnapshot::decode({bytes.data(),
+                                                        bytes.size()});
+  EXPECT_EQ(copy.live, 3u);
+  EXPECT_EQ(copy.outcome, 1);
+  EXPECT_EQ(copy.growth_events, 2u);
+  EXPECT_EQ(copy.remote_bytes_sent, 11111u);
+  EXPECT_EQ(copy.remote_bytes_received, 22222u);
+  ASSERT_EQ(copy.processes.size(), 2u);
+  EXPECT_EQ(copy.processes[0].name, "alpha");
+  EXPECT_EQ(copy.processes[0].state, ProcessState::kBlockedReading);
+  EXPECT_EQ(copy.processes[0].steps, 42u);
+  EXPECT_EQ(copy.processes[1].name, "beta");
+  ASSERT_EQ(copy.channels.size(), 1u);
+  const ChannelSnapshot& d = copy.channels[0];
+  EXPECT_EQ(d.id, 99u);
+  EXPECT_EQ(d.label, "wire");
+  EXPECT_TRUE(d.has_pipe);
+  EXPECT_TRUE(d.input_remote);
+  EXPECT_FALSE(d.output_remote);
+  EXPECT_TRUE(d.write_closed);
+  EXPECT_EQ(d.capacity, 4096u);
+  EXPECT_EQ(d.buffered, 128u);
+  EXPECT_EQ(d.occupancy_hwm, 512u);
+  EXPECT_EQ(d.bytes_written, 1000u);
+  EXPECT_EQ(d.tokens_written, 125u);
+  EXPECT_EQ(d.bytes_read, 872u);
+  EXPECT_EQ(d.tokens_read, 109u);
+  EXPECT_EQ(d.blocked_read_ns, 1234567u);
+  EXPECT_EQ(d.reader_wakeups, 55u);
+  EXPECT_EQ(d.blocked_readers, 1u);
+  EXPECT_EQ(d.flushes, 9u);
+  EXPECT_EQ(d.coalesced_writes, 90u);
+  EXPECT_EQ(d.write_buffered, 16u);
+}
+
+// --- apply_growth: growth needs live evidence -------------------------------
+
+/// Consumer that holds its channel untouched until the test opens the
+/// gate, so the producer is observably write-blocked for as long as the
+/// test needs.
+class GatedDrain final : public core::IterativeProcess {
+ public:
+  GatedDrain(std::shared_ptr<core::ChannelInputStream> in,
+             std::shared_ptr<std::atomic<bool>> gate)
+      : IterativeProcess(1), gate_(std::move(gate)) {
+    track_input(std::move(in));
+  }
+
+  std::string type_name() const override { return "test.GatedDrain"; }
+  void write_fields(serial::ObjectOutputStream&) const override {}
+
+ protected:
+  void step() override {
+    while (!gate_->load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    }
+    io::DataInputStream in{input(0)};
+    for (;;) in.read_i64();  // until EndOfStream stops the process
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> gate_;
+};
+
+TEST(Snapshot, GrowthIsRefusedOnStaleStallEvidence) {
+  // Regression for the monitor poll-vs-exit race: a stall snapshot taken
+  // while the network was genuinely wedged must not justify growth after
+  // the network has moved on (phantom growth after process exit).
+  Network network;
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  auto channel = network.make_channel({.capacity = 16, .label = "tiny"});
+  network.add(std::make_shared<Sequence>(0, channel->output(), 16));
+  network.add(std::make_shared<GatedDrain>(channel->input(), gate));
+  network.start();
+
+  // Wait for the producer to be observably write-blocked.
+  NetworkSnapshot stall;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  for (;;) {
+    stall = network.snapshot();
+    if (stall.has_write_blocked()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "producer never blocked";
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  ASSERT_NE(stall.smallest_write_blocked(), nullptr);
+  EXPECT_EQ(stall.smallest_write_blocked()->label, "tiny");
+
+  // Live evidence: the same snapshot justifies growth right now.
+  EXPECT_TRUE(network.apply_growth(stall));
+  EXPECT_EQ(network.snapshot().channels[0].capacity, 32u);
+
+  gate->store(true);
+  network.join();
+  EXPECT_EQ(network.live_processes(), 0u);
+
+  // Stale evidence: the old stall snapshot no longer describes reality.
+  EXPECT_FALSE(network.apply_growth(stall));
+  EXPECT_EQ(network.snapshot().channels[0].capacity, 32u);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(Tracer, RingKeepsNewestOnWraparound) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.record(TraceKind::kTaskDispatch, "wrap", i);
+  }
+  tracer.disable();
+
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  const std::vector<TraceEvent> events = tracer.drain();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg0, 12 + i);  // oldest survivor first
+    EXPECT_STREQ(events[i].name, "wrap");
+  }
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("par.dispatch"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"wrap\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(8);
+  tracer.record(TraceKind::kChannelWrite, "live", 1);
+  tracer.disable();
+  tracer.record(TraceKind::kChannelWrite, "dead", 2);
+  EXPECT_EQ(tracer.recorded(), 1u);
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(Tracer, ChannelOperationsLandInTheRing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(64);
+  {
+    Channel channel{ChannelOptions{.capacity = 64, .label = "traced"}};
+    io::DataOutputStream out{channel.output()};
+    io::DataInputStream in{channel.input()};
+    out.write_i64(5);
+    EXPECT_EQ(in.read_i64(), 5);
+    channel.output()->close();
+  }
+  tracer.disable();
+
+  bool saw_write = false;
+  bool saw_read = false;
+  bool saw_close = false;
+  for (const TraceEvent& event : tracer.drain()) {
+    if (std::string_view{event.name} != "traced") continue;
+    saw_write |= event.kind == TraceKind::kChannelWrite;
+    saw_read |= event.kind == TraceKind::kChannelRead;
+    saw_close |= event.kind == TraceKind::kChannelClose;
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_close);
+}
+
+// --- STATS over the wire ----------------------------------------------------
+
+TEST(Stats, RemoteRoundTripSeesHostedGraph) {
+  auto client_node = dist::NodeContext::create();
+  rmi::ComputeServer server{"stats-host"};
+
+  auto ch1 = std::make_shared<Channel>(256, "in");
+  auto ch2 = std::make_shared<Channel>(256, "out");
+  auto sink = std::make_shared<CollectSink<std::int64_t>>();
+  auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
+
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server.port()},
+                           client_node};
+  rmi::ProcessHandle hosted = handle.submit(middle);
+  ASSERT_TRUE(hosted.valid());
+
+  auto source = std::make_shared<Sequence>(0, ch1->output(), 32);
+  auto drain = std::make_shared<Collect>(ch2->input(), sink);
+  std::jthread src{[&] { source->run(); }};
+  drain->run();
+  ASSERT_EQ(sink->size(), 32u);
+
+  hosted.join();  // the graph has terminated; join must not block
+
+  // The STATS reply decodes into the server's view of the hosted graph:
+  // the Identity process (finished, with steps) and its two reconnected
+  // channel endpoints, which carried 32 tokens each way.
+  const NetworkSnapshot snap = handle.stats();
+  EXPECT_EQ(snap.live, 0u);
+  ASSERT_EQ(snap.processes.size(), 1u);
+  EXPECT_EQ(snap.processes[0].state, ProcessState::kFinished);
+  EXPECT_GT(snap.processes[0].steps, 0u);
+  ASSERT_EQ(snap.channels.size(), 2u);
+  // Identity is a byte copy (read_some chunks), so token counts depend on
+  // arrival batching; the byte totals are exact: 32 i64s each way.
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  for (const ChannelSnapshot& c : snap.channels) {
+    bytes_in += c.bytes_read;
+    bytes_out += c.bytes_written;
+  }
+  EXPECT_EQ(bytes_in, 32u * 8u);   // the shipped input endpoint's reads
+  EXPECT_EQ(bytes_out, 32u * 8u);  // the shipped output endpoint's writes
+  // Both directions crossed this node's sockets.
+  EXPECT_GT(snap.remote_bytes_sent, 0u);
+  EXPECT_GT(snap.remote_bytes_received, 0u);
+
+  std::vector<rmi::ServerHandle> fleet{handle};
+  const NetworkSnapshot merged = rmi::fleet_stats(fleet);
+  EXPECT_EQ(merged.processes.size(), 1u);
+  EXPECT_EQ(merged.remote_bytes_sent, snap.remote_bytes_sent);
+}
+
+TEST(Stats, AbortUnblocksHostedProcess) {
+  auto client_node = dist::NodeContext::create();
+  rmi::ComputeServer server{"abort-host"};
+
+  // Host an Identity that will never receive data: it parks in a blocking
+  // read on the server until abort() closes its endpoints.
+  auto ch1 = std::make_shared<Channel>(64, "silent-in");
+  auto ch2 = std::make_shared<Channel>(64, "silent-out");
+  auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
+
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server.port()},
+                           client_node};
+  rmi::ProcessHandle hosted = handle.submit(middle);
+  ASSERT_TRUE(hosted.valid());
+
+  hosted.abort();
+  hosted.join();  // must return: close propagated end-of-stream
+  EXPECT_EQ(handle.stats().live, 0u);
+}
+
+}  // namespace
+}  // namespace dpn::obs

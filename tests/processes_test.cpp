@@ -55,15 +55,15 @@ std::vector<std::int64_t> primes_below(std::int64_t limit) {
 void run_fibonacci(std::size_t count, std::size_t capacity,
                    std::vector<std::int64_t>* out) {
   Network network;
-  auto ab = network.make_channel(capacity, "ab");
-  auto be = network.make_channel(capacity, "be");
-  auto cd = network.make_channel(capacity, "cd");
-  auto df = network.make_channel(capacity, "df");
-  auto ed = network.make_channel(capacity, "ed");
-  auto eg = network.make_channel(capacity, "eg");
-  auto fg = network.make_channel(capacity, "fg");
-  auto fh = network.make_channel(capacity, "fh");
-  auto gb = network.make_channel(capacity, "gb");
+  auto ab = network.make_channel({.capacity = capacity, .label = "ab"});
+  auto be = network.make_channel({.capacity = capacity, .label = "be"});
+  auto cd = network.make_channel({.capacity = capacity, .label = "cd"});
+  auto df = network.make_channel({.capacity = capacity, .label = "df"});
+  auto ed = network.make_channel({.capacity = capacity, .label = "ed"});
+  auto eg = network.make_channel({.capacity = capacity, .label = "eg"});
+  auto fg = network.make_channel({.capacity = capacity, .label = "fg"});
+  auto fh = network.make_channel({.capacity = capacity, .label = "fh"});
+  auto gb = network.make_channel({.capacity = capacity, .label = "gb"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Constant>(1, ab->output(), 1));
@@ -105,15 +105,15 @@ TEST(Fibonacci, SmallCapacityWithMonitor) {
   // 3.5 + [13]).
   Network network;
   const std::size_t capacity = 8;  // one element per channel
-  auto ab = network.make_channel(capacity, "ab");
-  auto be = network.make_channel(capacity, "be");
-  auto cd = network.make_channel(capacity, "cd");
-  auto df = network.make_channel(capacity, "df");
-  auto ed = network.make_channel(capacity, "ed");
-  auto eg = network.make_channel(capacity, "eg");
-  auto fg = network.make_channel(capacity, "fg");
-  auto fh = network.make_channel(capacity, "fh");
-  auto gb = network.make_channel(capacity, "gb");
+  auto ab = network.make_channel({.capacity = capacity, .label = "ab"});
+  auto be = network.make_channel({.capacity = capacity, .label = "be"});
+  auto cd = network.make_channel({.capacity = capacity, .label = "cd"});
+  auto df = network.make_channel({.capacity = capacity, .label = "df"});
+  auto ed = network.make_channel({.capacity = capacity, .label = "ed"});
+  auto eg = network.make_channel({.capacity = capacity, .label = "eg"});
+  auto fg = network.make_channel({.capacity = capacity, .label = "fg"});
+  auto fh = network.make_channel({.capacity = capacity, .label = "fh"});
+  auto gb = network.make_channel({.capacity = capacity, .label = "gb"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Constant>(1, ab->output(), 1));
@@ -135,9 +135,9 @@ TEST(Fibonacci, SmallCapacityWithMonitor) {
 
 TEST(Cons, PrependsThenSplicesOut) {
   Network network;
-  auto init = network.make_channel(64, "init");
-  auto rest = network.make_channel(64, "rest");
-  auto out = network.make_channel(64, "out");
+  auto init = network.make_channel({.capacity = 64, .label = "init"});
+  auto rest = network.make_channel({.capacity = 64, .label = "rest"});
+  auto out = network.make_channel({.capacity = 64, .label = "out"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   auto cons = std::make_shared<Cons>(init->input(), rest->input(),
@@ -159,9 +159,9 @@ TEST(Cons, NoDataLostWhenSplicingUnderLoad) {
   // The rest-producer races ahead, stuffing the channel before the splice
   // happens; every element must still arrive exactly once, in order.
   Network network;
-  auto init = network.make_channel(8, "init");
-  auto rest = network.make_channel(4096, "rest");
-  auto out = network.make_channel(8, "out");
+  auto init = network.make_channel({.capacity = 8, .label = "init"});
+  auto rest = network.make_channel({.capacity = 4096, .label = "rest"});
+  auto out = network.make_channel({.capacity = 8, .label = "out"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Constant>(-1, init->output(), 1));
@@ -179,9 +179,9 @@ TEST(Cons, NoDataLostWhenSplicingUnderLoad) {
 
 TEST(Cons, DisabledSelfRemovalStillCorrect) {
   Network network;
-  auto init = network.make_channel(64);
-  auto rest = network.make_channel(64);
-  auto out = network.make_channel(64);
+  auto init = network.make_channel({.capacity = 64});
+  auto rest = network.make_channel({.capacity = 64});
+  auto out = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   auto cons = std::make_shared<Cons>(init->input(), rest->input(),
                                      out->output(), /*self_remove=*/false);
@@ -200,8 +200,8 @@ TEST(Sieve, AllPrimesBelowLimit) {
   // Termination mode 2 (Section 3.4): the Sequence stops at 100; the
   // sieve drains and every process terminates with all data consumed.
   Network network;
-  auto numbers = network.make_channel(64, "numbers");
-  auto primes = network.make_channel(64, "primes");
+  auto numbers = network.make_channel({.capacity = 64, .label = "numbers"});
+  auto primes = network.make_channel({.capacity = 64, .label = "primes"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   auto sift = std::make_shared<Sift>(numbers->input(), primes->output());
   network.add(std::make_shared<Sequence>(2, numbers->output(), 99));  // 2..100
@@ -216,8 +216,8 @@ TEST(Sieve, FirstHundredPrimes) {
   // Termination mode 1: the consumer imposes the limit; the unbounded
   // Sequence upstream is killed by the close cascade.
   Network network;
-  auto numbers = network.make_channel(256, "numbers");
-  auto primes = network.make_channel(256, "primes");
+  auto numbers = network.make_channel({.capacity = 256, .label = "numbers"});
+  auto primes = network.make_channel({.capacity = 256, .label = "primes"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(2, numbers->output()));  // unbounded
   network.add(std::make_shared<Sift>(numbers->input(), primes->output()));
@@ -233,8 +233,8 @@ TEST(Sieve, RecursiveDefinitionMatchesIterative) {
   // Figure 7's recursive Sift: each prime spawns a Modulo and a fresh
   // Sift, and the old one steps aside.  Same primes, same order.
   Network network;
-  auto numbers = network.make_channel(256, "numbers");
-  auto primes = network.make_channel(256, "primes");
+  auto numbers = network.make_channel({.capacity = 256, .label = "numbers"});
+  auto primes = network.make_channel({.capacity = 256, .label = "primes"});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(2, numbers->output(), 199));
   network.add(
@@ -247,8 +247,8 @@ TEST(Sieve, RecursiveDefinitionMatchesIterative) {
 TEST(Sieve, RecursiveWithConsumerLimit) {
   // Termination mode 1 through a chain of self-replaced processes.
   Network network;
-  auto numbers = network.make_channel(256);
-  auto primes = network.make_channel(256);
+  auto numbers = network.make_channel({.capacity = 256});
+  auto primes = network.make_channel({.capacity = 256});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(2, numbers->output()));  // unbounded
   network.add(
@@ -268,20 +268,20 @@ TEST(Newton, SquareRootConverges) {
   // changing; the Guard passes exactly one value.
   const double x = 2.0;
   Network network;
-  auto xs = network.make_channel(64, "x");
-  auto r_init = network.make_channel(64, "r0");
-  auto r_feedback = network.make_channel(4096, "rfb");
-  auto r = network.make_channel(64, "r");
-  auto r_for_div = network.make_channel(64);
-  auto r_for_avg = network.make_channel(64);
-  auto r_for_eq = network.make_channel(64);
-  auto quotient = network.make_channel(64);
-  auto r_next = network.make_channel(64);
-  auto next_dup1 = network.make_channel(64);   // feedback copy
-  auto next_dup2 = network.make_channel(64);   // to Equal
-  auto next_dup3 = network.make_channel(64);   // to Guard data
-  auto control = network.make_channel(64);
-  auto result = network.make_channel(64);
+  auto xs = network.make_channel({.capacity = 64, .label = "x"});
+  auto r_init = network.make_channel({.capacity = 64, .label = "r0"});
+  auto r_feedback = network.make_channel({.capacity = 4096, .label = "rfb"});
+  auto r = network.make_channel({.capacity = 64, .label = "r"});
+  auto r_for_div = network.make_channel({.capacity = 64});
+  auto r_for_avg = network.make_channel({.capacity = 64});
+  auto r_for_eq = network.make_channel({.capacity = 64});
+  auto quotient = network.make_channel({.capacity = 64});
+  auto r_next = network.make_channel({.capacity = 64});
+  auto next_dup1 = network.make_channel({.capacity = 64});   // feedback copy
+  auto next_dup2 = network.make_channel({.capacity = 64});   // to Equal
+  auto next_dup3 = network.make_channel({.capacity = 64});   // to Guard data
+  auto control = network.make_channel({.capacity = 64});
+  auto result = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<CollectSink<double>>();
 
   network.add(std::make_shared<ConstantF64>(x, xs->output()));
@@ -319,16 +319,16 @@ TEST(Hamming, SequenceUnderDeadlockMonitor) {
   // elements back, so fixed-capacity channels always wedge eventually;
   // the monitor grows them until the consumer's limit stops the run.
   Network network;
-  auto out = network.make_channel(64, "out");
-  auto seed = network.make_channel(64, "seed");
-  auto stream = network.make_channel(64, "stream");
-  auto to_dup = network.make_channel(64);
-  auto c2 = network.make_channel(64);
-  auto c3 = network.make_channel(64);
-  auto c5 = network.make_channel(64);
-  auto s2 = network.make_channel(64);
-  auto s3 = network.make_channel(64);
-  auto s5 = network.make_channel(64);
+  auto out = network.make_channel({.capacity = 64, .label = "out"});
+  auto seed = network.make_channel({.capacity = 64, .label = "seed"});
+  auto stream = network.make_channel({.capacity = 64, .label = "stream"});
+  auto to_dup = network.make_channel({.capacity = 64});
+  auto c2 = network.make_channel({.capacity = 64});
+  auto c3 = network.make_channel({.capacity = 64});
+  auto c5 = network.make_channel({.capacity = 64});
+  auto s2 = network.make_channel({.capacity = 64});
+  auto s3 = network.make_channel({.capacity = 64});
+  auto s5 = network.make_channel({.capacity = 64});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   network.add(std::make_shared<Constant>(1, seed->output(), 1));
@@ -414,15 +414,15 @@ TEST(ScatterGather, RoundRobinOrderPreserved) {
   constexpr std::size_t kWorkers = 4;
   constexpr long kBlobs = 40;
   Network network;
-  auto in = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
   std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
   for (std::size_t i = 0; i < kWorkers; ++i) {
-    auto tasks = network.make_channel(4096);
-    auto results = network.make_channel(4096);
+    auto tasks = network.make_channel({.capacity = 4096});
+    auto results = network.make_channel({.capacity = 4096});
     network.add(
         std::make_shared<Identity>(tasks->input(), results->output()));
     task_outs.push_back(tasks->output());
@@ -441,10 +441,10 @@ TEST(ScatterGather, RoundRobinOrderPreserved) {
 
 TEST(Direct, RoutesByIndexStream) {
   Network network;
-  auto in = network.make_channel(4096);
-  auto order = network.make_channel(4096);
-  auto out0 = network.make_channel(4096);
-  auto out1 = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto order = network.make_channel({.capacity = 4096});
+  auto out0 = network.make_channel({.capacity = 4096});
+  auto out1 = network.make_channel({.capacity = 4096});
   auto sink0 = std::make_shared<CollectSink<std::int64_t>>();
   auto sink1 = std::make_shared<CollectSink<std::int64_t>>();
 
@@ -468,9 +468,9 @@ TEST(Direct, RoutesByIndexStream) {
 
 TEST(Direct, OutOfRangeIndexStopsCleanly) {
   Network network;
-  auto in = network.make_channel(4096);
-  auto order = network.make_channel(4096);
-  auto out0 = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto order = network.make_channel({.capacity = 4096});
+  auto out0 = network.make_channel({.capacity = 4096});
   auto sink0 = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<BlobSource>(in->output(), 2));
   {
@@ -492,12 +492,12 @@ TEST(TurnstileSelect, IndexedMergeReordersToTaskOrder) {
   // deliver them in task order.
   constexpr long kTasks = 20;
   Network network;
-  auto in = network.make_channel(4096);
-  auto merged = network.make_channel(4096);
-  auto tags = network.make_channel(4096);
-  auto prefix = network.make_channel(4096);
-  auto index = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto merged = network.make_channel({.capacity = 4096});
+  auto tags = network.make_channel({.capacity = 4096});
+  auto prefix = network.make_channel({.capacity = 4096});
+  auto index = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
 
   /// Identity with an artificial per-blob delay.
@@ -529,8 +529,8 @@ TEST(TurnstileSelect, IndexedMergeReordersToTaskOrder) {
   std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
   const int delays[] = {7, 0};  // worker 0 is much slower
   for (std::size_t i = 0; i < 2; ++i) {
-    auto tasks = network.make_channel(4096);
-    auto results = network.make_channel(4096);
+    auto tasks = network.make_channel({.capacity = 4096});
+    auto results = network.make_channel({.capacity = 4096});
     network.add(std::make_shared<SlowIdentity>(tasks->input(),
                                                results->output(), delays[i]));
     task_outs.push_back(tasks->output());
@@ -558,9 +558,9 @@ TEST(TurnstileSelect, IndexedMergeReordersToTaskOrder) {
 
 TEST(OrderedMerge, MergesAndDeduplicates) {
   Network network;
-  auto a = network.make_channel(4096);
-  auto b = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto a = network.make_channel({.capacity = 4096});
+  auto b = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   {
     io::DataOutputStream da{a->output()};
@@ -579,9 +579,9 @@ TEST(OrderedMerge, MergesAndDeduplicates) {
 
 TEST(Guard, DiscardsUntilControlTrue) {
   Network network;
-  auto data = network.make_channel(4096);
-  auto control = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto data = network.make_channel({.capacity = 4096});
+  auto control = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<double>>();
   {
     io::DataOutputStream d{data->output()};
@@ -600,8 +600,8 @@ TEST(Guard, DiscardsUntilControlTrue) {
 
 TEST(Scale, MultipliesElements) {
   Network network;
-  auto in = network.make_channel(4096);
-  auto out = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto out = network.make_channel({.capacity = 4096});
   auto sink = std::make_shared<CollectSink<std::int64_t>>();
   network.add(std::make_shared<Sequence>(1, in->output(), 5));
   network.add(std::make_shared<Scale>(in->input(), out->output(), 3));
@@ -612,10 +612,10 @@ TEST(Scale, MultipliesElements) {
 
 TEST(Duplicate, ThreeCopies) {
   Network network;
-  auto in = network.make_channel(4096);
-  auto o1 = network.make_channel(4096);
-  auto o2 = network.make_channel(4096);
-  auto o3 = network.make_channel(4096);
+  auto in = network.make_channel({.capacity = 4096});
+  auto o1 = network.make_channel({.capacity = 4096});
+  auto o2 = network.make_channel({.capacity = 4096});
+  auto o3 = network.make_channel({.capacity = 4096});
   auto s1 = std::make_shared<CollectSink<std::int64_t>>();
   auto s2 = std::make_shared<CollectSink<std::int64_t>>();
   auto s3 = std::make_shared<CollectSink<std::int64_t>>();

@@ -56,11 +56,11 @@ TEST_P(MergeFuzz, MatchesSortedUnionOracle) {
     Network network;
     std::vector<std::shared_ptr<core::ChannelInputStream>> ins;
     for (const auto& stream : streams) {
-      auto channel = network.make_channel(4096);
+      auto channel = network.make_channel({.capacity = 4096});
       fill_channel(channel, stream);
       ins.push_back(channel->input());
     }
-    auto out = network.make_channel(4096);
+    auto out = network.make_channel({.capacity = 4096});
     auto sink = std::make_shared<CollectSink<std::int64_t>>();
     network.add(std::make_shared<OrderedMerge>(ins, out->output(),
                                                /*eliminate_duplicates=*/true));
@@ -88,9 +88,9 @@ TEST_P(RouteFuzz, PartitionIsExactAndOrdered) {
     }
 
     Network network;
-    auto in = network.make_channel(4096);
-    auto hit = network.make_channel(4096);
-    auto miss = network.make_channel(4096);
+    auto in = network.make_channel({.capacity = 4096});
+    auto hit = network.make_channel({.capacity = 4096});
+    auto miss = network.make_channel({.capacity = 4096});
     fill_channel(in, values);
     auto hit_sink = std::make_shared<CollectSink<std::int64_t>>();
     auto miss_sink = std::make_shared<CollectSink<std::int64_t>>();
@@ -133,8 +133,8 @@ TEST_P(ScatterGatherFuzz, RoundRobinIsIdentityOnBlobs) {
     }
 
     Network network;
-    auto in = network.make_channel(1 << 16);
-    auto out = network.make_channel(1 << 16);
+    auto in = network.make_channel({.capacity = 1 << 16});
+    auto out = network.make_channel({.capacity = 1 << 16});
     {
       io::DataOutputStream writer{in->output()};
       for (const auto& blob : blobs) {
@@ -145,7 +145,7 @@ TEST_P(ScatterGatherFuzz, RoundRobinIsIdentityOnBlobs) {
     std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
     std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
     for (std::size_t i = 0; i < lanes; ++i) {
-      auto lane = network.make_channel(1 << 16);
+      auto lane = network.make_channel({.capacity = 1 << 16});
       task_outs.push_back(lane->output());
       result_ins.push_back(lane->input());
     }
@@ -207,8 +207,8 @@ TEST_P(SelectFuzz, ReordersAnyArrivalOrderToTaskOrder) {
     }
 
     Network network;
-    auto pairs = network.make_channel(1 << 16);
-    auto out = network.make_channel(1 << 16);
+    auto pairs = network.make_channel({.capacity = 1 << 16});
+    auto out = network.make_channel({.capacity = 1 << 16});
     {
       io::DataOutputStream writer{pairs->output()};
       for (const Arrival& arrival : arrivals) {

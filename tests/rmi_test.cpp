@@ -137,7 +137,7 @@ TEST(ComputeServer, Ping) {
 TEST(ComputeServer, RunTaskReturnsResult) {
   ComputeServer server{"tasker"};
   ServerHandle handle{Endpoint{"127.0.0.1", server.port()}, nullptr};
-  auto result = handle.run(std::make_shared<DoubleTask>(21));
+  auto result = handle.submit(std::make_shared<DoubleTask>(21)).get();
   auto doubled = std::dynamic_pointer_cast<DoubleTask>(result);
   ASSERT_TRUE(doubled);
   EXPECT_EQ(doubled->value(), 42);
@@ -148,7 +148,7 @@ TEST(ComputeServer, RunTaskErrorPropagates) {
   ComputeServer server{"failer"};
   ServerHandle handle{Endpoint{"127.0.0.1", server.port()}, nullptr};
   try {
-    handle.run(std::make_shared<FailingTask>());
+    handle.submit(std::make_shared<FailingTask>()).get();
     FAIL() << "expected IoError";
   } catch (const IoError& e) {
     EXPECT_NE(std::string{e.what()}.find("task exploded"), std::string::npos);
@@ -160,7 +160,7 @@ TEST(ComputeServer, UnknownTypeReported) {
   ServerHandle handle{Endpoint{"127.0.0.1", server.port()}, nullptr};
   // The type serializes fine (name is embedded) but the server has no
   // factory for it -- the C++ stand-in for a missing codebase download.
-  EXPECT_THROW(handle.run(std::make_shared<UnknownTask>()), IoError);
+  EXPECT_THROW(handle.submit(std::make_shared<UnknownTask>()).get(), IoError);
 }
 
 TEST(ComputeServer, ConcurrentTasks) {
@@ -171,7 +171,7 @@ TEST(ComputeServer, ConcurrentTasks) {
     for (int i = 0; i < 8; ++i) {
       clients.emplace_back([&server, &results, i] {
         ServerHandle handle{Endpoint{"127.0.0.1", server.port()}, nullptr};
-        auto result = handle.run(std::make_shared<DoubleTask>(i));
+        auto result = handle.submit(std::make_shared<DoubleTask>(i)).get();
         results[static_cast<std::size_t>(i)] =
             std::dynamic_pointer_cast<DoubleTask>(result)->value();
       });
@@ -187,7 +187,7 @@ TEST(ComputeServer, RegistryLookupAndRun) {
   server.register_with("127.0.0.1", registry.port());
   auto handle = ServerHandle::lookup("127.0.0.1", registry.port(), "worker-1",
                                      nullptr);
-  auto result = handle.run(std::make_shared<DoubleTask>(5));
+  auto result = handle.submit(std::make_shared<DoubleTask>(5)).get();
   EXPECT_EQ(std::dynamic_pointer_cast<DoubleTask>(result)->value(), 10);
 }
 
@@ -210,7 +210,7 @@ TEST(ComputeServer, RunAsyncHostsProcessGraph) {
   auto middle = std::make_shared<Identity>(ch1->input(), ch2->output());
 
   ServerHandle handle{Endpoint{"127.0.0.1", server.port()}, client_node};
-  handle.run_async(middle);
+  handle.submit(middle);
   EXPECT_EQ(server.processes_hosted(), 1u);
 
   auto source = std::make_shared<Sequence>(0, ch1->output(), 64);
