@@ -8,13 +8,17 @@
 // static-vs-dynamic behaviour of Figures 19/20 is visible on one machine.
 //
 //   ./parallel_factor [workers] [tasks] [prime_bits] [static|dynamic]
-//                     [--trace=out.json]
+//                     [--trace=out.json] [--chaos[=K]]
 //
 // With --trace=FILE the run records runtime events (channel ops, task
 // dispatch, monitor decisions) into the obs ring buffer and exports them
 // as Chrome trace_event JSON (load in chrome://tracing / ui.perfetto.dev).
-// Either way it finishes by printing the Network::snapshot() view of the
-// graph: per-channel traffic, blocked time, and batching counters.
+// With --chaos one worker is killed mid-task after K completed batches
+// (default 2); the dynamic schema's recovery ledger re-issues its
+// in-flight work to the survivors and the run still factors N
+// (docs/FAULTS.md).  Either way it finishes by printing the
+// Network::snapshot() view of the graph: per-channel traffic, blocked
+// time, batching counters -- and, after a chaos run, the fault counters.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,20 +28,67 @@
 
 #include "cluster/cluster.hpp"
 #include "factor/factor.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "par/schema.hpp"
 #include "support/stopwatch.hpp"
 
+namespace {
+
+/// A worker that completes `crash_after` batches and then dies mid-task
+/// (after reading, before replying) -- the worst spot, since the task is
+/// dispatched but unacknowledged and must be re-issued by the ledger.
+class ChaosWorker final : public dpn::core::IterativeProcess {
+ public:
+  ChaosWorker(std::shared_ptr<dpn::core::ChannelInputStream> in,
+              std::shared_ptr<dpn::core::ChannelOutputStream> out,
+              long crash_after)
+      : crash_after_(crash_after) {
+    track_input(std::move(in));
+    track_output(std::move(out));
+  }
+
+  std::string type_name() const override { return "example.ChaosWorker"; }
+  void write_fields(dpn::serial::ObjectOutputStream&) const override {
+    throw dpn::SerializationError{"ChaosWorker is example-local"};
+  }
+
+ protected:
+  void step() override {
+    dpn::io::DataInputStream in{input(0)};
+    auto task = dpn::par::read_task(in);
+    if (++completed_ > crash_after_) {
+      throw std::runtime_error{"chaos: injected worker crash"};
+    }
+    auto result = task->run();
+    dpn::io::DataOutputStream out{output(0)};
+    dpn::par::write_task(out, result);
+  }
+
+ private:
+  long crash_after_;
+  long completed_ = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dpn;
   const char* trace_file = nullptr;
-  for (int i = 1; i < argc; ++i) {
+  long chaos = -1;  // < 0: off; otherwise batches the victim completes
+  for (int i = 1; i < argc;) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_file = argv[i] + 8;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = 2;
+    } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
+      chaos = std::strtol(argv[i] + 8, nullptr, 10);
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
   }
   const std::size_t workers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   const std::uint64_t tasks = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
@@ -56,6 +107,32 @@ int main(int argc, char** argv) {
   const auto speeds = cluster::fleet_speeds();
   const double task_seconds = 0.002;  // nominal class-C cost per batch
   auto factory = cluster::throttled_factory(speeds, task_seconds);
+
+  if (chaos >= 0) {
+    if (!dynamic) {
+      std::fprintf(stderr,
+                   "--chaos needs the dynamic schema: only meta_dynamic "
+                   "carries the recovery ledger\n");
+      return 2;
+    }
+    // Deterministic kill: worker 1 (or 0 when it is the only one) dies
+    // mid-task after `chaos` completed batches.
+    const std::size_t victim = workers > 1 ? 1 : 0;
+    std::printf("chaos: worker %zu will crash after %ld batches\n", victim,
+                chaos);
+    auto inner = factory;
+    factory = [inner, victim,
+               chaos](std::size_t index,
+                      std::shared_ptr<core::ChannelInputStream> in,
+                      std::shared_ptr<core::ChannelOutputStream> out)
+        -> std::shared_ptr<core::Process> {
+      if (index == victim) {
+        return std::make_shared<ChaosWorker>(std::move(in), std::move(out),
+                                             chaos);
+      }
+      return inner(index, std::move(in), std::move(out));
+    };
+  }
 
   std::mutex mutex;
   std::optional<bigint::BigInt> found;
@@ -95,13 +172,29 @@ int main(int argc, char** argv) {
         return std::make_shared<par::Consumer>(std::move(in), 0, observer);
       },
       {.label = "pipeline.results"});
-  network.run();
+  try {
+    network.run();
+  } catch (const WorkerLost& e) {
+    // Single-worker chaos: nobody is left to re-issue to; fail loudly.
+    std::printf("\nrun failed: %s\n", e.what());
+    return 1;
+  }
   const double elapsed = watch.elapsed_seconds();
 
   // The runtime's own account of the run: per-channel traffic, blocked
   // time, batching, and per-process step counts.
   std::printf("\n-- network snapshot --\n%s\n",
               network.snapshot().to_string().c_str());
+
+  if (chaos >= 0) {
+    const auto& fs = fault::stats();
+    std::printf("-- fault counters --\nworkers lost: %llu, tasks re-issued: "
+                "%llu\n\n",
+                static_cast<unsigned long long>(
+                    fs.workers_lost.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    fs.tasks_reissued.load(std::memory_order_relaxed)));
+  }
 
   if (trace_file != nullptr) {
     auto& tracer = obs::Tracer::instance();

@@ -119,6 +119,7 @@ obs::NetworkSnapshot Network::snapshot() const {
   for (const auto& state : channels_) {
     snap.channels.push_back(snapshot_channel(*state));
   }
+  snap.fill_fault_counters();
   return snap;
 }
 

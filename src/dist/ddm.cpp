@@ -245,7 +245,7 @@ MonitorAgent::MonitorAgent(std::string name, core::Network& network,
                            std::uint16_t coordinator_port)
     : name_(std::move(name)), network_(network), node_(std::move(node)) {
   socket_ = std::make_shared<net::Socket>(
-      net::Socket::connect(coordinator_host, coordinator_port));
+      net::connect_with_retry(coordinator_host, coordinator_port));
   io::DataOutputStream out{std::make_shared<net::SocketOutputStream>(socket_)};
   out.write_string(name_);
   server_ = std::jthread{[this] { serve(); }};

@@ -143,7 +143,11 @@ void RendezvousService::forget(std::uint64_t token) {
 net::Socket RendezvousService::dial(const std::string& host,
                                     std::uint16_t port, std::uint64_t token,
                                     const PeerAddress& self) {
-  net::Socket socket = net::Socket::connect(host, port);
+  // Dial-backs race the peer's listener coming up (ship_process sends the
+  // shipment before every cut channel has reconnected), so a refused or
+  // slow connect here retries with backoff instead of failing the whole
+  // re-establishment.
+  net::Socket socket = net::connect_with_retry(host, port);
   write_hello(socket, token, self);
   return socket;
 }

@@ -1,0 +1,161 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace dpn::fault {
+
+void FaultStats::reset() {
+  connect_retries.store(0);
+  connect_failures.store(0);
+  tasks_reissued.store(0);
+  workers_lost.store(0);
+  lease_expiries.store(0);
+  registry_evictions.store(0);
+  faults_injected.store(0);
+}
+
+FaultStats& stats() {
+  static FaultStats instance;
+  return instance;
+}
+
+std::chrono::milliseconds RetryPolicy::backoff(int attempt) const {
+  double delay = static_cast<double>(initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) delay *= multiplier;
+  delay = std::min(delay, static_cast<double>(max_backoff.count()));
+  if (jitter > 0.0) {
+    // Deterministic jitter: the (seed, attempt) pair fixes the factor, so
+    // identical policies retry at identical instants across runs.
+    SplitMix64 rng{seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b9u};
+    const double unit =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  return std::chrono::milliseconds{
+      std::max<long long>(0, static_cast<long long>(delay))};
+}
+
+namespace detail {
+
+void before_retry(const RetryPolicy& policy, int attempt,
+                  const std::string& what, const std::string& error) {
+  stats().connect_retries.fetch_add(1, std::memory_order_relaxed);
+  const auto delay = policy.backoff(attempt);
+  log::warn(what, " failed (attempt ", attempt, "/", policy.max_attempts,
+            "): ", error, " -- retrying in ", delay.count(), "ms");
+  std::this_thread::sleep_for(delay);
+}
+
+void count_failure() {
+  stats().connect_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+namespace {
+
+std::mutex g_plan_mutex;
+std::shared_ptr<Plan> g_plan;  // NOLINT: intentionally process-wide
+
+bool rule_matches(const std::string& rule_host, std::uint16_t rule_port,
+                  const std::string& host, std::uint16_t port) {
+  if (!rule_host.empty() && rule_host != host) return false;
+  if (rule_port != 0 && rule_port != port) return false;
+  return true;
+}
+
+}  // namespace
+
+Plan& Plan::drop_connect(std::string host, std::uint16_t port, int times) {
+  std::scoped_lock lock{mutex_};
+  rules_.push_back({Kind::kDropConnect, std::move(host), port, 0, times});
+  return *this;
+}
+
+Plan& Plan::delay_connect(std::string host, std::uint16_t port,
+                          std::chrono::milliseconds delay, int times) {
+  std::scoped_lock lock{mutex_};
+  rules_.push_back({Kind::kDelayConnect, std::move(host), port,
+                    static_cast<std::uint64_t>(delay.count()), times});
+  return *this;
+}
+
+Plan& Plan::kill_after_bytes(std::string host, std::uint16_t port,
+                             std::uint64_t bytes, int times) {
+  std::scoped_lock lock{mutex_};
+  rules_.push_back({Kind::kKillAfterBytes, std::move(host), port, bytes,
+                    times});
+  return *this;
+}
+
+Plan& Plan::refuse_accept(std::uint16_t port, int times) {
+  std::scoped_lock lock{mutex_};
+  rules_.push_back({Kind::kRefuseAccept, "", port, 0, times});
+  return *this;
+}
+
+void Plan::install(std::shared_ptr<Plan> plan) {
+  std::scoped_lock lock{g_plan_mutex};
+  g_plan = std::move(plan);
+}
+
+void Plan::uninstall() {
+  std::scoped_lock lock{g_plan_mutex};
+  g_plan.reset();
+}
+
+std::shared_ptr<Plan> Plan::current() {
+  std::scoped_lock lock{g_plan_mutex};
+  return g_plan;
+}
+
+std::optional<Plan::Rule> Plan::take(Kind kind, const std::string& host,
+                                     std::uint16_t port) {
+  std::scoped_lock lock{mutex_};
+  for (Rule& rule : rules_) {
+    if (rule.kind != kind || rule.remaining == 0) continue;
+    if (!rule_matches(rule.host, rule.port, host, port)) continue;
+    if (rule.remaining > 0) --rule.remaining;
+    stats().faults_injected.fetch_add(1, std::memory_order_relaxed);
+    return rule;
+  }
+  return std::nullopt;
+}
+
+void Plan::apply_connect(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds deadline) {
+  if (take(Kind::kDropConnect, host, port)) {
+    throw NetError{"connect to " + host + ":" + std::to_string(port) +
+                   ": connection refused (fault injection)"};
+  }
+  if (const auto rule = take(Kind::kDelayConnect, host, port)) {
+    const auto delay = std::chrono::milliseconds{
+        static_cast<long long>(rule->value)};
+    // A delayed peer looks unreachable until the delay elapses; a delay
+    // past the deadline is exactly a connect timeout.
+    std::this_thread::sleep_for(std::min(delay, deadline));
+    if (delay >= deadline) {
+      throw NetError{"connect to " + host + ":" + std::to_string(port) +
+                     " timed out after " + std::to_string(deadline.count()) +
+                     "ms (fault injection delay)"};
+    }
+  }
+}
+
+std::optional<std::uint64_t> Plan::take_kill_budget(const std::string& host,
+                                                    std::uint16_t port) {
+  if (const auto rule = take(Kind::kKillAfterBytes, host, port)) {
+    return rule->value;
+  }
+  return std::nullopt;
+}
+
+bool Plan::take_refuse_accept(std::uint16_t port) {
+  return take(Kind::kRefuseAccept, "", port).has_value();
+}
+
+}  // namespace dpn::fault

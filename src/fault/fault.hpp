@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+/// Fault tolerance primitives shared by net, dist, rmi and par:
+///
+///  * RetryPolicy / with_retry -- capped exponential backoff with
+///    deterministic jitter around transient connect failures;
+///  * FaultStats -- process-wide failure and recovery counters, surfaced
+///    through obs::NetworkSnapshot so fleet_stats shows degradation live;
+///  * LeaseOptions -- the heartbeat contract between a ComputeServer and
+///    its clients (docs/FAULTS.md);
+///  * Plan -- a deterministic fault-injection harness consulted by the
+///    socket layer, usable from tests and `parallel_factor --chaos`.
+namespace dpn::fault {
+
+/// Process-wide failure/recovery counters.  Monotonic; reset() exists for
+/// tests only.
+struct FaultStats {
+  std::atomic<std::uint64_t> connect_retries{0};   // re-dialed after NetError
+  std::atomic<std::uint64_t> connect_failures{0};  // gave up after all attempts
+  std::atomic<std::uint64_t> tasks_reissued{0};    // meta_dynamic re-dispatches
+  std::atomic<std::uint64_t> workers_lost{0};      // workers declared dead
+  std::atomic<std::uint64_t> lease_expiries{0};    // heartbeats that went silent
+  std::atomic<std::uint64_t> registry_evictions{0};  // stale names dropped
+  std::atomic<std::uint64_t> faults_injected{0};   // Plan rules that fired
+
+  void reset();
+};
+
+FaultStats& stats();
+
+/// Capped exponential backoff for transient connection failures.  The
+/// jitter sequence is deterministic (SplitMix64 over `seed`), so two runs
+/// with the same policy retry at the same instants -- chaos tests stay
+/// reproducible.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::chrono::milliseconds connect_timeout{2000};  // per-attempt deadline
+  std::chrono::milliseconds initial_backoff{25};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  double jitter = 0.2;     // +/- fraction applied to each backoff
+  std::uint64_t seed = 0;  // jitter stream; same seed -> same delays
+
+  /// Backoff before attempt `attempt + 1` (attempt counts from 1).
+  std::chrono::milliseconds backoff(int attempt) const;
+};
+
+namespace detail {
+/// Counts the retry, logs, and sleeps the policy's backoff.
+void before_retry(const RetryPolicy& policy, int attempt,
+                  const std::string& what, const std::string& error);
+void count_failure();
+}  // namespace detail
+
+/// Runs `fn` up to policy.max_attempts times, retrying on NetError with
+/// the policy's backoff between attempts.  The last failure is rethrown;
+/// non-NetError exceptions pass through immediately.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
+    -> decltype(fn()) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const NetError& e) {
+      if (attempt >= attempts) {
+        detail::count_failure();
+        throw;
+      }
+      detail::before_retry(policy, attempt, what, e.what());
+    }
+  }
+}
+
+/// The heartbeat contract for long-running compute-server requests
+/// (RUN_TASK, JOIN): the server emits a HEARTBEAT marker every
+/// `heartbeat_interval` while the work runs; a client that hears nothing
+/// for `patience` declares the worker lost (docs/PROTOCOLS.md section 5).
+struct LeaseOptions {
+  std::chrono::milliseconds heartbeat_interval{250};
+  std::chrono::milliseconds patience{2000};
+};
+
+/// A deterministic fault-injection plan.  Install one process-wide and
+/// the socket layer consults it:
+///
+///   fault::Plan::install(std::make_shared<fault::Plan>()
+///       ->drop_connect("127.0.0.1", port, 2)
+///       .kill_after_bytes("127.0.0.1", port, 4096));
+///
+/// Rules match on (host, port); an empty host or port 0 is a wildcard.
+/// `times` bounds how often a rule fires (-1 = unlimited).  Every firing
+/// increments FaultStats::faults_injected.
+class Plan {
+ public:
+  Plan& drop_connect(std::string host, std::uint16_t port, int times = -1);
+  Plan& delay_connect(std::string host, std::uint16_t port,
+                      std::chrono::milliseconds delay, int times = -1);
+  Plan& kill_after_bytes(std::string host, std::uint16_t port,
+                         std::uint64_t bytes, int times = -1);
+  Plan& refuse_accept(std::uint16_t port, int times = -1);
+
+  static void install(std::shared_ptr<Plan> plan);
+  static void uninstall();
+  static std::shared_ptr<Plan> current();
+
+  // --- hooks consulted by dpn::net ---
+
+  /// Applied at the top of Socket::connect.  A matching drop rule throws
+  /// NetError; a matching delay rule sleeps (throwing NetError if the
+  /// delay consumes the whole connect deadline).
+  void apply_connect(const std::string& host, std::uint16_t port,
+                     std::chrono::milliseconds deadline);
+
+  /// Byte budget for a freshly connected socket when a kill-after rule
+  /// matches: the socket hard-resets after sending this many bytes.
+  std::optional<std::uint64_t> take_kill_budget(const std::string& host,
+                                                std::uint16_t port);
+
+  /// True when the next connection accepted on `port` must be refused
+  /// (hard-reset immediately).
+  bool take_refuse_accept(std::uint16_t port);
+
+ private:
+  enum class Kind : std::uint8_t {
+    kDropConnect,
+    kDelayConnect,
+    kKillAfterBytes,
+    kRefuseAccept,
+  };
+  struct Rule {
+    Kind kind;
+    std::string host;     // empty = any
+    std::uint16_t port;   // 0 = any
+    std::uint64_t value;  // delay ms / byte budget
+    int remaining;        // -1 = unlimited
+  };
+
+  /// Finds and consumes the first live rule of `kind` matching
+  /// (host, port); counts the injection.
+  std::optional<Rule> take(Kind kind, const std::string& host,
+                           std::uint16_t port);
+
+  std::mutex mutex_;
+  std::vector<Rule> rules_;
+};
+
+/// RAII installer for tests: installs on construction, uninstalls on
+/// destruction.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(std::shared_ptr<Plan> plan) {
+    Plan::install(std::move(plan));
+  }
+  ~ScopedPlan() { Plan::uninstall(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace dpn::fault

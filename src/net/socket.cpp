@@ -1,11 +1,14 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -40,23 +43,84 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    kill_after_ = other.kill_after_;
     other.fd_ = -1;
+    other.kill_after_ = -1;
   }
   return *this;
 }
 
-Socket Socket::connect(const std::string& host, std::uint16_t port) {
+Socket Socket::connect(const std::string& host, std::uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  const auto plan = fault::Plan::current();
+  if (plan) plan->apply_connect(host, port, timeout);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket sock{fd};
   const sockaddr_in addr = make_address(host, port);
+  const std::string where = host + ":" + std::to_string(port);
+
+  // Non-blocking connect + poll: a blackholed address (SYN never answered)
+  // otherwise blocks for the kernel's minutes-long SYN retry cycle.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    throw NetError{"connect to " + host + ":" + std::to_string(port) + ": " +
-                   std::strerror(errno)};
+    if (errno != EINPROGRESS) {
+      throw NetError{"connect to " + where + ": " + std::strerror(errno)};
+    }
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        throw NetError{"connect to " + where + " timed out after " +
+                       std::to_string(timeout.count()) + "ms"};
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int n = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+      if (n == 0) {
+        throw NetError{"connect to " + where + " timed out after " +
+                       std::to_string(timeout.count()) + "ms"};
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw NetError{"connect to " + where + ": " + std::strerror(err)};
+    }
   }
+  if (::fcntl(fd, F_SETFL, flags) != 0) throw_errno("fcntl(F_SETFL)");
+
   sock.set_no_delay(true);
+  if (plan) {
+    if (const auto budget = plan->take_kill_budget(host, port)) {
+      sock.kill_after_ = static_cast<std::int64_t>(*budget);
+    }
+  }
   return sock;
+}
+
+Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                          const fault::RetryPolicy& policy) {
+  return fault::with_retry(
+      policy, "connect to " + host + ":" + std::to_string(port),
+      [&] { return Socket::connect(host, port, policy.connect_timeout); });
 }
 
 std::size_t Socket::read_some(MutableByteSpan out) {
@@ -75,6 +139,7 @@ std::size_t Socket::read_some(MutableByteSpan out) {
 }
 
 void Socket::write_all(ByteSpan data) {
+  if (kill_after_ >= 0) return write_metered(data);
   while (!data.empty()) {
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -86,7 +151,38 @@ void Socket::write_all(ByteSpan data) {
   }
 }
 
+/// Kill-after-bytes slow path: send up to the remaining budget, then
+/// simulate the node crashing mid-stream (RST, then ChannelClosed -- the
+/// same thing a writer sees when a real peer dies).
+void Socket::write_metered(ByteSpan data) {
+  while (!data.empty()) {
+    if (kill_after_ == 0) {
+      hard_reset();
+      throw ChannelClosed{"socket killed after byte budget (fault injection)"};
+    }
+    const std::size_t chunk = std::min<std::size_t>(
+        data.size(), static_cast<std::size_t>(kill_after_));
+    ByteSpan head = data.subspan(0, chunk);
+    while (!head.empty()) {
+      const ssize_t n = ::send(fd_, head.data(), head.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
+        throw_errno("send");
+      }
+      kill_after_ -= n;
+      head = head.subspan(static_cast<std::size_t>(n));
+    }
+    data = data.subspan(chunk);
+  }
+}
+
 void Socket::write_vectored(ByteSpan a, ByteSpan b) {
+  if (kill_after_ >= 0) {
+    write_metered(a);
+    write_metered(b);
+    return;
+  }
   if (a.empty()) return write_all(b);
   if (b.empty()) return write_all(a);
   // Common case: the whole frame leaves in one ::writev.  A short write
@@ -118,12 +214,42 @@ void Socket::write_vectored(ByteSpan a, ByteSpan b) {
   }
 }
 
+bool Socket::wait_readable(std::chrono::milliseconds timeout) const {
+  if (fd_ < 0) return true;  // a read will fail immediately; don't block
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return true;  // let the read surface the error
+    }
+    if (n > 0) return true;  // readable, EOF, or error -- all "readable"
+  }
+}
+
 void Socket::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
 void Socket::shutdown_read() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::hard_reset() {
+  if (fd_ < 0) return;
+  linger lin{};
+  lin.l_onoff = 1;
+  lin.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof lin);
+  ::close(fd_);
+  fd_ = -1;
 }
 
 void Socket::close() {
@@ -192,6 +318,11 @@ Socket ServerSocket::accept() {
                             nullptr);
     if (fd >= 0) {
       Socket sock{fd};
+      if (const auto plan = fault::Plan::current();
+          plan && plan->take_refuse_accept(port_)) {
+        sock.hard_reset();  // the dialer sees a refused/reset connection
+        continue;
+      }
       sock.set_no_delay(true);
       return sock;
     }

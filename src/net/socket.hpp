@@ -1,10 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "io/stream.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
@@ -18,17 +20,30 @@ namespace dpn::net {
 /// destruction.
 class Socket {
  public:
+  /// Default per-connect deadline.  Finite on purpose: a blackholed peer
+  /// (SYN never answered) must surface as NetError, never as an
+  /// indefinite hang.
+  static constexpr std::chrono::milliseconds kDefaultConnectTimeout{10000};
+
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), kill_after_(other.kill_after_) {
+    other.fd_ = -1;
+    other.kill_after_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  /// Connects to host:port; throws NetError on failure.
-  static Socket connect(const std::string& host, std::uint16_t port);
+  /// Connects to host:port within `timeout` (non-blocking connect + poll);
+  /// throws NetError on failure or deadline expiry.  Consults the
+  /// installed fault::Plan (drop/delay rules, kill-after-bytes arming).
+  static Socket connect(const std::string& host, std::uint16_t port,
+                        std::chrono::milliseconds timeout =
+                            kDefaultConnectTimeout);
 
   bool valid() const { return fd_ >= 0; }
 
@@ -45,10 +60,20 @@ class Socket {
   /// parts (frame header + payload).  Error mapping as write_all.
   void write_vectored(ByteSpan a, ByteSpan b);
 
+  /// Blocks until the socket is readable (data or EOF pending) or the
+  /// timeout elapses; returns false on timeout.  The lease layer polls
+  /// this between heartbeats.
+  bool wait_readable(std::chrono::milliseconds timeout) const;
+
   /// Half-close of the send direction (delivers EOF to the peer).
   void shutdown_write();
   /// Half-close of the receive direction.
   void shutdown_read();
+
+  /// Abortive close: SO_LINGER{0} + close emits RST instead of FIN, so
+  /// the peer sees a crashed endpoint, not an orderly shutdown.  Used by
+  /// fault injection to simulate a killed node.
+  void hard_reset();
 
   void close();
 
@@ -59,8 +84,19 @@ class Socket {
   void set_no_delay(bool on);
 
  private:
+  void write_metered(ByteSpan data);
+
   int fd_ = -1;
+  /// Fault-injection byte budget: >= 0 means the socket hard-resets once
+  /// this many more bytes have been sent (-1 = disarmed).
+  std::int64_t kill_after_ = -1;
 };
+
+/// Socket::connect wrapped in fault::with_retry: transient NetErrors are
+/// retried with the policy's backoff, each attempt bounded by
+/// policy.connect_timeout.
+Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                          const fault::RetryPolicy& policy = {});
 
 /// A listening TCP socket.  Binds to all interfaces; port 0 picks an
 /// ephemeral port (the usual case for automatically established channels).

@@ -2,14 +2,30 @@
 
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "io/data.hpp"
 #include "io/memory.hpp"
 
 namespace dpn::obs {
 
 namespace {
-constexpr std::uint8_t kSnapshotVersion = 1;
+// Version 2 appends the fault counters after the channel list; version-1
+// decoders stop before them, version-2 decoders of version-1 payloads
+// leave them zero.
+constexpr std::uint8_t kSnapshotVersion = 2;
 }  // namespace
+
+void NetworkSnapshot::fill_fault_counters() {
+  const fault::FaultStats& stats = fault::stats();
+  connect_retries = stats.connect_retries.load(std::memory_order_relaxed);
+  connect_failures = stats.connect_failures.load(std::memory_order_relaxed);
+  tasks_reissued = stats.tasks_reissued.load(std::memory_order_relaxed);
+  workers_lost = stats.workers_lost.load(std::memory_order_relaxed);
+  lease_expiries = stats.lease_expiries.load(std::memory_order_relaxed);
+  registry_evictions =
+      stats.registry_evictions.load(std::memory_order_relaxed);
+  faults_injected = stats.faults_injected.load(std::memory_order_relaxed);
+}
 
 std::uint64_t NetworkSnapshot::blocked_readers() const {
   std::uint64_t n = 0;
@@ -76,6 +92,16 @@ ByteVector NetworkSnapshot::encode() const {
     out.write_u64(c.write_buffered);
     out.write_u64(c.read_buffered);
   }
+
+  // Version 2: fault counters, appended so version-1 decoders still parse
+  // their prefix of the payload.
+  out.write_u64(connect_retries);
+  out.write_u64(connect_failures);
+  out.write_u64(tasks_reissued);
+  out.write_u64(workers_lost);
+  out.write_u64(lease_expiries);
+  out.write_u64(registry_evictions);
+  out.write_u64(faults_injected);
   return sink->take();
 }
 
@@ -134,6 +160,16 @@ NetworkSnapshot NetworkSnapshot::decode(ByteSpan bytes) {
     c.read_buffered = in.read_u64();
     snapshot.channels.push_back(std::move(c));
   }
+
+  if (version >= 2) {
+    snapshot.connect_retries = in.read_u64();
+    snapshot.connect_failures = in.read_u64();
+    snapshot.tasks_reissued = in.read_u64();
+    snapshot.workers_lost = in.read_u64();
+    snapshot.lease_expiries = in.read_u64();
+    snapshot.registry_evictions = in.read_u64();
+    snapshot.faults_injected = in.read_u64();
+  }
   return snapshot;
 }
 
@@ -141,6 +177,17 @@ std::string NetworkSnapshot::to_string() const {
   std::string out;
   out += "live=" + std::to_string(live) +
          " growth_events=" + std::to_string(growth_events) + "\n";
+  if (connect_retries > 0 || connect_failures > 0 || tasks_reissued > 0 ||
+      workers_lost > 0 || lease_expiries > 0 || registry_evictions > 0 ||
+      faults_injected > 0) {
+    out += "faults: retries=" + std::to_string(connect_retries) +
+           " connect_failures=" + std::to_string(connect_failures) +
+           " reissued=" + std::to_string(tasks_reissued) +
+           " workers_lost=" + std::to_string(workers_lost) +
+           " lease_expiries=" + std::to_string(lease_expiries) +
+           " evictions=" + std::to_string(registry_evictions) +
+           " injected=" + std::to_string(faults_injected) + "\n";
+  }
   for (const ProcessSnapshot& p : processes) {
     out += "process ";
     out += p.name.empty() ? "<unnamed>" : p.name;

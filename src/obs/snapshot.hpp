@@ -81,8 +81,22 @@ struct NetworkSnapshot {
   std::uint64_t remote_bytes_sent = 0;
   std::uint64_t remote_bytes_received = 0;
 
+  // --- fault counters (version >= 2; mirrors fault::FaultStats, filled
+  // from the producing process's fault::stats() so degradation shows up
+  // in fleet_stats) ---
+  std::uint64_t connect_retries = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t tasks_reissued = 0;
+  std::uint64_t workers_lost = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t registry_evictions = 0;
+  std::uint64_t faults_injected = 0;
+
   std::vector<ProcessSnapshot> processes;
   std::vector<ChannelSnapshot> channels;
+
+  /// Copies the process-wide fault counters into this snapshot.
+  void fill_fault_counters();
 
   // --- derived queries (used by the monitor and tests) ---
   std::uint64_t blocked_readers() const;

@@ -2,10 +2,58 @@
 
 #include "processes/basic.hpp"
 #include "processes/copy.hpp"
+#include "processes/ledger.hpp"
 #include "processes/router.hpp"
+#include "support/log.hpp"
 
 namespace dpn::par {
+
+void Supervised::run() {
+  try {
+    inner_->run();
+    return;
+  } catch (const IoError&) {
+    // The normal stop signal escaped a non-iterative worker; a clean
+    // shutdown below is exactly what it wants anyway.
+  } catch (const std::exception& e) {
+    log::warn("worker '", inner_->name(), "' crashed: ", e.what(),
+              " -- containing it (in-flight tasks will be re-issued)");
+  }
+  // IterativeProcess closes its endpoints on every exit path; this is for
+  // worker implementations that don't.
+  for (const auto& in : inner_->channel_inputs()) {
+    try {
+      in->close();
+    } catch (...) {
+    }
+  }
+  for (const auto& out : inner_->channel_outputs()) {
+    try {
+      out->close();
+    } catch (...) {
+    }
+  }
+}
+
+std::string Supervised::name() const {
+  return "Supervised(" + inner_->name() + ")";
+}
+
+void Supervised::write_fields(serial::ObjectOutputStream& out) const {
+  out.write_object(inner_);
+}
+
+std::shared_ptr<Supervised> Supervised::read_object(
+    serial::ObjectInputStream& in) {
+  auto process = std::shared_ptr<Supervised>(new Supervised);
+  process->inner_ = in.read_object_as<core::Process>();
+  return process;
+}
+
 namespace {
+
+[[maybe_unused]] const bool kRegistered =
+    serial::register_type<Supervised>("dpn.par.Supervised");
 
 std::shared_ptr<core::Channel> make_channel(const SchemaOptions& options,
                                             std::string label) {
@@ -58,6 +106,14 @@ std::shared_ptr<core::CompositeProcess> meta_dynamic(
   if (n_workers == 0) throw UsageError{"meta_dynamic needs >= 1 worker"};
   auto composite = std::make_shared<core::CompositeProcess>();
 
+  // Worker-failure recovery: the ledger is shared by Direct, Turnstile
+  // and Select, and Supervised keeps a crashing worker from tearing down
+  // the composite (its closed result channel is the failure signal).
+  std::shared_ptr<processes::WorkerLedger> ledger;
+  if (options.fault_tolerant) {
+    ledger = std::make_shared<processes::WorkerLedger>(n_workers);
+  }
+
   // Workers and their channels.
   std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
   std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
@@ -65,8 +121,9 @@ std::shared_ptr<core::CompositeProcess> meta_dynamic(
     auto tasks = make_channel(options, "dynamic.task." + std::to_string(i));
     auto results =
         make_channel(options, "dynamic.result." + std::to_string(i));
-    composite->add(
-        make_worker(factory, i, tasks->input(), results->output()));
+    auto worker = make_worker(factory, i, tasks->input(), results->output());
+    if (ledger) worker = std::make_shared<Supervised>(std::move(worker));
+    composite->add(std::move(worker));
     task_outs.push_back(tasks->output());
     result_ins.push_back(results->input());
   }
@@ -76,8 +133,10 @@ std::shared_ptr<core::CompositeProcess> meta_dynamic(
   // bare worker indices on the tag stream that drives dispatch.
   auto merged = make_channel(options, "dynamic.merged");
   auto tags = make_channel(options, "dynamic.tags");
-  composite->add(std::make_shared<processes::Turnstile>(
-      std::move(result_ins), merged->output(), tags->output()));
+  auto turnstile = std::make_shared<processes::Turnstile>(
+      std::move(result_ins), merged->output(), tags->output());
+  if (ledger) turnstile->set_ledger(ledger);
+  composite->add(std::move(turnstile));
 
   // The "(n)" of Figure 18: an initial 0..N-1 prefix spliced ahead of the
   // completion-order indices, so the first N tasks seed the workers.  The
@@ -89,13 +148,18 @@ std::shared_ptr<core::CompositeProcess> meta_dynamic(
   composite->add(std::make_shared<processes::Cons>(
       prefix->input(), tags->input(), index->output()));
 
-  composite->add(std::make_shared<processes::Direct>(
-      std::move(in), index->input(), std::move(task_outs)));
+  auto direct = std::make_shared<processes::Direct>(
+      std::move(in), index->input(), std::move(task_outs));
+  if (ledger) direct->set_ledger(ledger);
+  composite->add(std::move(direct));
   // The Select reconstructs the same index sequence internally from the
   // pair stream, so the two sides stay in lock-step without sharing a
-  // duplicated channel.
-  composite->add(std::make_shared<processes::Select>(
-      merged->input(), std::move(out), n_workers));
+  // duplicated channel.  (With a ledger it re-orders by recorded task
+  // position instead, which survives re-issue.)
+  auto select = std::make_shared<processes::Select>(merged->input(),
+                                                    std::move(out), n_workers);
+  if (ledger) select->set_ledger(ledger);
+  composite->add(std::move(select));
   return composite;
 }
 

@@ -41,6 +41,47 @@ struct SchemaOptions {
   /// If set, every channel created inside the schema is registered with
   /// this network's deadlock monitor.
   core::Network* watch = nullptr;
+  /// meta_dynamic only: attach a shared WorkerLedger to the Direct /
+  /// Turnstile / Select trio and wrap each worker in Supervised, so a
+  /// worker crash is contained and its in-flight tasks are re-issued to
+  /// the survivors with the output unchanged (docs/FAULTS.md).  The
+  /// resulting composite cannot be shipped remotely (the ledger is shared
+  /// local state); disable for a shippable schema.
+  bool fault_tolerant = true;
+};
+
+/// Containment wrapper for schema workers: an unexpected exception (not
+/// an IoError, which is the normal stop signal) is logged and converted
+/// into a clean shutdown of the worker's endpoints instead of tearing
+/// down the whole composite.  The closed result channel is what the
+/// fault-tolerant meta_dynamic machinery detects as worker death.
+class Supervised final : public core::Process {
+ public:
+  explicit Supervised(std::shared_ptr<core::Process> inner)
+      : inner_(std::move(inner)) {}
+
+  void run() override;
+  std::string type_name() const override { return "dpn.par.Supervised"; }
+  std::string name() const override;
+  std::vector<std::shared_ptr<core::ChannelInputStream>> channel_inputs()
+      const override {
+    return inner_->channel_inputs();
+  }
+  std::vector<std::shared_ptr<core::ChannelOutputStream>> channel_outputs()
+      const override {
+    return inner_->channel_outputs();
+  }
+  std::vector<std::shared_ptr<core::Process>> subprocesses() const override {
+    return {inner_};
+  }
+
+  void write_fields(serial::ObjectOutputStream& out) const override;
+  static std::shared_ptr<Supervised> read_object(
+      serial::ObjectInputStream& in);
+
+ private:
+  Supervised() = default;
+  std::shared_ptr<core::Process> inner_;
 };
 
 /// Figure 16: Scatter -> N workers -> Gather between `in` and `out`.

@@ -1,0 +1,175 @@
+#include "processes/ledger.hpp"
+
+#include "fault/fault.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace dpn::processes {
+
+WorkerLedger::WorkerLedger(std::size_t n_workers)
+    : n_workers_(n_workers), workers_(n_workers) {
+  if (n_workers == 0) throw UsageError{"WorkerLedger needs >= 1 worker"};
+}
+
+std::uint64_t WorkerLedger::next_position() {
+  std::scoped_lock lock{mutex_};
+  return fresh_dispatched_++;
+}
+
+void WorkerLedger::record_dispatch(std::size_t worker, std::uint64_t position,
+                                   ByteVector blob) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  state.records.push_back({position, std::move(blob)});
+  ++state.dispatched;
+  ++outstanding_;
+}
+
+void WorkerLedger::retract_dispatch(std::size_t worker,
+                                    std::uint64_t position) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  if (!state.records.empty() && state.records.back().position == position &&
+      state.dispatched > state.acked) {
+    state.records.pop_back();
+    --state.dispatched;
+    --outstanding_;
+    return;
+  }
+  // A concurrent fail_worker already swept the record into the re-issue
+  // queue; drop it there -- the caller re-dispatches the blob itself.
+  for (auto it = reissue_.begin(); it != reissue_.end(); ++it) {
+    if (it->first == position) {
+      reissue_.erase(it);
+      return;
+    }
+  }
+}
+
+void WorkerLedger::mark_unreachable(std::size_t worker) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  state.reachable = false;
+  count_lost_locked(state);
+}
+
+bool WorkerLedger::reachable(std::size_t worker) const {
+  std::scoped_lock lock{mutex_};
+  return workers_.at(worker).reachable;
+}
+
+std::optional<std::size_t> WorkerLedger::pick_survivor(
+    std::size_t previous) const {
+  std::scoped_lock lock{mutex_};
+  for (std::size_t i = 1; i <= n_workers_; ++i) {
+    const std::size_t candidate = (previous + i) % n_workers_;
+    if (workers_[candidate].reachable) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::uint64_t, ByteVector>>
+WorkerLedger::take_reissue() {
+  std::scoped_lock lock{mutex_};
+  if (reissue_.empty()) return std::nullopt;
+  auto item = std::move(reissue_.front());
+  reissue_.pop_front();
+  ++reissued_;
+  fault::stats().tasks_reissued.fetch_add(1, std::memory_order_relaxed);
+  return item;
+}
+
+bool WorkerLedger::quiescent() const {
+  std::scoped_lock lock{mutex_};
+  return outstanding_ == 0 && reissue_.empty();
+}
+
+void WorkerLedger::ack_result(std::size_t worker) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  if (state.acked >= state.dispatched) {
+    throw UsageError{"WorkerLedger: result without a matching dispatch"};
+  }
+  // The blob is no longer needed (the result exists); the record itself
+  // stays until the Select has mapped the arrival.
+  state.records.at(static_cast<std::size_t>(state.acked - state.base))
+      .blob = ByteVector{};
+  ++state.acked;
+  --outstanding_;
+  prune_locked(state);
+}
+
+std::size_t WorkerLedger::fail_worker(std::size_t worker) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  if (state.failed) return 0;
+  state.failed = true;
+  state.reachable = false;
+  const std::size_t start =
+      static_cast<std::size_t>(state.acked - state.base);
+  std::size_t moved = 0;
+  for (std::size_t i = start; i < state.records.size(); ++i) {
+    reissue_.emplace_back(state.records[i].position,
+                          std::move(state.records[i].blob));
+    ++moved;
+  }
+  state.records.resize(start);
+  state.dispatched = state.acked;
+  outstanding_ -= moved;
+  if (moved > 0) {
+    count_lost_locked(state);
+    log::warn("meta_dynamic: worker ", worker, " died with ", moved,
+              " task(s) in flight -- queueing for re-issue");
+  }
+  return moved;
+}
+
+std::uint64_t WorkerLedger::map_arrival(std::size_t worker) {
+  std::scoped_lock lock{mutex_};
+  WorkerState& state = workers_.at(worker);
+  if (state.mapped >= state.base + state.records.size()) {
+    throw UsageError{"WorkerLedger: arrival without a matching dispatch"};
+  }
+  const std::uint64_t position =
+      state.records.at(static_cast<std::size_t>(state.mapped - state.base))
+          .position;
+  ++state.mapped;
+  prune_locked(state);
+  return position;
+}
+
+std::uint64_t WorkerLedger::fresh_dispatched() const {
+  std::scoped_lock lock{mutex_};
+  return fresh_dispatched_;
+}
+
+void WorkerLedger::set_fatal() {
+  std::scoped_lock lock{mutex_};
+  fatal_ = true;
+}
+
+bool WorkerLedger::fatal() const {
+  std::scoped_lock lock{mutex_};
+  return fatal_;
+}
+
+std::uint64_t WorkerLedger::reissued() const {
+  std::scoped_lock lock{mutex_};
+  return reissued_;
+}
+
+void WorkerLedger::prune_locked(WorkerState& state) {
+  while (!state.records.empty() && state.base < state.acked &&
+         state.base < state.mapped) {
+    state.records.pop_front();
+    ++state.base;
+  }
+}
+
+void WorkerLedger::count_lost_locked(WorkerState& state) {
+  if (state.counted_lost) return;
+  state.counted_lost = true;
+  fault::stats().workers_lost.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace dpn::processes

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+/// The in-flight task ledger behind fault-tolerant MetaDynamic
+/// (docs/FAULTS.md).  One WorkerLedger is shared by the schema's Direct,
+/// Turnstile and Select:
+///
+///  * the Direct records every dispatched blob (with its global task
+///    position) *before* writing it to a worker channel;
+///  * the Turnstile acknowledges each arriving result -- per worker, in
+///    FIFO order, which is also the worker's task order -- and, when a
+///    worker's channel dies with unacknowledged dispatches, moves those
+///    records onto the re-issue queue;
+///  * the Select maps each arrival back to its task position (again FIFO
+///    per worker) and emits results in strict position order, so the
+///    gathered output is byte-identical to the failure-free run no matter
+///    which workers died or where their tasks were re-issued.
+///
+/// All methods are mutex-protected; no channel operation ever happens
+/// under the lock.
+namespace dpn::processes {
+
+class WorkerLedger {
+ public:
+  explicit WorkerLedger(std::size_t n_workers);
+
+  std::size_t n_workers() const { return n_workers_; }
+
+  // --- dispatcher (Direct) side ---
+
+  /// Global position of the next fresh (not re-issued) task.
+  std::uint64_t next_position();
+
+  /// Records a dispatch; call *before* the channel write so a result can
+  /// never arrive for an unrecorded task.
+  void record_dispatch(std::size_t worker, std::uint64_t position,
+                       ByteVector blob);
+
+  /// Undoes the record_dispatch just made for `position` after its
+  /// channel write failed (the blob never reached the worker).  If a
+  /// concurrent fail_worker already moved the record to the re-issue
+  /// queue, it is removed from there instead -- the caller still owns the
+  /// blob and re-dispatches it itself.
+  void retract_dispatch(std::size_t worker, std::uint64_t position);
+
+  /// Stops future dispatch to `worker` (its channel rejected a write).
+  void mark_unreachable(std::size_t worker);
+  bool reachable(std::size_t worker) const;
+
+  /// Next re-dispatch target: round-robin over reachable workers starting
+  /// after `previous`; nullopt when no worker is left.
+  std::optional<std::size_t> pick_survivor(std::size_t previous) const;
+
+  /// Pops the next (position, blob) awaiting re-issue.
+  std::optional<std::pair<std::uint64_t, ByteVector>> take_reissue();
+
+  /// True when every recorded dispatch has been acknowledged and nothing
+  /// waits for re-issue -- the dispatcher may terminate.
+  bool quiescent() const;
+
+  // --- turnstile side ---
+
+  /// A result arrived from `worker`: acknowledges its oldest
+  /// unacknowledged dispatch.
+  void ack_result(std::size_t worker);
+
+  /// Declares `worker` dead (its result stream ended with work
+  /// outstanding): moves the unacknowledged dispatches to the re-issue
+  /// queue.  Returns how many were moved; idempotent, and 0 for a worker
+  /// that finished cleanly.
+  std::size_t fail_worker(std::size_t worker);
+
+  // --- select side ---
+
+  /// Task position of the next (FIFO) arrival from `worker`.  Valid
+  /// because the Turnstile acknowledges an arrival before forwarding it,
+  /// and fail_worker only removes records *beyond* the acknowledged
+  /// prefix.
+  std::uint64_t map_arrival(std::size_t worker);
+
+  /// Fresh tasks dispatched so far == results the Select must emit.
+  std::uint64_t fresh_dispatched() const;
+
+  // --- terminal failure ---
+
+  /// Marks recovery impossible (no survivor, or the dispatch side is
+  /// gone while re-issues are pending); the Select reports WorkerLost.
+  void set_fatal();
+  bool fatal() const;
+
+  /// Total tasks re-dispatched after worker loss (tests, chaos reports).
+  std::uint64_t reissued() const;
+
+ private:
+  struct Record {
+    std::uint64_t position = 0;
+    ByteVector blob;
+  };
+  /// Per-worker dispatch history.  `records` holds dispatch ordinals
+  /// [base, dispatched); `acked` and `mapped` are consumption cursors
+  /// into that ordinal space (mapped <= acked always -- see map_arrival).
+  /// Records below both cursors are pruned; an acknowledged record's blob
+  /// is dropped early since only unacknowledged blobs can be re-issued.
+  struct WorkerState {
+    std::deque<Record> records;
+    std::uint64_t base = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t acked = 0;
+    std::uint64_t mapped = 0;
+    bool reachable = true;
+    bool failed = false;
+    bool counted_lost = false;
+  };
+
+  void prune_locked(WorkerState& state);
+  void count_lost_locked(WorkerState& state);
+
+  mutable std::mutex mutex_;
+  std::size_t n_workers_;
+  std::vector<WorkerState> workers_;
+  std::deque<std::pair<std::uint64_t, ByteVector>> reissue_;
+  std::uint64_t fresh_dispatched_ = 0;
+  std::uint64_t outstanding_ = 0;  // dispatches awaiting acknowledgement
+  std::uint64_t reissued_ = 0;
+  bool fatal_ = false;
+};
+
+}  // namespace dpn::processes

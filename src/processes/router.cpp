@@ -1,6 +1,7 @@
 #include "processes/router.hpp"
 
 #include "io/data.hpp"
+#include "support/error.hpp"
 #include "support/log.hpp"
 
 namespace dpn::processes {
@@ -72,20 +73,111 @@ Direct::Direct(std::shared_ptr<ChannelInputStream> in,
 }
 
 void Direct::step() {
+  if (!ledger_) {
+    io::DataInputStream order{input(1)};
+    const std::int64_t index = order.read_i64();
+    if (index < 0 || static_cast<std::size_t>(index) >= output_count()) {
+      throw IoError{"Direct: index " + std::to_string(index) +
+                    " out of range for " + std::to_string(output_count()) +
+                    " outputs"};
+    }
+    io::DataInputStream in{input(0)};
+    const ByteVector blob = in.read_bytes();
+    io::DataOutputStream out{output(static_cast<std::size_t>(index))};
+    out.write_bytes({blob.data(), blob.size()});
+    return;
+  }
+
+  // Recovery mode.  Re-issues may have been queued while we were blocked
+  // elsewhere; serve them before waiting on the tag stream again.
+  serve_reissues();
+  finish_if_quiescent();
   io::DataInputStream order{input(1)};
   const std::int64_t index = order.read_i64();
+  if (index == -1) {
+    // Wake directive from the Turnstile: a worker died and its
+    // unacknowledged tasks await re-issue.
+    serve_reissues();
+    finish_if_quiescent();
+    return;
+  }
   if (index < 0 || static_cast<std::size_t>(index) >= output_count()) {
     throw IoError{"Direct: index " + std::to_string(index) +
                   " out of range for " + std::to_string(output_count()) +
                   " outputs"};
   }
-  io::DataInputStream in{input(0)};
-  const ByteVector blob = in.read_bytes();
-  io::DataOutputStream out{output(static_cast<std::size_t>(index))};
-  out.write_bytes({blob.data(), blob.size()});
+  if (draining_) {
+    // The tag only requests a fresh task and there are none left; the
+    // acknowledgement behind it may have been the last one, though.
+    finish_if_quiescent();
+    return;
+  }
+  ByteVector blob;
+  try {
+    io::DataInputStream in{input(0)};
+    blob = in.read_bytes();
+  } catch (const EndOfStream&) {
+    draining_ = true;
+    finish_if_quiescent();
+    return;
+  }
+  dispatch(static_cast<std::size_t>(index), ledger_->next_position(),
+           std::move(blob));
+}
+
+void Direct::dispatch(std::size_t target, std::uint64_t position,
+                      ByteVector blob) {
+  for (;;) {
+    if (!ledger_->reachable(target)) {
+      const auto survivor = ledger_->pick_survivor(target);
+      if (!survivor) {
+        ledger_->set_fatal();
+        throw EndOfStream{"Direct: no reachable workers left"};
+      }
+      target = *survivor;
+    }
+    // The ledger stores its own copy: ours must stay valid across a
+    // concurrent fail_worker sweeping the record away.
+    ledger_->record_dispatch(target, position, blob);
+    try {
+      io::DataOutputStream out{output(target)};
+      out.write_bytes({blob.data(), blob.size()});
+      return;
+    } catch (const IoError&) {
+      // The worker's task channel is gone.  Only retract *this* dispatch
+      // and stop targeting the worker -- results it already produced may
+      // still be queued at the Turnstile, so declaring it failed here
+      // (and re-issuing acknowledged-in-flight work) would duplicate
+      // output.  The Turnstile's EOF sentinel does the sweeping.
+      ledger_->retract_dispatch(target, position);
+      ledger_->mark_unreachable(target);
+    }
+  }
+}
+
+void Direct::serve_reissues() {
+  while (auto item = ledger_->take_reissue()) {
+    const auto survivor = ledger_->pick_survivor(output_count() - 1);
+    if (!survivor) {
+      ledger_->set_fatal();
+      throw EndOfStream{"Direct: no reachable workers left"};
+    }
+    dispatch(*survivor, item->first, std::move(item->second));
+  }
+}
+
+void Direct::finish_if_quiescent() {
+  if (draining_ && ledger_->quiescent()) {
+    throw EndOfStream{"Direct: all tasks dispatched and acknowledged"};
+  }
 }
 
 void Direct::write_fields(serial::ObjectOutputStream& out) const {
+  if (ledger_) {
+    throw SerializationError{
+        "Direct cannot be shipped with a worker ledger attached (the "
+        "ledger is shared local state)"};
+  }
   write_base(out);
 }
 
@@ -129,6 +221,9 @@ void Turnstile::on_start() {
       } catch (const std::exception& e) {
         log::error("Turnstile forwarder ", i, " failed: ", e.what());
       }
+      // The sentinel trails every real arrival of this worker in the
+      // queue, so the step thread sees it only after acknowledging them.
+      arrivals_.push({static_cast<std::int64_t>(i), ByteVector{}, true});
       if (live_forwarders_.fetch_sub(1) == 1) arrivals_.close();
     });
   }
@@ -137,6 +232,13 @@ void Turnstile::on_start() {
 void Turnstile::step() {
   auto arrival = arrivals_.pop();
   if (!arrival) throw EndOfStream{"all turnstile inputs ended"};
+  if (arrival->eof) {
+    handle_worker_eof(arrival->tag);
+    return;
+  }
+  // Acknowledge before forwarding: the Select relies on every arrival it
+  // reads already being acknowledged (see WorkerLedger::map_arrival).
+  if (ledger_) ledger_->ack_result(static_cast<std::size_t>(arrival->tag));
   // The data path carries (worker index, blob) pairs; losing it means the
   // consumer is gone, so the IoError propagates and stops us.
   io::DataOutputStream data{output(0)};
@@ -161,11 +263,41 @@ void Turnstile::step() {
 
 void Turnstile::on_stop() { arrivals_.close(); }
 
+void Turnstile::handle_worker_eof(std::int64_t tag) {
+  if (!ledger_) return;
+  // Marks the worker unreachable either way; moves unacknowledged
+  // dispatches (if any) to the re-issue queue.
+  const std::size_t moved =
+      ledger_->fail_worker(static_cast<std::size_t>(tag));
+  if (moved == 0) return;
+  if (!tags_dead_) {
+    try {
+      io::DataOutputStream tags{output(1)};
+      tags.write_i64(-1);  // wake the Direct: re-issues are queued
+      return;
+    } catch (const IoError&) {
+      tags_dead_ = true;
+      try {
+        output(1)->close();
+      } catch (...) {
+      }
+    }
+  }
+  // The dispatch side is gone while work awaits re-issue: the lost
+  // results can never be reproduced.
+  ledger_->set_fatal();
+}
+
 void Turnstile::write_fields(serial::ObjectOutputStream& out) const {
   if (!forwarders_.empty()) {
     throw SerializationError{
         "Turnstile cannot be shipped once started (forwarder threads are "
         "local)"};
+  }
+  if (ledger_) {
+    throw SerializationError{
+        "Turnstile cannot be shipped with a worker ledger attached (the "
+        "ledger is shared local state)"};
   }
   write_base(out);
 }
@@ -190,11 +322,54 @@ void Select::read_arrival() {
   io::DataInputStream pairs{input(0)};
   const std::int64_t tag = pairs.read_i64();
   ByteVector blob = pairs.read_bytes();
+  if (ledger_) {
+    // Per-worker FIFO arrival order is the worker's dispatch order, so
+    // the ledger can map this arrival back to its global task position --
+    // correct even when the task was re-issued to this worker after
+    // another one died.
+    const std::uint64_t position =
+        ledger_->map_arrival(static_cast<std::size_t>(tag));
+    by_position_[position] = std::move(blob);
+    return;
+  }
   arrival_tags_.push_back(tag);
   buffered_[tag].push_back(std::move(blob));
 }
 
+void Select::step_ledger() {
+  try {
+    for (;;) {
+      const auto it = by_position_.find(next_task_);
+      if (it != by_position_.end()) {
+        io::DataOutputStream out{output(0)};
+        out.write_bytes({it->second.data(), it->second.size()});
+        by_position_.erase(it);
+        ++next_task_;
+        return;
+      }
+      read_arrival();
+    }
+  } catch (const EndOfStream&) {
+    // The pair stream ended.  Clean completion means every fresh task's
+    // result was emitted in position order; anything else is lost work.
+    // (During a consumer-initiated early stop we never get here -- the
+    // write above throws ChannelClosed first and cascades normally.)
+    if (ledger_->fatal() || next_task_ < ledger_->fresh_dispatched() ||
+        !by_position_.empty()) {
+      throw WorkerLost{
+          "meta_dynamic: worker(s) died and " +
+          std::to_string(ledger_->fresh_dispatched() - next_task_) +
+          " task result(s) could not be recovered"};
+    }
+    throw;
+  }
+}
+
 void Select::step() {
+  if (ledger_) {
+    step_ledger();
+    return;
+  }
   // Reconstruct the index stream the Direct follows: task j went to
   // worker j for the initial prefix, then to the worker that produced
   // arrival j-N.  Task j's result cannot arrive before arrival j-N has
@@ -217,6 +392,11 @@ void Select::step() {
 }
 
 void Select::write_fields(serial::ObjectOutputStream& out) const {
+  if (ledger_) {
+    throw SerializationError{
+        "Select cannot be shipped with a worker ledger attached (the "
+        "ledger is shared local state)"};
+  }
   write_base(out);
   out.write_u64(n_workers_);
   out.write_u64(next_task_);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/process.hpp"
+#include "processes/ledger.hpp"
 #include "support/bytes.hpp"
 #include "support/sync.hpp"
 
@@ -25,6 +26,15 @@
 ///    Select both follow the same index stream, the schema's input-output
 ///    relation is independent of arrival order -- it is "well behaved",
 ///    and the overall computation remains determinate.
+///
+/// With a shared WorkerLedger attached (set_ledger on all three -- see
+/// par::meta_dynamic and docs/FAULTS.md), the trio additionally recovers
+/// from worker death: the Direct records dispatches, the Turnstile
+/// detects a result stream that ends with work outstanding and wakes the
+/// Direct with a -1 directive tag, and the Select re-orders by recorded
+/// task position instead of reconstructing the index stream -- keeping
+/// the output byte-identical to the failure-free run.  A ledger-bearing
+/// process cannot be shipped (the ledger is shared local state).
 namespace dpn::processes {
 
 using core::ChannelInputStream;
@@ -84,11 +94,27 @@ class Direct final : public IterativeProcess {
   void write_fields(serial::ObjectOutputStream& out) const override;
   static std::shared_ptr<Direct> read_object(serial::ObjectInputStream& in);
 
+  /// Enables worker-failure recovery (see file comment).
+  void set_ledger(std::shared_ptr<WorkerLedger> ledger) {
+    ledger_ = std::move(ledger);
+  }
+
  protected:
   void step() override;
 
  private:
   Direct() = default;
+  /// Records and writes one blob, re-picking the target while workers
+  /// are unreachable.  Ledger mode only.
+  void dispatch(std::size_t target, std::uint64_t position, ByteVector blob);
+  /// Drains the ledger's re-issue queue onto surviving workers.
+  void serve_reissues();
+  /// Throws EndOfStream once the producer is exhausted and every
+  /// dispatch has been acknowledged.
+  void finish_if_quiescent();
+
+  std::shared_ptr<WorkerLedger> ledger_;
+  bool draining_ = false;  // producer exhausted; waiting for last acks
 };
 
 /// Forwards results from N inputs in arrival order (Figure 18's "t").
@@ -121,6 +147,11 @@ class Turnstile final : public IterativeProcess {
   static std::shared_ptr<Turnstile> read_object(
       serial::ObjectInputStream& in);
 
+  /// Enables worker-failure recovery (see file comment).
+  void set_ledger(std::shared_ptr<WorkerLedger> ledger) {
+    ledger_ = std::move(ledger);
+  }
+
  protected:
   void on_start() override;
   void step() override;
@@ -128,16 +159,23 @@ class Turnstile final : public IterativeProcess {
 
  private:
   Turnstile() = default;
+  void handle_worker_eof(std::int64_t tag);
 
   struct Arrival {
     std::int64_t tag;
     ByteVector blob;
+    /// Sentinel pushed by a forwarder after its input ends.  Queue order
+    /// guarantees every real arrival of that worker was processed (and
+    /// acknowledged) first, so "ended with work outstanding" is an exact
+    /// failure signal, not a race.
+    bool eof = false;
   };
 
   BlockingQueue<Arrival> arrivals_;
   std::atomic<std::size_t> live_forwarders_{0};
   std::vector<std::jthread> forwarders_;
   bool tags_dead_ = false;
+  std::shared_ptr<WorkerLedger> ledger_;
 };
 
 /// Reorders the turnstile's arrival-order results into task order
@@ -159,17 +197,29 @@ class Select final : public IterativeProcess {
   void write_fields(serial::ObjectOutputStream& out) const override;
   static std::shared_ptr<Select> read_object(serial::ObjectInputStream& in);
 
+  /// Enables worker-failure recovery: results are re-ordered by the
+  /// ledger-recorded task position (which survives re-issue to another
+  /// worker) instead of the reconstructed index stream (which does not).
+  void set_ledger(std::shared_ptr<WorkerLedger> ledger) {
+    ledger_ = std::move(ledger);
+  }
+
  protected:
   void step() override;
 
  private:
   Select() = default;
   void read_arrival();
+  void step_ledger();
 
   std::uint64_t n_workers_ = 0;
   std::uint64_t next_task_ = 0;  // j: position in the reconstructed order
   std::deque<std::int64_t> arrival_tags_;  // worker of arrival i
   std::unordered_map<std::int64_t, std::deque<ByteVector>> buffered_;
+
+  std::shared_ptr<WorkerLedger> ledger_;
+  /// Ledger mode: results buffered by task position until their turn.
+  std::unordered_map<std::uint64_t, ByteVector> by_position_;
 };
 
 }  // namespace dpn::processes

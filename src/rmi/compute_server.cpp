@@ -20,6 +20,13 @@ enum class Op : std::uint8_t {
   kStats = 7,          // obs::NetworkSnapshot of everything hosted
 };
 
+// Reply framing for the synchronous ops (kRunTask, kJoinProcess): the
+// server emits zero or more heartbeat bytes while the work runs, then the
+// reply marker followed by the op's normal reply.  A client that sees
+// nothing for a whole lease patience declares the worker lost.
+constexpr std::uint8_t kReplyMarker = 0xB0;
+constexpr std::uint8_t kHeartbeatMarker = 0xB1;
+
 io::DataInputStream make_in(const std::shared_ptr<net::Socket>& socket) {
   return io::DataInputStream{std::make_shared<net::SocketInputStream>(socket)};
 }
@@ -29,12 +36,37 @@ io::DataOutputStream make_out(const std::shared_ptr<net::Socket>& socket) {
       std::make_shared<net::SocketOutputStream>(socket)};
 }
 
+/// Client side of the framing: consumes heartbeats until the reply
+/// marker.  Throws WorkerLost on lease expiry (no byte for `patience`)
+/// or a dropped connection -- fail fast instead of hanging forever.
+void await_reply(net::Socket& socket, const fault::LeaseOptions& lease,
+                 const std::string& what) {
+  for (;;) {
+    if (!socket.wait_readable(lease.patience)) {
+      fault::stats().lease_expiries.fetch_add(1, std::memory_order_relaxed);
+      throw WorkerLost{what + ": no heartbeat within " +
+                       std::to_string(lease.patience.count()) +
+                       "ms -- worker lost"};
+    }
+    std::uint8_t marker = 0;
+    if (socket.read_some({&marker, 1}) == 0) {
+      throw WorkerLost{what + ": connection lost"};
+    }
+    if (marker == kHeartbeatMarker) continue;
+    if (marker == kReplyMarker) return;
+    throw IoError{what + ": unexpected reply marker " +
+                  std::to_string(marker)};
+  }
+}
+
 }  // namespace
 
 ComputeServer::ComputeServer(std::string name,
-                             std::shared_ptr<dist::NodeContext> node)
+                             std::shared_ptr<dist::NodeContext> node,
+                             fault::LeaseOptions lease)
     : name_(std::move(name)),
       node_(node ? std::move(node) : dist::NodeContext::create()),
+      lease_(lease),
       server_(0) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
   log::info("compute server '", name_, "' listening on port ", server_.port());
@@ -69,6 +101,7 @@ obs::NetworkSnapshot ComputeServer::snapshot() const {
       traffic.bytes_sent.load(std::memory_order_relaxed);
   snap.remote_bytes_received =
       traffic.bytes_received.load(std::memory_order_relaxed);
+  snap.fill_fault_counters();
 
   std::scoped_lock lock{hosted_mutex_};
   std::set<const core::ChannelState*> seen;
@@ -182,17 +215,47 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       const ByteVector shipment = in.read_bytes();
       std::shared_ptr<core::Task> result;
       std::string error;
-      try {
-        auto object =
-            dist::receive_object(node_, {shipment.data(), shipment.size()});
-        auto task = std::dynamic_pointer_cast<core::Task>(object);
-        if (!task) throw SerializationError{"shipment is not a Task"};
-        result = task->run();
-        tasks_run_.fetch_add(1);
-      } catch (const std::exception& e) {
-        error = e.what();
-        if (error.empty()) error = "task failed";
+      // The task runs on a helper thread so this handler can heartbeat
+      // the connection while it computes.
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      bool done = false;
+      std::jthread runner{[&] {
+        try {
+          auto object =
+              dist::receive_object(node_, {shipment.data(), shipment.size()});
+          auto task = std::dynamic_pointer_cast<core::Task>(object);
+          if (!task) throw SerializationError{"shipment is not a Task"};
+          result = task->run();
+          tasks_run_.fetch_add(1);
+        } catch (const std::exception& e) {
+          error = e.what();
+          if (error.empty()) error = "task failed";
+        }
+        {
+          std::scoped_lock done_lock{done_mutex};
+          done = true;
+        }
+        done_cv.notify_all();
+      }};
+      bool client_gone = false;
+      {
+        std::unique_lock lock{done_mutex};
+        while (!done_cv.wait_for(lock, lease_.heartbeat_interval,
+                                 [&] { return done; })) {
+          lock.unlock();
+          try {
+            out.write_u8(kHeartbeatMarker);
+          } catch (const IoError&) {
+            client_gone = true;
+          }
+          lock.lock();
+          if (client_gone) break;
+        }
       }
+      runner.join();
+      if (client_gone) return;  // nobody left to read the reply
+      out.write_u8(kReplyMarker);
       if (!error.empty()) {
         out.write_bool(false);
         out.write_string(error);
@@ -207,18 +270,35 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       const std::uint64_t id = in.read_u64();
       std::shared_ptr<Hosted> hosted;
       {
-        std::unique_lock lock{hosted_mutex_};
+        std::scoped_lock lock{hosted_mutex_};
         const auto it = hosted_.find(id);
-        if (it != hosted_.end()) {
-          hosted = it->second;
-          hosted_cv_.wait(lock, [&] { return hosted->done; });
-        }
+        if (it != hosted_.end()) hosted = it->second;
       }
       if (!hosted) {
+        out.write_u8(kReplyMarker);
         out.write_bool(false);
         out.write_string("unknown process id " + std::to_string(id));
         return;
       }
+      bool client_gone = false;
+      {
+        std::unique_lock lock{hosted_mutex_};
+        while (!hosted_cv_.wait_for(lock, lease_.heartbeat_interval,
+                                    [&] { return hosted->done; })) {
+          // Heartbeat outside the lock: a blocked write must not stall
+          // every other joiner and run_hosted's completion signal.
+          lock.unlock();
+          try {
+            out.write_u8(kHeartbeatMarker);
+          } catch (const IoError&) {
+            client_gone = true;
+          }
+          lock.lock();
+          if (client_gone) break;
+        }
+      }
+      if (client_gone) return;
+      out.write_u8(kReplyMarker);
       out.write_bool(hosted->error.empty());
       out.write_string(hosted->error);
       break;
@@ -273,6 +353,7 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
 std::shared_ptr<core::Task> TaskFuture::get() {
   if (!socket_) throw UsageError{"TaskFuture::get on an invalid future"};
   auto socket = std::move(socket_);
+  await_reply(*socket, lease_, "compute server task");
   auto in = make_in(socket);
   if (!in.read_bool()) {
     throw IoError{"compute server task failed: " + in.read_string()};
@@ -290,11 +371,12 @@ std::shared_ptr<core::Task> TaskFuture::get() {
 void ProcessHandle::join() {
   if (!valid()) throw UsageError{"ProcessHandle::join on an invalid handle"};
   auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+      net::connect_with_retry(endpoint_.host, endpoint_.port));
   auto out = make_out(socket);
-  auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kJoinProcess));
   out.write_u64(id_);
+  await_reply(*socket, lease_, "hosted process join");
+  auto in = make_in(socket);
   if (!in.read_bool()) {
     throw IoError{"hosted process failed: " + in.read_string()};
   }
@@ -304,7 +386,7 @@ void ProcessHandle::join() {
 void ProcessHandle::abort() {
   if (!valid()) throw UsageError{"ProcessHandle::abort on an invalid handle"};
   auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+      net::connect_with_retry(endpoint_.host, endpoint_.port));
   auto out = make_out(socket);
   auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kAbortProcess));
@@ -316,21 +398,50 @@ void ProcessHandle::abort() {
 }
 
 ServerHandle::ServerHandle(Endpoint endpoint,
-                           std::shared_ptr<dist::NodeContext> local)
-    : endpoint_(std::move(endpoint)), local_(std::move(local)) {
+                           std::shared_ptr<dist::NodeContext> local,
+                           fault::LeaseOptions lease,
+                           fault::RetryPolicy retry)
+    : endpoint_(std::move(endpoint)),
+      local_(std::move(local)),
+      lease_(lease),
+      retry_(retry) {
   if (!local_) local_ = dist::NodeContext::default_node();
 }
 
 ServerHandle ServerHandle::lookup(const std::string& registry_host,
                                   std::uint16_t registry_port,
                                   const std::string& name,
-                                  std::shared_ptr<dist::NodeContext> local) {
-  RegistryClient client{registry_host, registry_port};
+                                  std::shared_ptr<dist::NodeContext> local,
+                                  fault::LeaseOptions lease,
+                                  fault::RetryPolicy retry) {
+  RegistryClient client{registry_host, registry_port, retry};
   auto endpoint = client.lookup(name);
   if (!endpoint) {
     throw NetError{"no compute server named '" + name + "' in the registry"};
   }
-  return ServerHandle{*endpoint, std::move(local)};
+  ServerHandle handle{*endpoint, std::move(local), lease, retry};
+  handle.provenance_ =
+      Provenance{registry_host, registry_port, name};
+  return handle;
+}
+
+std::shared_ptr<net::Socket> ServerHandle::connect_() {
+  try {
+    return std::make_shared<net::Socket>(
+        net::connect_with_retry(endpoint_.host, endpoint_.port, retry_));
+  } catch (const NetError&) {
+    if (provenance_) {
+      // NACK the registry entry so repeated failures evict it; best
+      // effort -- the original connect failure is what the caller needs.
+      try {
+        RegistryClient client{provenance_->registry_host,
+                              provenance_->registry_port, retry_};
+        client.report_unreachable(provenance_->name, endpoint_);
+      } catch (const std::exception&) {
+      }
+    }
+    throw;
+  }
 }
 
 ProcessHandle ServerHandle::submit(
@@ -338,8 +449,7 @@ ProcessHandle ServerHandle::submit(
   // Connect before serializing: shipping has side effects on the live
   // graph (endpoints are switched onto pending sockets), so an
   // unreachable server must fail before any of that happens.
-  auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto socket = connect_();
   const ByteVector shipment = dist::ship_process(local_, process);
   auto out = make_out(socket);
   auto in = make_in(socket);
@@ -351,22 +461,20 @@ ProcessHandle ServerHandle::submit(
   if (!ok) {
     throw IoError{"compute server rejected process: " + error};
   }
-  return ProcessHandle{endpoint_, id};
+  return ProcessHandle{endpoint_, id, lease_};
 }
 
 TaskFuture ServerHandle::submit(const std::shared_ptr<core::Task>& task) {
   const ByteVector shipment = dist::ship_object(local_, task);
-  auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto socket = connect_();
   auto out = make_out(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kRunTask));
   out.write_bytes({shipment.data(), shipment.size()});
-  return TaskFuture{socket, local_};
+  return TaskFuture{socket, local_, lease_};
 }
 
 obs::NetworkSnapshot ServerHandle::stats() {
-  auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto socket = connect_();
   auto out = make_out(socket);
   auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kStats));
@@ -385,8 +493,7 @@ std::shared_ptr<core::Task> ServerHandle::run(
 }
 
 void ServerHandle::ping() {
-  auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect(endpoint_.host, endpoint_.port));
+  auto socket = connect_();
   auto out = make_out(socket);
   auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kPing));
@@ -402,6 +509,13 @@ obs::NetworkSnapshot fleet_stats(std::vector<ServerHandle>& servers) {
     fleet.growth_events += snap.growth_events;
     fleet.remote_bytes_sent += snap.remote_bytes_sent;
     fleet.remote_bytes_received += snap.remote_bytes_received;
+    fleet.connect_retries += snap.connect_retries;
+    fleet.connect_failures += snap.connect_failures;
+    fleet.tasks_reissued += snap.tasks_reissued;
+    fleet.workers_lost += snap.workers_lost;
+    fleet.lease_expiries += snap.lease_expiries;
+    fleet.registry_evictions += snap.registry_evictions;
+    fleet.faults_injected += snap.faults_injected;
     for (auto& p : snap.processes) fleet.processes.push_back(std::move(p));
     for (auto& c : snap.channels) fleet.channels.push_back(std::move(c));
   }

@@ -13,6 +13,7 @@
 #include "core/process.hpp"
 #include "core/task.hpp"
 #include "dist/node.hpp"
+#include "fault/fault.hpp"
 #include "net/socket.hpp"
 #include "obs/snapshot.hpp"
 #include "rmi/registry.hpp"
@@ -42,9 +43,14 @@ class ComputeServer {
  public:
   /// Creates a server listening on an ephemeral port, with its own
   /// NodeContext (rendezvous listener) for the channels of the process
-  /// graphs it hosts.
+  /// graphs it hosts.  `lease` sets the heartbeat cadence for the
+  /// synchronous ops (run(Task), join): while the work runs, the handler
+  /// emits a heartbeat byte every `lease.heartbeat_interval` so a client
+  /// whose `patience` elapses without one can declare the worker lost
+  /// instead of hanging (docs/FAULTS.md).
   explicit ComputeServer(std::string name,
-                         std::shared_ptr<dist::NodeContext> node = nullptr);
+                         std::shared_ptr<dist::NodeContext> node = nullptr,
+                         fault::LeaseOptions lease = {});
   ~ComputeServer();
 
   ComputeServer(const ComputeServer&) = delete;
@@ -86,6 +92,7 @@ class ComputeServer {
 
   std::string name_;
   std::shared_ptr<dist::NodeContext> node_;
+  fault::LeaseOptions lease_;
   net::ServerSocket server_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> processes_hosted_{0};
@@ -112,18 +119,22 @@ class TaskFuture {
   bool valid() const { return socket_ != nullptr; }
 
   /// Blocks until the server replies, then deserializes and returns the
-  /// completed task.  Throws IoError if the task failed remotely.
+  /// completed task.  Throws IoError if the task failed remotely, and
+  /// WorkerLost -- fast, after the lease's patience rather than forever --
+  /// if the server dies mid-task or stops heartbeating.
   /// Single-shot: the future is invalid afterwards.
   std::shared_ptr<core::Task> get();
 
  private:
   friend class ServerHandle;
   TaskFuture(std::shared_ptr<net::Socket> socket,
-             std::shared_ptr<dist::NodeContext> local)
-      : socket_(std::move(socket)), local_(std::move(local)) {}
+             std::shared_ptr<dist::NodeContext> local,
+             fault::LeaseOptions lease)
+      : socket_(std::move(socket)), local_(std::move(local)), lease_(lease) {}
 
   std::shared_ptr<net::Socket> socket_;
   std::shared_ptr<dist::NodeContext> local_;
+  fault::LeaseOptions lease_;
 };
 
 /// Handle to a process hosted by a remote ComputeServer, returned by
@@ -137,7 +148,7 @@ class ProcessHandle {
   std::uint64_t id() const { return id_; }
 
   /// Blocks until the hosted process finishes; throws IoError if it
-  /// failed remotely.
+  /// failed remotely, WorkerLost if the server dies while we wait.
   void join();
 
   /// Closes the hosted process's channel endpoints, unblocking it so it
@@ -146,23 +157,33 @@ class ProcessHandle {
 
  private:
   friend class ServerHandle;
-  ProcessHandle(Endpoint endpoint, std::uint64_t id)
-      : endpoint_(std::move(endpoint)), id_(id) {}
+  ProcessHandle(Endpoint endpoint, std::uint64_t id,
+                fault::LeaseOptions lease)
+      : endpoint_(std::move(endpoint)), id_(id), lease_(lease) {}
 
   Endpoint endpoint_;
   std::uint64_t id_ = 0;
+  fault::LeaseOptions lease_;
 };
 
-/// Client stub for a remote ComputeServer.
+/// Client stub for a remote ComputeServer.  Connects retry with backoff
+/// (`retry`); the synchronous operations bound their wait by the lease's
+/// patience (see ComputeServer).  A handle obtained through lookup()
+/// remembers its registry provenance and NACKs the entry back to the
+/// registry when the server stops answering, so repeated failures evict
+/// the stale registration.
 class ServerHandle {
  public:
-  ServerHandle(Endpoint endpoint, std::shared_ptr<dist::NodeContext> local);
+  ServerHandle(Endpoint endpoint, std::shared_ptr<dist::NodeContext> local,
+               fault::LeaseOptions lease = {}, fault::RetryPolicy retry = {});
 
   /// Looks a server up in a registry and returns a handle to it.
   static ServerHandle lookup(const std::string& registry_host,
                              std::uint16_t registry_port,
                              const std::string& name,
-                             std::shared_ptr<dist::NodeContext> local);
+                             std::shared_ptr<dist::NodeContext> local,
+                             fault::LeaseOptions lease = {},
+                             fault::RetryPolicy retry = {});
 
   /// Ships `process` for asynchronous execution (paper: run(Runnable)).
   /// Returns once the server has deserialized and started it -- i.e. once
@@ -189,8 +210,22 @@ class ServerHandle {
   const Endpoint& endpoint() const { return endpoint_; }
 
  private:
+  /// Where lookup() found this server, for NACK reports.
+  struct Provenance {
+    std::string registry_host;
+    std::uint16_t registry_port = 0;
+    std::string name;
+  };
+
+  /// Connects with retry; on final failure, best-effort NACKs the
+  /// registry entry (when lookup provenance is known) before rethrowing.
+  std::shared_ptr<net::Socket> connect_();
+
   Endpoint endpoint_;
   std::shared_ptr<dist::NodeContext> local_;
+  fault::LeaseOptions lease_;
+  fault::RetryPolicy retry_;
+  std::optional<Provenance> provenance_;
 };
 
 /// Merged snapshot across several servers: processes and channels are

@@ -13,6 +13,7 @@ enum class Op : std::uint8_t {
   kLookup = 2,
   kList = 3,
   kUnregister = 4,
+  kReport = 5,  // NACK: client failed to reach a looked-up endpoint
 };
 
 std::pair<io::DataInputStream, io::DataOutputStream> wrap(
@@ -70,6 +71,7 @@ void Registry::handle(net::Socket socket) {
       {
         std::scoped_lock lock{mutex_};
         names_[name] = endpoint;
+        strikes_.erase(name);  // a fresh registration starts clean
       }
       out.write_bool(true);
       break;
@@ -107,8 +109,40 @@ void Registry::handle(net::Socket socket) {
       {
         std::scoped_lock lock{mutex_};
         erased = names_.erase(name) > 0;
+        strikes_.erase(name);
       }
       out.write_bool(erased);
+      break;
+    }
+    case Op::kReport: {
+      const std::string name = in.read_string();
+      Endpoint reported;
+      reported.host = in.read_string();
+      reported.port = in.read_u16();
+      bool evicted = false;
+      {
+        std::scoped_lock lock{mutex_};
+        const auto it = names_.find(name);
+        // Only strikes against the *current* endpoint count: a report
+        // about an endpoint that has since re-registered elsewhere is
+        // about the dead predecessor, not the live entry.
+        if (it != names_.end() && it->second.host == reported.host &&
+            it->second.port == reported.port) {
+          if (++strikes_[name] >= kEvictStrikes) {
+            names_.erase(it);
+            strikes_.erase(name);
+            evicted = true;
+          }
+        }
+      }
+      if (evicted) {
+        fault::stats().registry_evictions.fetch_add(
+            1, std::memory_order_relaxed);
+        log::warn("registry: evicted '", name, "' at ", reported.host, ":",
+                  reported.port, " after ", kEvictStrikes,
+                  " unreachable reports");
+      }
+      out.write_bool(evicted);
       break;
     }
     default:
@@ -116,10 +150,13 @@ void Registry::handle(net::Socket socket) {
   }
 }
 
+net::Socket RegistryClient::connect_() {
+  return net::connect_with_retry(host_, port_, retry_);
+}
+
 void RegistryClient::register_name(const std::string& name,
                                    const Endpoint& endpoint) {
-  auto socket =
-      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto socket = std::make_shared<net::Socket>(connect_());
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kRegister));
   out.write_string(name);
@@ -129,8 +166,7 @@ void RegistryClient::register_name(const std::string& name,
 }
 
 void RegistryClient::unregister_name(const std::string& name) {
-  auto socket =
-      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto socket = std::make_shared<net::Socket>(connect_());
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kUnregister));
   out.write_string(name);
@@ -138,8 +174,7 @@ void RegistryClient::unregister_name(const std::string& name) {
 }
 
 std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
-  auto socket =
-      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto socket = std::make_shared<net::Socket>(connect_());
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kLookup));
   out.write_string(name);
@@ -151,8 +186,7 @@ std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
 }
 
 std::vector<std::string> RegistryClient::list() {
-  auto socket =
-      std::make_shared<net::Socket>(net::Socket::connect(host_, port_));
+  auto socket = std::make_shared<net::Socket>(connect_());
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kList));
   const std::uint64_t n = in.read_varint();
@@ -160,6 +194,17 @@ std::vector<std::string> RegistryClient::list() {
   names.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) names.push_back(in.read_string());
   return names;
+}
+
+bool RegistryClient::report_unreachable(const std::string& name,
+                                        const Endpoint& endpoint) {
+  auto socket = std::make_shared<net::Socket>(connect_());
+  auto [in, out] = wrap(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kReport));
+  out.write_string(name);
+  out.write_string(endpoint.host);
+  out.write_u16(endpoint.port);
+  return in.read_bool();
 }
 
 }  // namespace dpn::rmi

@@ -60,6 +60,17 @@ class SerializationError : public IoError {
   explicit SerializationError(const std::string& what) : IoError(what) {}
 };
 
+/// A worker (process or compute server) died and its work could not be
+/// recovered.  Deliberately *not* an IoError: IoError means "a stream
+/// ended, stop cleanly", which IterativeProcess::run swallows.  Losing a
+/// worker with no survivor to re-issue its tasks to is a real failure
+/// the application must see, so it propagates out of run() and out of
+/// CompositeProcess like any other error.
+class WorkerLost : public std::runtime_error {
+ public:
+  explicit WorkerLost(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Misuse of an API (programming error, not an I/O condition).
 class UsageError : public std::logic_error {
  public:
