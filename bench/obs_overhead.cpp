@@ -13,11 +13,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <thread>
 
 #include "core/channel.hpp"
 #include "core/network.hpp"
 #include "io/data.hpp"
+#include "io/memory.hpp"
+#include "net/frames.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -100,6 +103,81 @@ void BM_ObsReadThroughputTraced(benchmark::State& state) {
   read_throughput(state, /*traced=*/true);
 }
 BENCHMARK(BM_ObsReadThroughputTraced)->Arg(0)->Arg(8192);
+
+/// Preallocated wrap-around sink: steady-state frame writes are a pure
+/// memcpy with zero allocation, so the A/B below measures the framing
+/// delta instead of vector-growth/allocator churn (a growable
+/// MemoryOutputStream made both variants ~5 us/frame of mmap page
+/// faults, drowning a ~20 ns effect).
+class RingSink final : public io::OutputStream {
+ public:
+  explicit RingSink(std::size_t capacity) : buffer_(capacity) {}
+
+  void write(ByteSpan data) override { append(data); }
+
+  void write_vectored(ByteSpan a, ByteSpan b) override {
+    append(a);
+    append(b);
+  }
+
+  void close() override {}
+
+ private:
+  void append(ByteSpan data) {
+    if (pos_ + data.size() > buffer_.size()) pos_ = 0;
+    std::memcpy(buffer_.data() + pos_, data.data(), data.size());
+    pos_ += data.size();
+  }
+
+  ByteVector buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// The wire-path delta of causal context propagation: a plain DATA frame
+/// vs a DATA_TRACED frame (ambient context lookup + span mint + 17-byte
+/// TraceContext prefix) into a memory sink.  This is the entire per-chunk
+/// cost a remote channel pays when tracing is on; when tracing is off the
+/// traced path is never taken, and with DPN_TRACE=0 it compiles out.
+/// arg = payload bytes per frame; remote channels flush whole buffered
+/// chunks (KiB scale under credit batching), so the larger args are the
+/// representative ones and 256 B is the small-chunk worst case.
+void frame_write(benchmark::State& state, bool traced) {
+  if (traced) {
+    obs::Tracer::instance().enable();
+    auto& ambient = obs::current_trace_context();
+    ambient.trace_id = obs::new_trace_id();
+    ambient.flags = obs::TraceContext::kSampled;
+  } else {
+    obs::Tracer::instance().disable();
+  }
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const ByteVector payload(size, 0x5A);
+  auto sink = std::make_shared<RingSink>(1 << 20);
+  net::FrameWriter writer{sink};
+  for (auto _ : state) {
+    if (obs::trace_enabled()) {
+      obs::TraceContext ctx = obs::current_trace_context();
+      ctx.span_id = obs::next_span_id();
+      writer.write_data_traced(ctx, {payload.data(), payload.size()});
+    } else {
+      writer.write_data({payload.data(), payload.size()});
+    }
+  }
+  obs::Tracer::instance().disable();
+  obs::current_trace_context() = {};
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void BM_ObsFrameWrite(benchmark::State& state) {
+  frame_write(state, /*traced=*/false);
+}
+BENCHMARK(BM_ObsFrameWrite)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_ObsFrameWriteWithContext(benchmark::State& state) {
+  frame_write(state, /*traced=*/true);
+}
+BENCHMARK(BM_ObsFrameWriteWithContext)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
 
 /// Single-element ping through full channel endpoints.
 void BM_ObsElementRoundTrip(benchmark::State& state) {

@@ -1,0 +1,182 @@
+// dpn_top: a terminal dashboard over the live telemetry plane.
+//
+// Subscribes to a ComputeServer's STATS_STREAM (docs/PROTOCOLS.md
+// Section 6) and redraws a top-style screen per pushed snapshot:
+// hosted processes, channel occupancy and wait-time percentiles, task
+// round-trip and connect latency, trace-ring accounting.
+//
+//   ./dpn_top <host> <port> [--interval=ms] [--frames=N]
+//   ./dpn_top --demo [--interval=ms] [--frames=N]
+//
+// --demo spins up an in-process server hosting half of a small pipeline
+// (local Sequence -> remote Scale -> local sink over real sockets) so
+// there is something to watch; --frames bounds the run (0 = forever),
+// which is also how the ctest smoke test uses it.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/channel.hpp"
+#include "core/process.hpp"
+#include "dist/node.hpp"
+#include "obs/snapshot.hpp"
+#include "processes/arith.hpp"
+#include "processes/basic.hpp"
+#include "rmi/compute_server.hpp"
+
+namespace {
+
+const char* state_name(dpn::obs::ProcessState state) {
+  switch (state) {
+    case dpn::obs::ProcessState::kIdle:
+      return "idle";
+    case dpn::obs::ProcessState::kRunning:
+      return "run";
+    case dpn::obs::ProcessState::kBlockedReading:
+      return "rd-blk";
+    case dpn::obs::ProcessState::kBlockedWriting:
+      return "wr-blk";
+    case dpn::obs::ProcessState::kPaused:
+      return "pause";
+    case dpn::obs::ProcessState::kFinished:
+      return "done";
+  }
+  return "?";
+}
+
+void draw(const dpn::obs::NetworkSnapshot& snap, unsigned frame) {
+  std::printf("\x1b[2J\x1b[H");  // clear screen, home cursor
+  std::printf("dpn_top -- frame %u (snapshot v%u)\n", frame,
+              static_cast<unsigned>(snap.version));
+  std::printf("live: %" PRIu64 "  remote tx/rx: %" PRIu64 "/%" PRIu64
+              " B  growth: %" PRIu64 "\n",
+              snap.live, snap.remote_bytes_sent, snap.remote_bytes_received,
+              snap.growth_events);
+  std::printf("trace: recorded=%" PRIu64 " dropped=%" PRIu64
+              "  faults: retries=%" PRIu64 " lost=%" PRIu64 "\n",
+              snap.trace_recorded, snap.trace_dropped, snap.connect_retries,
+              snap.workers_lost);
+  if (!snap.task_rtt.empty()) {
+    std::printf("task rtt  p50/p95/p99: %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                " us  (n=%" PRIu64 ")\n",
+                snap.task_rtt.p50_ns() / 1000, snap.task_rtt.p95_ns() / 1000,
+                snap.task_rtt.p99_ns() / 1000, snap.task_rtt.count);
+  }
+  if (!snap.connect_latency.empty()) {
+    std::printf("connect   p50/p95/p99: %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                " us  (n=%" PRIu64 ")\n",
+                snap.connect_latency.p50_ns() / 1000,
+                snap.connect_latency.p95_ns() / 1000,
+                snap.connect_latency.p99_ns() / 1000,
+                snap.connect_latency.count);
+  }
+  std::printf("\n%-24s %-7s %12s\n", "PROCESS", "STATE", "STEPS");
+  for (const auto& process : snap.processes) {
+    std::printf("%-24.24s %-7s %12" PRIu64 "\n", process.name.c_str(),
+                state_name(process.state), process.steps);
+  }
+  std::printf("\n%-16s %10s %12s %12s %10s %10s\n", "CHANNEL", "BUF/CAP",
+              "TOKENS-W", "TOKENS-R", "rWAIT p95", "wWAIT p95");
+  for (const auto& channel : snap.channels) {
+    char occupancy[24];
+    std::snprintf(occupancy, sizeof occupancy, "%" PRIu64 "/%" PRIu64,
+                  channel.buffered, channel.capacity);
+    std::printf("%-16.16s %10s %12" PRIu64 " %12" PRIu64 " %8" PRIu64
+                "us %8" PRIu64 "us\n",
+                channel.label.empty() ? "?" : channel.label.c_str(), occupancy,
+                channel.tokens_written, channel.tokens_read,
+                channel.read_block.p95_ns() / 1000,
+                channel.write_block.p95_ns() / 1000);
+  }
+  std::fflush(stdout);
+}
+
+int watch(dpn::rmi::ServerHandle& handle, unsigned interval_ms,
+          unsigned frames) {
+  auto stream = handle.stats_stream(std::chrono::milliseconds{interval_ms},
+                                    frames);
+  unsigned frame = 0;
+  while (auto snap = stream.next()) {
+    draw(*snap, ++frame);
+  }
+  std::printf("\nstream ended after %u frame(s)\n", frame);
+  return frame > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpn;
+  bool demo = false;
+  std::string host;
+  std::uint16_t port = 0;
+  unsigned interval_ms = 1000;
+  unsigned frames = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      interval_ms = static_cast<unsigned>(std::atoi(arg.c_str() + 11));
+    } else if (arg.rfind("--frames=", 0) == 0) {
+      frames = static_cast<unsigned>(std::atoi(arg.c_str() + 9));
+    } else if (host.empty()) {
+      host = arg;
+    } else {
+      port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+    }
+  }
+  if (!demo && (host.empty() || port == 0)) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> [--interval=ms] [--frames=N]\n"
+                 "       %s --demo [--interval=ms] [--frames=N]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  if (!demo) {
+    auto local = dist::NodeContext::create();
+    rmi::ServerHandle handle{{host, port}, local};
+    return watch(handle, interval_ms, frames);
+  }
+
+  // Demo: one in-process server hosting the middle of a pipeline; both
+  // cut channels become real localhost sockets when the Scale ships.
+  rmi::ComputeServer server{"dpn-top-demo"};
+  auto local = dist::NodeContext::create();
+  const std::size_t cap = 8192;
+  auto upstream = std::make_shared<core::Channel>(cap, "up");
+  auto downstream = std::make_shared<core::Channel>(cap, "down");
+
+  auto shipped = std::make_shared<core::CompositeProcess>();
+  shipped->add(std::make_shared<processes::Scale>(upstream->input(),
+                                                  downstream->output(), 3));
+
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  auto staying = std::make_shared<core::CompositeProcess>();
+  staying->add(std::make_shared<processes::Sequence>(0, upstream->output()));
+  staying->add(std::make_shared<processes::Print>(
+      downstream->input(), 0, "", devnull ? devnull : stdout));
+
+  rmi::ServerHandle handle{{"127.0.0.1", server.port()}, local};
+  auto hosted = handle.submit(shipped);
+  std::jthread driver{[&staying] {
+    try {
+      staying->run();
+    } catch (const std::exception&) {
+      // Torn down by abort() below; expected.
+    }
+  }};
+
+  const int status = watch(handle, interval_ms, frames);
+  hosted.abort();
+  driver.join();
+  server.stop();
+  if (devnull != nullptr) std::fclose(devnull);
+  return status;
+}

@@ -172,11 +172,26 @@ int main(int argc, char** argv) {
         return std::make_shared<par::Consumer>(std::move(in), 0, observer);
       },
       {.label = "pipeline.results"});
+  // Write the trace on every exit path: a trace of the run that *failed*
+  // is the one worth having, and an unflushed ofstream at `return 1`
+  // used to leave a truncated/empty JSON behind.
+  const auto write_trace = [&] {
+    if (trace_file == nullptr) return;
+    auto& tracer = obs::Tracer::instance();
+    tracer.disable();
+    std::ofstream out{trace_file};
+    out << tracer.chrome_trace_json();
+    out.close();
+    std::printf("trace: %llu events recorded, newest %zu written to %s\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                tracer.drain().size(), trace_file);
+  };
   try {
     network.run();
   } catch (const WorkerLost& e) {
     // Single-worker chaos: nobody is left to re-issue to; fail loudly.
     std::printf("\nrun failed: %s\n", e.what());
+    write_trace();
     return 1;
   }
   const double elapsed = watch.elapsed_seconds();
@@ -196,15 +211,7 @@ int main(int argc, char** argv) {
                     fs.tasks_reissued.load(std::memory_order_relaxed)));
   }
 
-  if (trace_file != nullptr) {
-    auto& tracer = obs::Tracer::instance();
-    tracer.disable();
-    std::ofstream out{trace_file};
-    out << tracer.chrome_trace_json();
-    std::printf("trace: %llu events recorded, newest %zu written to %s\n",
-                static_cast<unsigned long long>(tracer.recorded()),
-                tracer.drain().size(), trace_file);
-  }
+  write_trace();
 
   if (found) {
     std::printf("factored in %.3f s:\n  P = %s (expected %s)\n", elapsed,

@@ -206,6 +206,8 @@ obs::ChannelSnapshot snapshot_channel(const ChannelState& state) {
     c.blocked_writers = static_cast<std::uint32_t>(s.blocked_writers);
     c.write_closed = s.write_closed;
     c.read_closed = s.read_closed;
+    c.read_block = s.read_block;
+    c.write_block = s.write_block;
   } else {
     c.capacity = state.capacity;
   }

@@ -73,8 +73,12 @@ void Network::start() {
 
   live_.store(processes_.size());
   threads_.reserve(processes_.size());
+  // Process threads inherit the starter's trace attribution (see
+  // CompositeProcess::run).
+  const std::uint32_t node_tag = obs::node_tag();
   for (const auto& process : processes_) {
-    threads_.emplace_back([this, process] {
+    threads_.emplace_back([this, process, node_tag] {
+      obs::set_node_tag(node_tag);
       try {
         process->run();
       } catch (const IoError&) {

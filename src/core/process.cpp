@@ -198,8 +198,13 @@ void CompositeProcess::run() {
   {
     std::vector<std::jthread> threads;
     threads.reserve(processes_.size());
+    // Child threads inherit the spawning host's trace attribution -- a
+    // ComputeServer tags its handler thread, and the graph it hosts may
+    // fan out arbitrarily deep.
+    const std::uint32_t node_tag = obs::node_tag();
     for (const auto& process : processes_) {
-      threads.emplace_back([&failures_mutex, &failures, process] {
+      threads.emplace_back([&failures_mutex, &failures, process, node_tag] {
+        obs::set_node_tag(node_tag);
         // Raw Process implementations don't maintain their own stats;
         // bracket them here (IterativeProcess overwrites redundantly).
         process->stats()->set_state(obs::ProcessState::kRunning);

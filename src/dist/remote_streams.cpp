@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace dpn::dist {
@@ -93,6 +94,28 @@ std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
         buffer_ = std::move(frame.payload);
         position_ = 0;
         break;
+      case net::FrameType::kDataTraced: {
+        // Data frame carrying the trace-context extension: peel the 17
+        // context bytes, adopt the context as this thread's ambient one
+        // (spans recorded downstream chain to it), and mark the arrival
+        // -- same span id as the producer's kNetSend, which is what the
+        // exporter turns into a cross-host flow arrow.
+        if (frame.payload.size() < obs::TraceContext::kWireSize) {
+          throw IoError{"traced data frame shorter than its context"};
+        }
+        const auto ctx = obs::TraceContext::decode(frame.payload.data());
+        obs::current_trace_context() = ctx;
+        DPN_TRACE_EVENT(obs::TraceKind::kNetRecv, "data", ctx.span_id,
+                        frame.payload.size() - obs::TraceContext::kWireSize);
+        if (stats != nullptr) {
+          stats->bytes_received.fetch_add(frame.payload.size() -
+                                          obs::TraceContext::kWireSize);
+        }
+        buffer_.assign(frame.payload.begin() + obs::TraceContext::kWireSize,
+                       frame.payload.end());
+        position_ = 0;
+        break;
+      }
       case net::FrameType::kFin:
         eof_ = true;
         return 0;
@@ -118,6 +141,11 @@ void FrameChannelInput::handle_redirect(const net::RedirectInfo& info) {
   auto parent = parent_.lock();
   if (!parent) {
     throw IoError{"REDIRECT received but the channel sequence is gone"};
+  }
+  if (info.trace.valid()) {
+    obs::current_trace_context() = info.trace;
+    DPN_TRACE_EVENT(obs::TraceKind::kShipRecv, "redirect",
+                    info.trace.span_id, info.token);
   }
   auto promise = node_->rendezvous().expect(info.token);
   auto successor =
@@ -210,7 +238,22 @@ void FrameChannelOutput::write(ByteSpan data) {
       while (window_ <= 0) await_credit_locked();
       const std::size_t chunk = std::min<std::size_t>(
           static_cast<std::size_t>(window_), data.size() - offset);
-      writer_->write_data(data.subspan(offset, chunk));
+      if (obs::trace_enabled()) {
+        // Stamp the frame with a fresh span in this thread's ambient
+        // trace (minting the trace lazily): the consumer's kNetRecv of
+        // the same span id becomes the flow arrow across the wire.
+        obs::TraceContext& ambient = obs::current_trace_context();
+        if (!ambient.valid()) {
+          ambient.trace_id = obs::new_trace_id();
+          ambient.flags = obs::TraceContext::kSampled;
+        }
+        obs::TraceContext ctx = ambient;
+        ctx.span_id = obs::next_span_id();
+        writer_->write_data_traced(ctx, data.subspan(offset, chunk));
+        DPN_TRACE_EVENT(obs::TraceKind::kNetSend, "data", ctx.span_id, chunk);
+      } else {
+        writer_->write_data(data.subspan(offset, chunk));
+      }
       window_ -= static_cast<std::int64_t>(chunk);
       offset += chunk;
     }
@@ -280,6 +323,17 @@ void FrameChannelOutput::redirect_and_finish(std::uint64_t successor_token) {
   ensure_connected_locked();
   net::RedirectInfo info;
   info.token = successor_token;
+  if (obs::trace_enabled()) {
+    // The redirect handshake is part of a SHIP lifecycle: stamp it so
+    // the consumer's acceptance (kShipRecv) links back to this span.
+    info.trace.trace_id = obs::current_trace_context().valid()
+                              ? obs::current_trace_context().trace_id
+                              : obs::new_trace_id();
+    info.trace.span_id = obs::next_span_id();
+    info.trace.flags = obs::TraceContext::kSampled;
+    DPN_TRACE_EVENT(obs::TraceKind::kShipSend, "redirect",
+                    info.trace.span_id, successor_token);
+  }
   writer_->write_redirect(info);
   writer_->write_fin();
   socket_->shutdown_write();

@@ -41,7 +41,9 @@ class MemoryOutputStream final : public OutputStream {
 
   void write_vectored(ByteSpan a, ByteSpan b) override {
     if (closed_) throw IoError{"write to closed MemoryOutputStream"};
-    buffer_.reserve(buffer_.size() + a.size() + b.size());
+    // No exact-fit reserve here: pinning capacity to size+needed makes
+    // every subsequent append reallocate and copy the whole buffer
+    // (quadratic); insert's geometric growth amortizes to O(1).
     buffer_.insert(buffer_.end(), a.begin(), a.end());
     buffer_.insert(buffer_.end(), b.begin(), b.end());
   }

@@ -42,10 +42,12 @@ std::size_t Pipe::read_some(MutableByteSpan out) {
     readable_.wait(lock, [&] {
       return count_ > 0 || write_closed_ || read_closed_ || aborted_;
     });
-    blocked_read_ns_ += static_cast<std::uint64_t>(
+    const auto waited = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - wait_start)
             .count());
+    blocked_read_ns_ += waited;
+    read_block_hist_.record(waited);
     ++reader_wakeups_;
     --blocked_readers_;
   }
@@ -77,10 +79,12 @@ void Pipe::write_vectored(ByteSpan a, ByteSpan b) {
           return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
                  count_ < capacity_;
         });
-        blocked_write_ns_ += static_cast<std::uint64_t>(
+        const auto waited = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - wait_start)
                 .count());
+        blocked_write_ns_ += waited;
+        write_block_hist_.record(waited);
         ++writer_wakeups_;
         --blocked_writers_;
         continue;
@@ -193,6 +197,8 @@ Pipe::Stats Pipe::stats() const {
   s.blocked_writers = blocked_writers_;
   s.write_closed = write_closed_;
   s.read_closed = read_closed_;
+  s.read_block = read_block_hist_.snapshot();
+  s.write_block = write_block_hist_.snapshot();
   return s;
 }
 

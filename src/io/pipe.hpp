@@ -6,6 +6,7 @@
 
 #include "io/stream.hpp"
 #include "support/bytes.hpp"
+#include "support/histogram.hpp"
 
 /// Bounded in-memory pipe: the "lowest layer" of a local channel
 /// (the paper's LocalInputStream/LocalOutputStream over
@@ -76,7 +77,9 @@ class Pipe {
   /// One consistent view of the pipe's occupancy and pressure counters
   /// (dpn::obs feeds channel snapshots from this).  Blocked time is only
   /// accumulated while a caller actually waits, so the fast path never
-  /// touches a clock.
+  /// touches a clock.  Each wait also lands in a log2 histogram
+  /// (read_block / write_block) so the snapshot can report wait-time
+  /// percentiles, not just totals.
   struct Stats {
     std::size_t size = 0;
     std::size_t capacity = 0;
@@ -89,6 +92,8 @@ class Pipe {
     std::size_t blocked_writers = 0;
     bool write_closed = false;
     bool read_closed = false;
+    HistogramSnapshot read_block;
+    HistogramSnapshot write_block;
   };
   Stats stats() const;
 
@@ -111,6 +116,10 @@ class Pipe {
   std::uint64_t blocked_write_ns_ = 0;
   std::uint64_t reader_wakeups_ = 0;
   std::uint64_t writer_wakeups_ = 0;
+  // Written only under mutex_ (single-writer record()); atomic buckets so
+  // stats() copies are tear-free even if a reader ever goes lock-free.
+  LatencyHistogram read_block_hist_;
+  LatencyHistogram write_block_hist_;
 
   // All private helpers assume mutex_ is held.
   std::size_t take_locked(MutableByteSpan out);

@@ -15,6 +15,14 @@ ByteVector RedirectInfo::encode() const {
   data.write_string(host);
   data.write_u16(port);
   data.write_u64(token);
+  // Optional trace-context extension: appended only when set, so a
+  // pre-extension decoder (which stops at the token) still parses the
+  // payload, and an untraced redirect is byte-identical to before.
+  if (trace.valid()) {
+    std::uint8_t ctx[obs::TraceContext::kWireSize];
+    trace.encode(ctx);
+    data.write({ctx, sizeof ctx});
+  }
   return sink->take();
 }
 
@@ -26,12 +34,33 @@ RedirectInfo RedirectInfo::decode(ByteSpan payload) {
   info.host = data.read_string();
   info.port = data.read_u16();
   info.token = data.read_u64();
+  std::uint8_t ctx[obs::TraceContext::kWireSize];
+  try {
+    data.read_fully({ctx, sizeof ctx});
+    info.trace = obs::TraceContext::decode(ctx);
+  } catch (const EndOfStream&) {
+    // Pre-extension sender: no context appended.
+  }
   return info;
 }
 
 void FrameWriter::write_data(ByteSpan data) {
   // Zero-length data frames are legal no-ops but never emitted.
   if (!data.empty()) write_frame(FrameType::kData, data);
+}
+
+void FrameWriter::write_data_traced(const obs::TraceContext& ctx,
+                                    ByteSpan data) {
+  if (data.empty()) return;
+  // Header and context share one stack buffer so the traced frame is
+  // still a single vectored transport write (same syscall count as
+  // write_data; the extension costs 17 payload bytes, nothing else).
+  std::uint8_t head[5 + obs::TraceContext::kWireSize];
+  head[0] = static_cast<std::uint8_t>(FrameType::kDataTraced);
+  put_u32(head + 1, static_cast<std::uint32_t>(
+                        data.size() + obs::TraceContext::kWireSize));
+  ctx.encode(head + 5);
+  out_->write_vectored({head, sizeof head}, data);
 }
 
 void FrameWriter::write_fin() { write_frame(FrameType::kFin, {}); }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "io/stream.hpp"
+#include "obs/trace.hpp"
 #include "support/bytes.hpp"
 
 /// Frame codec for remote channels.
@@ -37,6 +38,12 @@ enum class FrameType : std::uint8_t {
   /// the producer blocks when its window is exhausted, exactly like a
   /// local writer on a full pipe.
   kCredit = 4,
+  /// kData with a 17-byte TraceContext prefix (trace_id:u64 span_id:u64
+  /// flags:u8) ahead of the channel bytes -- the frame extension of
+  /// docs/PROTOCOLS.md Section 6.  Emitted only while tracing is
+  /// enabled, so the wire format is byte-identical to the untraced
+  /// protocol otherwise; both ends must know the extension to use it.
+  kDataTraced = 5,
 };
 
 struct Frame {
@@ -49,6 +56,11 @@ struct RedirectInfo {
   std::string host;
   std::uint16_t port = 0;
   std::uint64_t token = 0;
+  /// Optional causal context for the redirect handshake, appended after
+  /// `token` only when valid: decoders that predate it stop at the token
+  /// (payload decoding ignores trailing bytes), new decoders of old
+  /// payloads leave it invalid.
+  obs::TraceContext trace;
 
   ByteVector encode() const;
   static RedirectInfo decode(ByteSpan payload);
@@ -60,6 +72,10 @@ class FrameWriter {
       : out_(std::move(out)) {}
 
   void write_data(ByteSpan data);
+  /// write_data with the trace-context frame extension: the 17 context
+  /// bytes ride in the same single vectored transport write as the
+  /// header and payload, so enabling tracing adds no extra syscall.
+  void write_data_traced(const obs::TraceContext& ctx, ByteSpan data);
   void write_fin();
   void write_rst();
   void write_redirect(const RedirectInfo& info);

@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "obs/metrics.hpp"
 
 namespace dpn::net {
 namespace {
@@ -118,9 +121,17 @@ Socket Socket::connect(const std::string& host, std::uint16_t port,
 
 Socket connect_with_retry(const std::string& host, std::uint16_t port,
                           const fault::RetryPolicy& policy) {
-  return fault::with_retry(
+  // The whole retry loop is one sample: what the caller experienced,
+  // backoff included, not the kernel's view of a single attempt.
+  const auto start = std::chrono::steady_clock::now();
+  Socket socket = fault::with_retry(
       policy, "connect to " + host + ":" + std::to_string(port),
       [&] { return Socket::connect(host, port, policy.connect_timeout); });
+  obs::runtime_histograms().connect.record_shared(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return socket;
 }
 
 std::size_t Socket::read_some(MutableByteSpan out) {

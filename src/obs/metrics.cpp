@@ -14,4 +14,9 @@ const char* to_string(ProcessState state) {
   return "unknown";
 }
 
+RuntimeHistograms& runtime_histograms() {
+  static RuntimeHistograms histograms;
+  return histograms;
+}
+
 }  // namespace dpn::obs

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/histogram.hpp"
+
 /// Runtime observability: the counters every channel and process carries.
 ///
 /// The paper evaluates its runtime with hand-rolled external timing
@@ -85,5 +87,17 @@ struct ProcessStats {
     return state.load(std::memory_order_relaxed);
   }
 };
+
+/// Process-wide latency histograms that are not per-channel: task
+/// round-trips (recorded by the par router's ledger and by TaskFuture)
+/// and connect/retry wall time (recorded by net::connect_with_retry).
+/// Multi-writer, hence record_shared() at every site; mirrored into
+/// NetworkSnapshot v3 like fault::stats() is into v2.
+struct RuntimeHistograms {
+  LatencyHistogram task_rtt;
+  LatencyHistogram connect;
+};
+
+RuntimeHistograms& runtime_histograms();
 
 }  // namespace dpn::obs

@@ -1,0 +1,179 @@
+#include "obs/prometheus.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dpn::obs {
+namespace {
+
+void append_line(std::string& out, const char* name, std::uint64_t value) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%s %" PRIu64 "\n", name, value);
+  out += line;
+}
+
+void append_help(std::string& out, const char* name, const char* type,
+                 const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+std::string escape_label(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      escaped += '\\';
+      escaped += c;
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped += c;
+    }
+  }
+  return escaped;
+}
+
+/// One histogram in native Prometheus form: cumulative `le` buckets in
+/// seconds, then `_sum` and `_count`.  `labels` is either empty or a
+/// pre-rendered `{key="value"}` fragment without the closing brace, so
+/// the `le` label can be appended.
+void append_histogram(std::string& out, const char* name,
+                      const std::string& labels, const HistogramSnapshot& h) {
+  char line[224];
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    cumulative += h.counts[i];
+    if (h.counts[i] == 0 && i + 1 != HistogramSnapshot::kBuckets) {
+      continue;  // sparse output; cumulative buckets stay correct
+    }
+    const double le =
+        static_cast<double>(HistogramSnapshot::bucket_bound_ns(i)) / 1e9;
+    if (i + 1 == HistogramSnapshot::kBuckets) {
+      std::snprintf(line, sizeof line, "%s_bucket%s%sle=\"+Inf\"} %" PRIu64
+                    "\n",
+                    name, labels.empty() ? "{" : labels.c_str(),
+                    labels.empty() ? "" : ",", h.count);
+    } else {
+      std::snprintf(line, sizeof line, "%s_bucket%s%sle=\"%g\"} %" PRIu64
+                    "\n",
+                    name, labels.empty() ? "{" : labels.c_str(),
+                    labels.empty() ? "" : ",", le, cumulative);
+    }
+    out += line;
+  }
+  const std::string close = labels.empty() ? "" : labels + "}";
+  std::snprintf(line, sizeof line, "%s_sum%s %.9f\n", name, close.c_str(),
+                static_cast<double>(h.sum_ns) / 1e9);
+  out += line;
+  std::snprintf(line, sizeof line, "%s_count%s %" PRIu64 "\n", name,
+                close.c_str(), h.count);
+  out += line;
+}
+
+}  // namespace
+
+std::string render_prometheus(const NetworkSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  append_help(out, "dpn_processes_live", "gauge",
+              "Unfinished processes at snapshot time");
+  append_line(out, "dpn_processes_live", snapshot.live);
+  append_help(out, "dpn_growth_events_total", "counter",
+              "Deadlock-monitor channel growths (Parks' algorithm)");
+  append_line(out, "dpn_growth_events_total", snapshot.growth_events);
+  append_help(out, "dpn_remote_bytes_sent_total", "counter",
+              "Bytes sent over remote channels");
+  append_line(out, "dpn_remote_bytes_sent_total", snapshot.remote_bytes_sent);
+  append_help(out, "dpn_remote_bytes_received_total", "counter",
+              "Bytes received over remote channels");
+  append_line(out, "dpn_remote_bytes_received_total",
+              snapshot.remote_bytes_received);
+
+  append_help(out, "dpn_connect_retries_total", "counter",
+              "Connect attempts retried after failure");
+  append_line(out, "dpn_connect_retries_total", snapshot.connect_retries);
+  append_help(out, "dpn_connect_failures_total", "counter",
+              "Connects that exhausted their retry budget");
+  append_line(out, "dpn_connect_failures_total", snapshot.connect_failures);
+  append_help(out, "dpn_tasks_reissued_total", "counter",
+              "Tasks re-dispatched after worker loss");
+  append_line(out, "dpn_tasks_reissued_total", snapshot.tasks_reissued);
+  append_help(out, "dpn_workers_lost_total", "counter",
+              "Workers declared lost");
+  append_line(out, "dpn_workers_lost_total", snapshot.workers_lost);
+  append_help(out, "dpn_lease_expiries_total", "counter",
+              "Synchronous calls abandoned after lease expiry");
+  append_line(out, "dpn_lease_expiries_total", snapshot.lease_expiries);
+  append_help(out, "dpn_registry_evictions_total", "counter",
+              "Registry entries evicted after NACKs");
+  append_line(out, "dpn_registry_evictions_total",
+              snapshot.registry_evictions);
+  append_help(out, "dpn_faults_injected_total", "counter",
+              "Faults injected by the test harness");
+  append_line(out, "dpn_faults_injected_total", snapshot.faults_injected);
+
+  append_help(out, "dpn_trace_events_recorded_total", "counter",
+              "Trace events recorded since enable()");
+  append_line(out, "dpn_trace_events_recorded_total",
+              snapshot.trace_recorded);
+  append_help(out, "dpn_trace_events_dropped_total", "counter",
+              "Trace events lost to ring wraparound");
+  append_line(out, "dpn_trace_events_dropped_total", snapshot.trace_dropped);
+
+  append_help(out, "dpn_task_rtt_seconds", "histogram",
+              "Task dispatch-to-result round trip");
+  append_histogram(out, "dpn_task_rtt_seconds", "", snapshot.task_rtt);
+  append_help(out, "dpn_connect_seconds", "histogram",
+              "Connect latency including retries");
+  append_histogram(out, "dpn_connect_seconds", "", snapshot.connect_latency);
+
+  append_help(out, "dpn_channel_buffered_bytes", "gauge",
+              "Bytes currently buffered in a channel's pipe");
+  append_help(out, "dpn_channel_bytes_written_total", "counter",
+              "Bytes written into a channel");
+  append_help(out, "dpn_channel_bytes_read_total", "counter",
+              "Bytes read out of a channel");
+  append_help(out, "dpn_channel_read_block_seconds", "histogram",
+              "Per-wait reader blocking time");
+  append_help(out, "dpn_channel_write_block_seconds", "histogram",
+              "Per-wait writer blocking time");
+  char line[224];
+  for (const ChannelSnapshot& channel : snapshot.channels) {
+    const std::string label =
+        channel.label.empty() ? ("#" + std::to_string(channel.id))
+                              : channel.label;
+    const std::string tag = "{channel=\"" + escape_label(label) + "\"";
+    std::snprintf(line, sizeof line,
+                  "dpn_channel_buffered_bytes%s} %" PRIu64 "\n", tag.c_str(),
+                  channel.buffered);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "dpn_channel_bytes_written_total%s} %" PRIu64 "\n",
+                  tag.c_str(), channel.bytes_written);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "dpn_channel_bytes_read_total%s} %" PRIu64 "\n", tag.c_str(),
+                  channel.bytes_read);
+    out += line;
+    if (channel.read_block.count > 0) {
+      append_histogram(out, "dpn_channel_read_block_seconds", tag,
+                       channel.read_block);
+    }
+    if (channel.write_block.count > 0) {
+      append_histogram(out, "dpn_channel_write_block_seconds", tag,
+                       channel.write_block);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpn::obs

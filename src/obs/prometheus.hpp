@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "obs/snapshot.hpp"
+
+/// Prometheus text exposition (version 0.0.4) of a NetworkSnapshot: the
+/// bridge between the snapshot plane and a scrape-based monitoring stack.
+/// rmi::PrometheusExporter serves this over HTTP; render_prometheus is
+/// separately callable so tests and CLI tools can print the same payload
+/// without a listener.
+namespace dpn::obs {
+
+/// Renders `snapshot` in Prometheus text format: counters and gauges for
+/// the scalar fields, native histogram series (cumulative `le` buckets in
+/// seconds, `_sum`, `_count`) for the task-RTT / connect-latency / per-
+/// channel wait distributions.  Channel series carry a `channel` label.
+std::string render_prometheus(const NetworkSnapshot& snapshot);
+
+}  // namespace dpn::obs

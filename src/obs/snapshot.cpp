@@ -1,18 +1,43 @@
 #include "obs/snapshot.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "fault/fault.hpp"
 #include "io/data.hpp"
 #include "io/memory.hpp"
+#include "obs/trace.hpp"
 
 namespace dpn::obs {
 
 namespace {
-// Version 2 appends the fault counters after the channel list; version-1
-// decoders stop before them, version-2 decoders of version-1 payloads
-// leave them zero.
-constexpr std::uint8_t kSnapshotVersion = 2;
+
+void write_histogram(io::DataOutputStream& out, const HistogramSnapshot& h) {
+  out.write_varint(h.count);
+  out.write_varint(h.sum_ns);
+  // Bucket count on the wire, so a future layout change (more buckets)
+  // stays decodable: a short reader folds the excess into its last
+  // bucket, a long reader leaves its tail zero.
+  out.write_varint(HistogramSnapshot::kBuckets);
+  for (const std::uint64_t c : h.counts) out.write_varint(c);
+}
+
+HistogramSnapshot read_histogram(io::DataInputStream& in) {
+  HistogramSnapshot h;
+  h.count = in.read_varint();
+  h.sum_ns = in.read_varint();
+  const std::uint64_t buckets = in.read_varint();
+  for (std::uint64_t i = 0; i < buckets; ++i) {
+    const std::uint64_t c = in.read_varint();
+    const std::size_t slot = std::min<std::size_t>(
+        static_cast<std::size_t>(i), HistogramSnapshot::kBuckets - 1);
+    h.counts[slot] += c;
+  }
+  return h;
+}
+
+std::string us_string(std::uint64_t ns) { return std::to_string(ns / 1000); }
+
 }  // namespace
 
 void NetworkSnapshot::fill_fault_counters() {
@@ -25,6 +50,14 @@ void NetworkSnapshot::fill_fault_counters() {
   registry_evictions =
       stats.registry_evictions.load(std::memory_order_relaxed);
   faults_injected = stats.faults_injected.load(std::memory_order_relaxed);
+}
+
+void NetworkSnapshot::fill_runtime_counters() {
+  const Tracer& tracer = Tracer::instance();
+  trace_recorded = tracer.recorded();
+  trace_dropped = tracer.dropped();
+  task_rtt = runtime_histograms().task_rtt.snapshot();
+  connect_latency = runtime_histograms().connect.snapshot();
 }
 
 std::uint64_t NetworkSnapshot::blocked_readers() const {
@@ -48,10 +81,13 @@ const ChannelSnapshot* NetworkSnapshot::smallest_write_blocked() const {
   return victim;
 }
 
-ByteVector NetworkSnapshot::encode() const {
+ByteVector NetworkSnapshot::encode() const { return encode_as(kVersion); }
+
+ByteVector NetworkSnapshot::encode_as(std::uint8_t want_version) const {
+  const std::uint8_t v = std::clamp<std::uint8_t>(want_version, 1, kVersion);
   auto sink = std::make_shared<io::MemoryOutputStream>();
   io::DataOutputStream out{sink};
-  out.write_u8(kSnapshotVersion);
+  out.write_u8(v);
   out.write_u64(live);
   out.write_u8(outcome);
   out.write_u64(growth_events);
@@ -95,25 +131,51 @@ ByteVector NetworkSnapshot::encode() const {
 
   // Version 2: fault counters, appended so version-1 decoders still parse
   // their prefix of the payload.
-  out.write_u64(connect_retries);
-  out.write_u64(connect_failures);
-  out.write_u64(tasks_reissued);
-  out.write_u64(workers_lost);
-  out.write_u64(lease_expiries);
-  out.write_u64(registry_evictions);
-  out.write_u64(faults_injected);
+  if (v >= 2) {
+    out.write_u64(connect_retries);
+    out.write_u64(connect_failures);
+    out.write_u64(tasks_reissued);
+    out.write_u64(workers_lost);
+    out.write_u64(lease_expiries);
+    out.write_u64(registry_evictions);
+    out.write_u64(faults_injected);
+  }
+
+  // Version 3: trace accounting, process-wide histograms, then one
+  // read/write histogram pair per channel -- aligned by channel index,
+  // because splicing them into the per-channel records above would have
+  // broken version-1/2 prefix parsing.
+  if (v >= 3) {
+    out.write_u64(trace_recorded);
+    out.write_u64(trace_dropped);
+    write_histogram(out, task_rtt);
+    write_histogram(out, connect_latency);
+    for (const ChannelSnapshot& c : channels) {
+      write_histogram(out, c.read_block);
+      write_histogram(out, c.write_block);
+    }
+  }
   return sink->take();
 }
 
 NetworkSnapshot NetworkSnapshot::decode(ByteSpan bytes) {
+  return decode_prefix(bytes, kVersion);
+}
+
+NetworkSnapshot NetworkSnapshot::decode_prefix(ByteSpan bytes,
+                                               std::uint8_t max_version) {
   io::DataInputStream in{std::make_shared<io::MemoryInputStream>(
       ByteVector{bytes.begin(), bytes.end()})};
-  const std::uint8_t version = in.read_u8();
-  if (version == 0 || version > kSnapshotVersion) {
-    throw SerializationError{"unsupported NetworkSnapshot version " +
-                             std::to_string(version)};
+  const std::uint8_t advertised = in.read_u8();
+  if (advertised == 0) {
+    throw SerializationError{"malformed NetworkSnapshot: version 0"};
   }
+  // Every version is an append-only extension of the previous one, so the
+  // decodable part is whatever both sides know about; the rest of the
+  // payload is ignored (newer writer) or left default (older writer).
+  const std::uint8_t version = std::min(advertised, max_version);
   NetworkSnapshot snapshot;
+  snapshot.version = version;
   snapshot.live = in.read_u64();
   snapshot.outcome = in.read_u8();
   snapshot.growth_events = in.read_u64();
@@ -170,7 +232,38 @@ NetworkSnapshot NetworkSnapshot::decode(ByteSpan bytes) {
     snapshot.registry_evictions = in.read_u64();
     snapshot.faults_injected = in.read_u64();
   }
+  if (version >= 3) {
+    snapshot.trace_recorded = in.read_u64();
+    snapshot.trace_dropped = in.read_u64();
+    snapshot.task_rtt = read_histogram(in);
+    snapshot.connect_latency = read_histogram(in);
+    for (ChannelSnapshot& c : snapshot.channels) {
+      c.read_block = read_histogram(in);
+      c.write_block = read_histogram(in);
+    }
+  }
   return snapshot;
+}
+
+void NetworkSnapshot::merge_from(NetworkSnapshot&& other) {
+  version = std::min(version, other.version);
+  live += other.live;
+  growth_events += other.growth_events;
+  remote_bytes_sent += other.remote_bytes_sent;
+  remote_bytes_received += other.remote_bytes_received;
+  connect_retries += other.connect_retries;
+  connect_failures += other.connect_failures;
+  tasks_reissued += other.tasks_reissued;
+  workers_lost += other.workers_lost;
+  lease_expiries += other.lease_expiries;
+  registry_evictions += other.registry_evictions;
+  faults_injected += other.faults_injected;
+  trace_recorded += other.trace_recorded;
+  trace_dropped += other.trace_dropped;
+  task_rtt.merge(other.task_rtt);
+  connect_latency.merge(other.connect_latency);
+  for (auto& p : other.processes) processes.push_back(std::move(p));
+  for (auto& c : other.channels) channels.push_back(std::move(c));
 }
 
 std::string NetworkSnapshot::to_string() const {
@@ -187,6 +280,22 @@ std::string NetworkSnapshot::to_string() const {
            " lease_expiries=" + std::to_string(lease_expiries) +
            " evictions=" + std::to_string(registry_evictions) +
            " injected=" + std::to_string(faults_injected) + "\n";
+  }
+  if (trace_recorded > 0) {
+    out += "trace: recorded=" + std::to_string(trace_recorded) +
+           " dropped=" + std::to_string(trace_dropped) + "\n";
+  }
+  if (!task_rtt.empty()) {
+    out += "task rtt: n=" + std::to_string(task_rtt.count) +
+           " p50=" + us_string(task_rtt.p50_ns()) +
+           "us p95=" + us_string(task_rtt.p95_ns()) +
+           "us p99=" + us_string(task_rtt.p99_ns()) + "us\n";
+  }
+  if (!connect_latency.empty()) {
+    out += "connect: n=" + std::to_string(connect_latency.count) +
+           " p50=" + us_string(connect_latency.p50_ns()) +
+           "us p95=" + us_string(connect_latency.p95_ns()) +
+           "us p99=" + us_string(connect_latency.p99_ns()) + "us\n";
   }
   for (const ProcessSnapshot& p : processes) {
     out += "process ";
@@ -214,6 +323,16 @@ std::string NetworkSnapshot::to_string() const {
       out += ", waited r=";
       out += std::to_string(c.blocked_read_ns / 1000) + "us w=" +
              std::to_string(c.blocked_write_ns / 1000) + "us";
+    }
+    if (!c.read_block.empty()) {
+      out += ", r-wait p50/p95/p99=" + us_string(c.read_block.p50_ns()) +
+             "/" + us_string(c.read_block.p95_ns()) + "/" +
+             us_string(c.read_block.p99_ns()) + "us";
+    }
+    if (!c.write_block.empty()) {
+      out += ", w-wait p50/p95/p99=" + us_string(c.write_block.p50_ns()) +
+             "/" + us_string(c.write_block.p95_ns()) + "/" +
+             us_string(c.write_block.p99_ns()) + "us";
     }
     if (c.blocked_readers > 0) {
       out += ", ";

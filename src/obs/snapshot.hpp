@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/bytes.hpp"
+#include "support/histogram.hpp"
 
 /// Structured introspection of a process network.
 ///
@@ -62,6 +63,12 @@ struct ChannelSnapshot {
   std::uint64_t coalesced_writes = 0;  // writes absorbed without a drain
   std::uint64_t write_buffered = 0;    // bytes pending in the write buffer
   std::uint64_t read_buffered = 0;     // unconsumed read-ahead bytes
+
+  // --- wait-time distributions (version >= 3; local pipe only) ---
+  // The scalar blocked_*_ns totals above stay for old readers; these
+  // log2 histograms add the shape, so p50/p95/p99 are reportable.
+  HistogramSnapshot read_block;
+  HistogramSnapshot write_block;
 };
 
 struct ProcessSnapshot {
@@ -71,6 +78,17 @@ struct ProcessSnapshot {
 };
 
 struct NetworkSnapshot {
+  /// Current wire-format version.  v2 appended the fault counters, v3
+  /// appends the trace accounting, the runtime histograms and the
+  /// per-channel wait histograms -- all at top level, after everything
+  /// v2 wrote, so old readers prefix-parse newer payloads.
+  static constexpr std::uint8_t kVersion = 3;
+
+  /// The version this snapshot was decoded from (kVersion for locally
+  /// built ones).  fleet_stats logs it per peer and merges the common
+  /// prefix instead of dropping mixed-version peers.
+  std::uint8_t version = kVersion;
+
   /// Unfinished processes at snapshot time.
   std::uint64_t live = 0;
   /// Deadlock-monitor state (mirrors core::DeadlockOutcome's values).
@@ -92,11 +110,25 @@ struct NetworkSnapshot {
   std::uint64_t registry_evictions = 0;
   std::uint64_t faults_injected = 0;
 
+  // --- trace + latency plane (version >= 3) ---
+  /// Tracer ring accounting of the producing host: total events recorded
+  /// and how many the ring overwrote (a wrapped ring is not a complete
+  /// record -- surfaced so nobody mistakes it for one).
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  /// Process-wide distributions (obs::runtime_histograms()).
+  HistogramSnapshot task_rtt;
+  HistogramSnapshot connect_latency;
+
   std::vector<ProcessSnapshot> processes;
   std::vector<ChannelSnapshot> channels;
 
   /// Copies the process-wide fault counters into this snapshot.
   void fill_fault_counters();
+
+  /// Copies the tracer accounting and the process-wide runtime
+  /// histograms into this snapshot (the version-3 fields).
+  void fill_runtime_counters();
 
   // --- derived queries (used by the monitor and tests) ---
   std::uint64_t blocked_readers() const;
@@ -107,7 +139,23 @@ struct NetworkSnapshot {
   const ChannelSnapshot* smallest_write_blocked() const;
 
   ByteVector encode() const;
+  /// Encodes the wire layout of an older version (clamped to
+  /// [1, kVersion]); the compat test matrix and mixed-fleet simulations
+  /// use it to produce genuine old-writer payloads.
+  ByteVector encode_as(std::uint8_t version) const;
   static NetworkSnapshot decode(ByteSpan bytes);
+  /// Decodes as a reader that only knows formats up to `max_version`
+  /// would: fields beyond it stay default, trailing bytes are ignored.
+  /// Payloads *newer* than the reader are handled the same way -- the
+  /// append-only guarantee makes the known prefix parseable -- so a
+  /// mixed-version fleet degrades to partial data, never to an error.
+  static NetworkSnapshot decode_prefix(ByteSpan bytes,
+                                       std::uint8_t max_version);
+
+  /// Folds another node's snapshot into this one: counters summed,
+  /// histograms merged, processes/channels concatenated, version set to
+  /// the common (minimum) version.  fleet_stats is built on this.
+  void merge_from(NetworkSnapshot&& other);
 
   /// Multi-line human-readable rendering (the successor of the old
   /// Network::channel_report()).

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "support/bytes.hpp"
+
 /// Event tracing: an opt-in, lock-free ring buffer of fixed-size events,
 /// exportable as Chrome trace_event JSON (chrome://tracing, Perfetto).
 ///
@@ -19,7 +21,19 @@
 ///     its oldest entries when full (tracing favours the recent past);
 ///  3. events carry enough to reconstruct what the runtime did: channel
 ///     operations, endpoint migrations/redirections, deadlock-monitor
-///     growth decisions, and par-framework task dispatch.
+///     growth decisions, par-framework task dispatch -- and, since obs
+///     v2, *cross-host causality*: a TraceContext (trace_id, span_id,
+///     flags) rides DATA frames and ship/submit handshakes, so one
+///     token's journey producer -> socket -> consumer appears as a
+///     kNetSend/kNetRecv span pair sharing a span id, which the exporter
+///     turns into a Chrome flow arrow.
+///
+/// Node tags: in-process "hosts" (ComputeServers sharing one address
+/// space, and therefore one Tracer singleton) tag their handler threads
+/// with a small integer; every event records the tag of the thread that
+/// produced it, the exporter maps tags to Chrome pid rows, and the TRACE
+/// wire op filters by tag so each simulated host exports only its own
+/// ring.  Tag 0 is the default ("the local/client host").
 ///
 /// Concurrency note: drain() and chrome_trace_json() are meant to be
 /// called after disable() (or at quiescence).  Draining while writers are
@@ -45,17 +59,78 @@ enum class TraceKind : std::uint8_t {
   kTaskComplete = 10,  // par framework: result blob produced
   kProcessStart = 11,
   kProcessStop = 12,   // arg0 = steps completed
+  // --- causal (flow) kinds; arg0 = span id, arg1 = payload bytes ---
+  kNetSend = 13,   // DATA frame stamped with a TraceContext left this host
+  kNetRecv = 14,   // ...and arrived at the consuming host
+  kShipSend = 15,  // process/redirect handshake sent with a TraceContext
+  kShipRecv = 16,  // ...and accepted by the destination host
 };
 
 const char* to_string(TraceKind kind);
 
+/// True for the kinds whose arg0 is a span id matched across hosts; the
+/// exporter emits flow-arrow begin/finish events for them.
+constexpr bool is_flow_start(TraceKind kind) {
+  return kind == TraceKind::kNetSend || kind == TraceKind::kShipSend;
+}
+constexpr bool is_flow_finish(TraceKind kind) {
+  return kind == TraceKind::kNetRecv || kind == TraceKind::kShipRecv;
+}
+
+/// The compact causal context stamped onto DATA frames and ship/submit
+/// handshakes (docs/PROTOCOLS.md Section 6).  17 bytes on the wire:
+/// trace_id:u64 span_id:u64 flags:u8, big-endian, appended as an
+/// optional frame extension -- absent entirely when tracing is off.
+struct TraceContext {
+  static constexpr std::size_t kWireSize = 17;
+  static constexpr std::uint8_t kSampled = 0x01;
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint8_t flags = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  void encode(std::uint8_t out[kWireSize]) const;
+  static TraceContext decode(const std::uint8_t in[kWireSize]);
+};
+
+/// The thread's ambient trace context: set by the frame/ship receive
+/// paths, propagated by the send paths (a send reuses the ambient
+/// trace_id and mints a fresh span_id, so spans chain causally).
+TraceContext& current_trace_context();
+
+/// Process-unique, never-zero span/trace ids.  Seeded per process from
+/// the clock so two hosts (real ones) are unlikely to collide.
+std::uint64_t next_span_id();
+std::uint64_t new_trace_id();
+
+/// This thread's host tag (see file comment).  ComputeServer handler
+/// threads set it to the server's tag; everything else stays 0.
+void set_node_tag(std::uint32_t tag);
+std::uint32_t node_tag();
+
 struct TraceEvent {
   std::uint64_t ts_ns = 0;  // nanoseconds since enable()
   std::uint32_t tid = 0;    // hashed thread id
+  std::uint32_t node = 0;   // host tag of the recording thread
   TraceKind kind = TraceKind::kChannelWrite;
   char name[23] = {};  // truncated label (channel label, process name, ...)
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+};
+
+/// A host's drained ring plus the clock facts fleet_trace needs to merge
+/// it into another host's timeline (docs/OBSERVABILITY.md).
+struct TraceExport {
+  std::uint32_t node = 0;      // the exporting host's tag
+  std::uint64_t epoch_ns = 0;  // steady-clock origin of the events' ts_ns
+  std::uint64_t recorded = 0;  // total record() calls since enable()
+  std::uint64_t dropped = 0;   // events lost to ring wraparound
+  std::vector<TraceEvent> events;
+
+  ByteVector encode() const;
+  static TraceExport decode(ByteSpan bytes);
 };
 
 /// The process-wide tracer.  All methods are thread-safe.
@@ -82,16 +157,31 @@ class Tracer {
   /// newest `capacity` events survive.
   std::vector<TraceEvent> drain() const;
 
-  /// Total record() calls since enable() -- minus drained ring size, the
-  /// number of events lost to wraparound.
+  /// Total record() calls since enable().
   std::uint64_t recorded() const {
     return next_.load(std::memory_order_relaxed);
   }
+  /// Events lost to ring wraparound since enable() -- recorded() minus
+  /// what drain() can still return.  Surfaced in NetworkSnapshot and in
+  /// the exported trace metadata so a wrapped ring is never mistaken for
+  /// a complete record.
+  std::uint64_t dropped() const {
+    const std::uint64_t total = recorded();
+    return total > ring_.size() ? total - ring_.size() : 0;
+  }
   std::size_t capacity() const { return ring_.size(); }
+  /// Steady-clock origin of ts_ns (for cross-host timeline merges).
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
 
-  /// Chrome trace_event JSON ("traceEvents" array form): one instant
-  /// event per slot, with kind/args attached.  Load in chrome://tracing
-  /// or ui.perfetto.dev.
+  /// This host's ring packaged for the TRACE wire op; when `node_filter`
+  /// is non-negative only events with that node tag are included.
+  TraceExport export_events(std::int64_t node_filter = -1) const;
+
+  /// Chrome trace_event JSON ("traceEvents" array form): instant events
+  /// per slot, flow-arrow begin/finish pairs for the causal kinds, one
+  /// pid row per node tag, and a "metadata" object carrying the
+  /// recorded/dropped accounting.  Load in chrome://tracing or
+  /// ui.perfetto.dev.
   std::string chrome_trace_json() const;
 
  private:
@@ -103,6 +193,12 @@ class Tracer {
   std::atomic<std::uint64_t> next_{0};
   std::uint64_t epoch_ns_ = 0;  // steady-clock origin of ts_ns
 };
+
+/// Renders merged, clock-aligned events (fleet_trace's output) as Chrome
+/// trace JSON; `dropped` is the fleet-wide drop count for the metadata
+/// block.  Events must already share one timeline.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              std::uint64_t recorded, std::uint64_t dropped);
 
 namespace detail {
 /// Mirror of Tracer::enabled_, readable without going through

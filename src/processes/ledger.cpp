@@ -1,6 +1,7 @@
 #include "processes/ledger.hpp"
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -20,7 +21,8 @@ void WorkerLedger::record_dispatch(std::size_t worker, std::uint64_t position,
                                    ByteVector blob) {
   std::scoped_lock lock{mutex_};
   WorkerState& state = workers_.at(worker);
-  state.records.push_back({position, std::move(blob)});
+  state.records.push_back(
+      {position, std::move(blob), std::chrono::steady_clock::now()});
   ++state.dispatched;
   ++outstanding_;
 }
@@ -92,8 +94,14 @@ void WorkerLedger::ack_result(std::size_t worker) {
   }
   // The blob is no longer needed (the result exists); the record itself
   // stays until the Select has mapped the arrival.
-  state.records.at(static_cast<std::size_t>(state.acked - state.base))
-      .blob = ByteVector{};
+  Record& record =
+      state.records.at(static_cast<std::size_t>(state.acked - state.base));
+  record.blob = ByteVector{};
+  obs::runtime_histograms().task_rtt.record_shared(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - record.dispatched_at)
+              .count()));
   ++state.acked;
   --outstanding_;
   prune_locked(state);

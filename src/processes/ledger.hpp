@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -103,6 +104,11 @@ class WorkerLedger {
   struct Record {
     std::uint64_t position = 0;
     ByteVector blob;
+    /// When the blob was handed to the worker channel; ack_result turns
+    /// the dispatch->result interval into a task-RTT histogram sample
+    /// (obs::runtime_histograms), the queueing-aware latency a scheduler
+    /// actually experiences.
+    std::chrono::steady_clock::time_point dispatched_at{};
   };
   /// Per-worker dispatch history.  `records` holds dispatch ordinals
   /// [base, dispatched); `acked` and `mapped` are consumption cursors

@@ -1,10 +1,13 @@
 #include "rmi/compute_server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "core/channel.hpp"
 #include "dist/ship.hpp"
 #include "io/data.hpp"
+#include "obs/metrics.hpp"
 #include "support/log.hpp"
 
 namespace dpn::rmi {
@@ -18,7 +21,25 @@ enum class Op : std::uint8_t {
   kJoinProcess = 5,    // block until a hosted process finishes
   kAbortProcess = 6,   // close a hosted process's channel endpoints
   kStats = 7,          // obs::NetworkSnapshot of everything hosted
+  kStatsStream = 8,    // periodic snapshot pushes (docs/PROTOCOLS.md §6)
+  kTrace = 9,          // this host's trace ring, for fleet_trace
+  kTimeSync = 10,      // steady-clock probe, for clock-offset estimation
+  kSubmitTraced = 11,  // kSubmitProcess with a leading TraceContext
 };
+
+/// Node tags for in-process "hosts": each ComputeServer takes the next
+/// one, tag 0 stays the client/local host.
+std::uint32_t next_trace_tag() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Reply framing for the synchronous ops (kRunTask, kJoinProcess): the
 // server emits zero or more heartbeat bytes while the work runs, then the
@@ -67,7 +88,8 @@ ComputeServer::ComputeServer(std::string name,
     : name_(std::move(name)),
       node_(node ? std::move(node) : dist::NodeContext::create()),
       lease_(lease),
-      server_(0) {
+      server_(0),
+      trace_tag_(next_trace_tag()) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
   log::info("compute server '", name_, "' listening on port ", server_.port());
 }
@@ -82,6 +104,7 @@ void ComputeServer::register_with(const std::string& registry_host,
 
 void ComputeServer::stop() {
   if (stopping_.exchange(true)) return;
+  hosted_cv_.notify_all();  // wake stats streamers so stop() can join them
   server_.close();
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::jthread> workers;
@@ -102,6 +125,10 @@ obs::NetworkSnapshot ComputeServer::snapshot() const {
   snap.remote_bytes_received =
       traffic.bytes_received.load(std::memory_order_relaxed);
   snap.fill_fault_counters();
+  // Trace/task-RTT/connect counters are process-global; in an in-process
+  // simulated fleet every server reports the same values (fleet_stats
+  // merges are therefore an upper bound there, exact for real fleets).
+  snap.fill_runtime_counters();
 
   std::scoped_lock lock{hosted_mutex_};
   std::set<const core::ChannelState*> seen;
@@ -186,12 +213,28 @@ void ComputeServer::accept_loop() {
 }
 
 void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
+  // Everything this thread does -- including running a hosted process,
+  // whose spawned threads inherit the tag -- records trace events under
+  // this server's host tag.
+  obs::set_node_tag(trace_tag_);
   auto in = make_in(socket);
   auto out = make_out(socket);
   const auto op = static_cast<Op>(in.read_u8());
   switch (op) {
     case Op::kRunProcess:
-    case Op::kSubmitProcess: {
+    case Op::kSubmitProcess:
+    case Op::kSubmitTraced: {
+      if (op == Op::kSubmitTraced) {
+        // The submit handshake carries the client's TraceContext; adopt
+        // it so the SHIP -> JOIN span pair links causally across hosts.
+        std::uint8_t raw[obs::TraceContext::kWireSize];
+        in.read_fully({raw, sizeof raw});
+        const auto ctx = obs::TraceContext::decode(raw);
+        if (ctx.valid()) {
+          obs::current_trace_context() = ctx;
+          DPN_TRACE_EVENT(obs::TraceKind::kShipRecv, "submit", ctx.span_id);
+        }
+      }
       const ByteVector shipment = in.read_bytes();
       std::shared_ptr<core::Process> process;
       try {
@@ -200,13 +243,13 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       } catch (const std::exception& e) {
         out.write_bool(false);
         out.write_string(e.what());
-        if (op == Op::kSubmitProcess) out.write_u64(0);
+        if (op != Op::kRunProcess) out.write_u64(0);
         return;
       }
       const std::uint64_t id = host_process(std::move(process));
       out.write_bool(true);
       out.write_string("");
-      if (op == Op::kSubmitProcess) out.write_u64(id);
+      if (op != Op::kRunProcess) out.write_u64(id);
       // submit()/run(Runnable) return immediately; the process runs here.
       run_hosted(id);
       break;
@@ -340,6 +383,56 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
       out.write_bytes({encoded.data(), encoded.size()});
       break;
     }
+    case Op::kStatsStream: {
+      // Push one encoded snapshot per interval until the requested count
+      // is reached, the subscriber hangs up, or the server stops.  Each
+      // push is prefixed with a continuation flag so the subscriber can
+      // tell a clean end-of-stream from a dropped connection.
+      const std::uint32_t interval_ms = std::max<std::uint32_t>(
+          in.read_u32(), 1);
+      const std::uint32_t count = in.read_u32();
+      std::uint32_t sent = 0;
+      bool client_gone = false;
+      while (!stopping_.load() && (count == 0 || sent < count)) {
+        {
+          std::unique_lock lock{hosted_mutex_};
+          hosted_cv_.wait_for(lock, std::chrono::milliseconds{interval_ms},
+                              [this] { return stopping_.load(); });
+        }
+        if (stopping_.load()) break;
+        try {
+          const ByteVector encoded = snapshot().encode();
+          out.write_bool(true);
+          out.write_bytes({encoded.data(), encoded.size()});
+          ++sent;
+        } catch (const IoError&) {
+          client_gone = true;  // subscriber hung up; normal
+          break;
+        }
+      }
+      if (!client_gone) {
+        try {
+          out.write_bool(false);
+        } catch (const IoError&) {
+        }
+      }
+      break;
+    }
+    case Op::kTrace: {
+      // Only this host's events: in an in-process fleet every server
+      // shares the Tracer singleton, and fleet_trace must not receive the
+      // same event from every peer.
+      const ByteVector encoded =
+          obs::Tracer::instance().export_events(trace_tag_).encode();
+      out.write_bool(true);
+      out.write_bytes({encoded.data(), encoded.size()});
+      break;
+    }
+    case Op::kTimeSync: {
+      out.write_bool(true);
+      out.write_u64(steady_now_ns());
+      break;
+    }
     case Op::kPing: {
       out.write_bool(true);
       out.write_string(name_);
@@ -354,6 +447,10 @@ std::shared_ptr<core::Task> TaskFuture::get() {
   if (!socket_) throw UsageError{"TaskFuture::get on an invalid future"};
   auto socket = std::move(socket_);
   await_reply(*socket, lease_, "compute server task");
+  obs::runtime_histograms().task_rtt.record_shared(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - submitted_)
+          .count()));
   auto in = make_in(socket);
   if (!in.read_bool()) {
     throw IoError{"compute server task failed: " + in.read_string()};
@@ -453,7 +550,25 @@ ProcessHandle ServerHandle::submit(
   const ByteVector shipment = dist::ship_process(local_, process);
   auto out = make_out(socket);
   auto in = make_in(socket);
-  out.write_u8(static_cast<std::uint8_t>(Op::kSubmitProcess));
+  if (obs::trace_enabled()) {
+    // Stamp the handshake so this SHIP and the server's matching receive
+    // form a causally-linked span pair in the merged trace.
+    auto& ambient = obs::current_trace_context();
+    if (!ambient.valid()) {
+      ambient.trace_id = obs::new_trace_id();
+      ambient.flags = obs::TraceContext::kSampled;
+    }
+    obs::TraceContext ctx = ambient;
+    ctx.span_id = obs::next_span_id();
+    std::uint8_t raw[obs::TraceContext::kWireSize];
+    ctx.encode(raw);
+    out.write_u8(static_cast<std::uint8_t>(Op::kSubmitTraced));
+    out.write({raw, sizeof raw});
+    DPN_TRACE_EVENT(obs::TraceKind::kShipSend, "submit", ctx.span_id,
+                    shipment.size());
+  } else {
+    out.write_u8(static_cast<std::uint8_t>(Op::kSubmitProcess));
+  }
   out.write_bytes({shipment.data(), shipment.size()});
   const bool ok = in.read_bool();
   const std::string error = in.read_string();
@@ -483,6 +598,58 @@ obs::NetworkSnapshot ServerHandle::stats() {
   return obs::NetworkSnapshot::decode({reply.data(), reply.size()});
 }
 
+std::optional<obs::NetworkSnapshot> StatsStream::next() {
+  if (!socket_) return std::nullopt;
+  auto in = make_in(socket_);
+  try {
+    if (!in.read_bool()) {
+      socket_.reset();  // clean end-of-stream
+      return std::nullopt;
+    }
+    const ByteVector reply = in.read_bytes();
+    return obs::NetworkSnapshot::decode({reply.data(), reply.size()});
+  } catch (const IoError&) {
+    socket_.reset();  // server went away mid-stream
+    return std::nullopt;
+  }
+}
+
+StatsStream ServerHandle::stats_stream(std::chrono::milliseconds interval,
+                                       std::uint32_t count) {
+  auto socket = connect_();
+  auto out = make_out(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kStatsStream));
+  out.write_u32(static_cast<std::uint32_t>(
+      std::max<std::chrono::milliseconds::rep>(interval.count(), 1)));
+  out.write_u32(count);
+  return StatsStream{std::move(socket)};
+}
+
+obs::TraceExport ServerHandle::trace_export() {
+  auto socket = connect_();
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  out.write_u8(static_cast<std::uint8_t>(Op::kTrace));
+  if (!in.read_bool()) throw IoError{"compute server trace failed"};
+  const ByteVector reply = in.read_bytes();
+  return obs::TraceExport::decode({reply.data(), reply.size()});
+}
+
+std::pair<std::int64_t, std::uint64_t> ServerHandle::probe_clock() {
+  auto socket = connect_();
+  auto out = make_out(socket);
+  auto in = make_in(socket);
+  const std::uint64_t t0 = steady_now_ns();
+  out.write_u8(static_cast<std::uint8_t>(Op::kTimeSync));
+  if (!in.read_bool()) throw IoError{"compute server time sync failed"};
+  const std::uint64_t server_now = in.read_u64();
+  const std::uint64_t t1 = steady_now_ns();
+  const std::uint64_t midpoint = t0 + (t1 - t0) / 2;
+  return {static_cast<std::int64_t>(server_now) -
+              static_cast<std::int64_t>(midpoint),
+          t1 - t0};
+}
+
 void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
   submit(process);
 }
@@ -503,23 +670,75 @@ void ServerHandle::ping() {
 
 obs::NetworkSnapshot fleet_stats(std::vector<ServerHandle>& servers) {
   obs::NetworkSnapshot fleet;
+  bool first = true;
   for (ServerHandle& server : servers) {
     obs::NetworkSnapshot snap = server.stats();
-    fleet.live += snap.live;
-    fleet.growth_events += snap.growth_events;
-    fleet.remote_bytes_sent += snap.remote_bytes_sent;
-    fleet.remote_bytes_received += snap.remote_bytes_received;
-    fleet.connect_retries += snap.connect_retries;
-    fleet.connect_failures += snap.connect_failures;
-    fleet.tasks_reissued += snap.tasks_reissued;
-    fleet.workers_lost += snap.workers_lost;
-    fleet.lease_expiries += snap.lease_expiries;
-    fleet.registry_evictions += snap.registry_evictions;
-    fleet.faults_injected += snap.faults_injected;
-    for (auto& p : snap.processes) fleet.processes.push_back(std::move(p));
-    for (auto& c : snap.channels) fleet.channels.push_back(std::move(c));
+    log::info("fleet_stats: peer ", server.endpoint().host, ":",
+              server.endpoint().port, " snapshot v",
+              static_cast<unsigned>(snap.version));
+    if (first) {
+      fleet = std::move(snap);
+      first = false;
+    } else {
+      // Mixed-revision fleets merge on the common version prefix rather
+      // than dropping old peers; the result's version records the fleet's
+      // common denominator.
+      fleet.merge_from(std::move(snap));
+    }
   }
   return fleet;
+}
+
+std::string fleet_trace(std::vector<ServerHandle>& servers) {
+  // The local host's own events (node tag 0) anchor the timeline.
+  const obs::Tracer& tracer = obs::Tracer::instance();
+  obs::TraceExport local = tracer.export_events(0);
+  std::vector<obs::TraceEvent> merged;
+  std::uint64_t recorded = local.recorded;
+  std::uint64_t dropped = local.dropped;
+  // Work on one absolute (local steady-clock) timeline first; shifted to
+  // zero at the end so the JSON's microsecond timestamps stay small.
+  std::vector<std::pair<obs::TraceEvent, std::int64_t>> absolute;
+  for (const auto& event : local.events) {
+    absolute.emplace_back(event, static_cast<std::int64_t>(event.ts_ns) +
+                                     static_cast<std::int64_t>(local.epoch_ns));
+  }
+  for (ServerHandle& server : servers) {
+    obs::TraceExport remote = server.trace_export();
+    // recorded/dropped are Tracer-wide; in-process fleets share one
+    // Tracer, so take the max rather than summing the same ring N times.
+    recorded = std::max(recorded, remote.recorded);
+    dropped = std::max(dropped, remote.dropped);
+    // Cristian's algorithm: repeat the probe, keep the minimum-RTT
+    // sample -- the tightest bound on the peer's clock offset.  (For an
+    // in-process fleet the true offset is 0; the estimate's error is
+    // bounded by the best half-RTT either way.)
+    std::int64_t offset = 0;
+    std::uint64_t best_rtt = ~std::uint64_t{0};
+    for (int i = 0; i < 5; ++i) {
+      const auto [sample, rtt] = server.probe_clock();
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        offset = sample;
+      }
+    }
+    for (const auto& event : remote.events) {
+      absolute.emplace_back(
+          event, static_cast<std::int64_t>(event.ts_ns) +
+                     static_cast<std::int64_t>(remote.epoch_ns) - offset);
+    }
+  }
+  if (absolute.empty()) return obs::chrome_trace_json({}, recorded, dropped);
+  std::int64_t origin = absolute.front().second;
+  for (const auto& [event, ts] : absolute) origin = std::min(origin, ts);
+  std::sort(absolute.begin(), absolute.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  merged.reserve(absolute.size());
+  for (auto& [event, ts] : absolute) {
+    event.ts_ns = static_cast<std::uint64_t>(ts - origin);
+    merged.push_back(event);
+  }
+  return obs::chrome_trace_json(merged, recorded, dropped);
 }
 
 }  // namespace dpn::rmi

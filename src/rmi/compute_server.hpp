@@ -5,10 +5,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include <chrono>
 
 #include "core/process.hpp"
 #include "core/task.hpp"
@@ -16,6 +20,7 @@
 #include "fault/fault.hpp"
 #include "net/socket.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "rmi/registry.hpp"
 
 /// The generic compute server of paper Section 4.1 and its client stub.
@@ -60,6 +65,11 @@ class ComputeServer {
   std::uint16_t port() const { return server_.port(); }
   const std::shared_ptr<dist::NodeContext>& node() const { return node_; }
 
+  /// This server's trace node tag: every handler thread (and therefore
+  /// every hosted process it runs) records trace events under it, so
+  /// in-process simulated hosts stay distinguishable in a merged trace.
+  std::uint32_t trace_tag() const { return trace_tag_; }
+
   /// Registers this server's endpoint with a registry.
   void register_with(const std::string& registry_host,
                      std::uint16_t registry_port);
@@ -94,6 +104,7 @@ class ComputeServer {
   std::shared_ptr<dist::NodeContext> node_;
   fault::LeaseOptions lease_;
   net::ServerSocket server_;
+  std::uint32_t trace_tag_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> processes_hosted_{0};
   std::atomic<std::size_t> tasks_run_{0};
@@ -130,11 +141,40 @@ class TaskFuture {
   TaskFuture(std::shared_ptr<net::Socket> socket,
              std::shared_ptr<dist::NodeContext> local,
              fault::LeaseOptions lease)
-      : socket_(std::move(socket)), local_(std::move(local)), lease_(lease) {}
+      : socket_(std::move(socket)),
+        local_(std::move(local)),
+        lease_(lease),
+        submitted_(std::chrono::steady_clock::now()) {}
 
   std::shared_ptr<net::Socket> socket_;
   std::shared_ptr<dist::NodeContext> local_;
   fault::LeaseOptions lease_;
+  /// submit() time; get() records the full round trip into the task-RTT
+  /// histogram (obs::runtime_histograms).
+  std::chrono::steady_clock::time_point submitted_{};
+};
+
+/// Live snapshot stream from a ComputeServer (the STATS_STREAM op):
+/// the server pushes one encoded NetworkSnapshot per interval until the
+/// requested count is reached or the subscriber goes away.  Dropping the
+/// stream object closes the socket, which the server notices on its next
+/// push.  examples/dpn_top.cpp is the reference consumer.
+class StatsStream {
+ public:
+  StatsStream() = default;
+
+  bool valid() const { return socket_ != nullptr; }
+
+  /// Blocks for the next pushed snapshot; nullopt when the server ends
+  /// the stream (count reached or server stopping).
+  std::optional<obs::NetworkSnapshot> next();
+
+ private:
+  friend class ServerHandle;
+  explicit StatsStream(std::shared_ptr<net::Socket> socket)
+      : socket_(std::move(socket)) {}
+
+  std::shared_ptr<net::Socket> socket_;
 };
 
 /// Handle to a process hosted by a remote ComputeServer, returned by
@@ -198,6 +238,24 @@ class ServerHandle {
   /// Fetches a snapshot of everything the server is hosting.
   obs::NetworkSnapshot stats();
 
+  /// Subscribes to periodic snapshot pushes: one every `interval`, at
+  /// most `count` of them (0 = until the subscriber hangs up or the
+  /// server stops).
+  StatsStream stats_stream(std::chrono::milliseconds interval,
+                           std::uint32_t count = 0);
+
+  /// Fetches the server's trace ring (only its own node tag's events)
+  /// plus the clock facts needed to merge it: fleet_trace's per-peer
+  /// ingredient.
+  obs::TraceExport trace_export();
+
+  /// One clock probe (Cristian's algorithm): the estimated offset of the
+  /// server's steady clock relative to ours (server_now minus the
+  /// request's local midpoint, ns) paired with the probe's round-trip
+  /// time.  fleet_trace repeats this and keeps the minimum-RTT sample --
+  /// the tightest bound on the offset.
+  std::pair<std::int64_t, std::uint64_t> probe_clock();
+
   [[deprecated("use submit(process)")]] void run_async(
       const std::shared_ptr<core::Process>& process);
 
@@ -229,8 +287,20 @@ class ServerHandle {
 };
 
 /// Merged snapshot across several servers: processes and channels are
-/// concatenated, counters summed.  The fleet-wide view of paper Section
-/// 6.2's global state, assembled from per-node STATS replies.
+/// concatenated, counters summed, histograms merged.  The fleet-wide
+/// view of paper Section 6.2's global state, assembled from per-node
+/// STATS replies.  Mixed-revision fleets degrade gracefully: each
+/// peer's snapshot version is logged and its decodable prefix merged;
+/// the result's `version` is the fleet's common denominator.
 obs::NetworkSnapshot fleet_stats(std::vector<ServerHandle>& servers);
+
+/// Merged causal trace across the local host (node tag 0) and several
+/// servers, as one Chrome trace_event JSON: per-host pid rows, flow
+/// arrows for spans that crossed hosts, and recorded/dropped accounting
+/// in the metadata block.  Per-peer clock offsets are estimated with
+/// repeated minimum-RTT probes (probe_clock) so the per-host ring
+/// buffers land on one timeline.  Call at quiescence (tracing disabled
+/// or the graph drained), like Tracer::drain.
+std::string fleet_trace(std::vector<ServerHandle>& servers);
 
 }  // namespace dpn::rmi

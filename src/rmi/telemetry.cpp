@@ -1,0 +1,56 @@
+#include "rmi/telemetry.hpp"
+
+#include <string>
+
+#include "obs/prometheus.hpp"
+#include "support/log.hpp"
+
+namespace dpn::rmi {
+
+PrometheusExporter::PrometheusExporter(SnapshotFn source, std::uint16_t port)
+    : source_(std::move(source)), server_(port) {
+  acceptor_ = std::jthread{[this] { serve(); }};
+  log::info("prometheus exporter listening on port ", server_.port());
+}
+
+PrometheusExporter::~PrometheusExporter() { stop(); }
+
+void PrometheusExporter::stop() {
+  if (stopping_.exchange(true)) return;
+  server_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void PrometheusExporter::serve() {
+  for (;;) {
+    net::Socket socket;
+    try {
+      socket = server_.accept();
+    } catch (const NetError&) {
+      return;  // stopped
+    }
+    try {
+      // Drain the request line + headers (best effort; scrapers send one
+      // small GET).  The reply is the same whatever the path asked for.
+      std::uint8_t request[2048];
+      socket.read_some({request, sizeof request});
+      const std::string body = obs::render_prometheus(source_());
+      std::string response =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+      socket.write_all({reinterpret_cast<const std::uint8_t*>(
+                            response.data()),
+                        response.size()});
+      socket.shutdown_write();
+    } catch (const std::exception& e) {
+      log::warn("prometheus exporter: scrape failed: ", e.what());
+    }
+  }
+}
+
+}  // namespace dpn::rmi

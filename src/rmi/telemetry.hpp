@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "obs/snapshot.hpp"
+
+/// The opt-in scrape endpoint of the live telemetry plane
+/// (docs/OBSERVABILITY.md): a minimal HTTP/1.1 listener that answers
+/// every GET with obs::render_prometheus of a freshly taken snapshot.
+/// Nothing starts one implicitly -- a node that wants to be scraped
+/// constructs an exporter next to its ComputeServer (or Network) and
+/// hands it a snapshot source.
+namespace dpn::rmi {
+
+class PrometheusExporter {
+ public:
+  using SnapshotFn = std::function<obs::NetworkSnapshot()>;
+
+  /// Starts listening immediately; `port` 0 picks an ephemeral port.
+  /// `source` is called once per scrape, on the exporter's thread -- it
+  /// must be safe to call concurrently with the rest of the runtime
+  /// (Network::snapshot and ComputeServer::snapshot both are).
+  explicit PrometheusExporter(SnapshotFn source, std::uint16_t port = 0);
+  ~PrometheusExporter();
+
+  PrometheusExporter(const PrometheusExporter&) = delete;
+  PrometheusExporter& operator=(const PrometheusExporter&) = delete;
+
+  std::uint16_t port() const { return server_.port(); }
+
+  void stop();
+
+ private:
+  void serve();
+
+  SnapshotFn source_;
+  net::ServerSocket server_;
+  std::atomic<bool> stopping_{false};
+  std::jthread acceptor_;
+};
+
+}  // namespace dpn::rmi

@@ -2,17 +2,27 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <thread>
 
+#include "cluster/cluster.hpp"
 #include "core/channel.hpp"
 #include "core/network.hpp"
 #include "core/process.hpp"
+#include "factor/factor.hpp"
 #include "io/data.hpp"
+#include "io/memory.hpp"
+#include "net/frames.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
+#include "par/schema.hpp"
 #include "processes/basic.hpp"
 #include "processes/copy.hpp"
+#include "processes/router.hpp"
 #include "rmi/compute_server.hpp"
+#include "rmi/telemetry.hpp"
+#include "support/histogram.hpp"
 
 namespace dpn::obs {
 namespace {
@@ -390,6 +400,466 @@ TEST(Stats, AbortUnblocksHostedProcess) {
   hosted.abort();
   hosted.join();  // must return: close propagated end-of-stream
   EXPECT_EQ(handle.stats().live, 0u);
+}
+
+// --- Latency histograms (obs v2) --------------------------------------------
+
+TEST(Histogram, BucketLayoutCoversSubMicrosecondToSeconds) {
+  EXPECT_EQ(HistogramSnapshot::bucket_of(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(999), 0u);     // < 1us
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1000), 1u);    // [1us, 2us)
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1999), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(2000), 2u);    // [2us, 4us)
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1000000), 10u);  // 1ms
+  // Anything beyond the table clamps into the open-ended last bucket.
+  EXPECT_EQ(HistogramSnapshot::bucket_of(~std::uint64_t{0}),
+            HistogramSnapshot::kBuckets - 1);
+  EXPECT_EQ(HistogramSnapshot::bucket_bound_ns(0), 1000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_bound_ns(1), 2000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_bound_ns(10), 1024u * 1000u);
+}
+
+TEST(Histogram, RecordSnapshotPercentilesAndMerge) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 90; ++i) hist.record(500);        // bucket 0
+  for (int i = 0; i < 9; ++i) hist.record_shared(3000);  // bucket 2
+  hist.record(50'000'000);                               // 50ms
+
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum_ns, 90u * 500u + 9u * 3000u + 50'000'000u);
+  EXPECT_EQ(snap.p50_ns(), 1000u);   // inside bucket 0
+  EXPECT_EQ(snap.p95_ns(), 4000u);   // inside bucket 2
+  EXPECT_GT(snap.percentile_ns(0.999), 4000u);  // the 50ms outlier
+
+  HistogramSnapshot other = snap;
+  other.merge(snap);
+  EXPECT_EQ(other.count, 200u);
+  EXPECT_EQ(other.counts[0], 180u);
+  EXPECT_EQ(other.sum_ns, 2 * snap.sum_ns);
+
+  const HistogramSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.percentile_ns(0.99), 0u);
+}
+
+TEST(Histogram, PipeRecordsWaitDistributionUnderBackpressure) {
+  Channel channel{ChannelOptions{.capacity = 16, .label = "shaped"}};
+  std::jthread producer{[&] {
+    io::DataOutputStream out{channel.output()};
+    for (std::int64_t i = 0; i < 16; ++i) out.write_i64(i);  // 128 B > 16
+    channel.output()->close();
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  io::DataInputStream in{channel.input()};
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(in.read_i64(), i);
+  producer.join();
+
+  const ChannelSnapshot snap = core::snapshot_channel(*channel.state());
+  // The scalar total and the histogram describe the same waits.
+  ASSERT_GT(snap.write_block.count, 0u);
+  EXPECT_EQ(snap.write_block.sum_ns, snap.blocked_write_ns);
+  EXPECT_GT(snap.write_block.p95_ns(), 0u);
+}
+
+// --- NetworkSnapshot v3 + version compat matrix -----------------------------
+
+NetworkSnapshot make_v3_sample() {
+  NetworkSnapshot snap;
+  snap.live = 1;
+  snap.growth_events = 4;
+  snap.connect_retries = 2;
+  snap.faults_injected = 6;
+  snap.trace_recorded = 1000;
+  snap.trace_dropped = 24;
+  for (int i = 0; i < 50; ++i) snap.task_rtt.counts[3] += 1;
+  snap.task_rtt.count = 50;
+  snap.task_rtt.sum_ns = 300000;
+  snap.connect_latency.counts[11] = 7;
+  snap.connect_latency.count = 7;
+  snap.connect_latency.sum_ns = 7'000'000;
+  ChannelSnapshot c;
+  c.id = 5;
+  c.label = "v3";
+  c.blocked_write_ns = 12345;
+  c.write_block.counts[4] = 3;
+  c.write_block.count = 3;
+  c.write_block.sum_ns = 12345;
+  c.read_block.counts[0] = 1;
+  c.read_block.count = 1;
+  c.read_block.sum_ns = 10;
+  snap.channels.push_back(c);
+  snap.processes.push_back({"p", ProcessState::kRunning, 9});
+  return snap;
+}
+
+TEST(SnapshotV3, TraceCountersAndHistogramsRoundTrip) {
+  const NetworkSnapshot snap = make_v3_sample();
+  const ByteVector bytes = snap.encode();
+  const NetworkSnapshot copy =
+      NetworkSnapshot::decode({bytes.data(), bytes.size()});
+  EXPECT_EQ(copy.version, NetworkSnapshot::kVersion);
+  EXPECT_EQ(copy.trace_recorded, 1000u);
+  EXPECT_EQ(copy.trace_dropped, 24u);
+  EXPECT_EQ(copy.task_rtt.count, 50u);
+  EXPECT_EQ(copy.task_rtt.counts[3], 50u);
+  EXPECT_EQ(copy.task_rtt.sum_ns, 300000u);
+  EXPECT_EQ(copy.connect_latency.count, 7u);
+  ASSERT_EQ(copy.channels.size(), 1u);
+  EXPECT_EQ(copy.channels[0].write_block.count, 3u);
+  EXPECT_EQ(copy.channels[0].write_block.counts[4], 3u);
+  EXPECT_EQ(copy.channels[0].read_block.count, 1u);
+  // The rendering includes the new percentile lines.
+  EXPECT_NE(copy.to_string().find("task rtt"), std::string::npos);
+  EXPECT_NE(copy.to_string().find("trace: recorded=1000"), std::string::npos);
+}
+
+TEST(SnapshotCompat, V3ReaderAcceptsOldWriters) {
+  const NetworkSnapshot snap = make_v3_sample();
+  // A v1 writer never wrote fault counters or histograms.
+  const ByteVector v1 = snap.encode_as(1);
+  const NetworkSnapshot from_v1 =
+      NetworkSnapshot::decode({v1.data(), v1.size()});
+  EXPECT_EQ(from_v1.version, 1);
+  EXPECT_EQ(from_v1.live, 1u);
+  EXPECT_EQ(from_v1.connect_retries, 0u);   // v2 field: default
+  EXPECT_EQ(from_v1.trace_recorded, 0u);    // v3 field: default
+  EXPECT_TRUE(from_v1.task_rtt.empty());
+  ASSERT_EQ(from_v1.channels.size(), 1u);
+  EXPECT_EQ(from_v1.channels[0].blocked_write_ns, 12345u);
+  EXPECT_TRUE(from_v1.channels[0].write_block.empty());
+
+  const ByteVector v2 = snap.encode_as(2);
+  const NetworkSnapshot from_v2 =
+      NetworkSnapshot::decode({v2.data(), v2.size()});
+  EXPECT_EQ(from_v2.version, 2);
+  EXPECT_EQ(from_v2.connect_retries, 2u);   // v2 field present
+  EXPECT_EQ(from_v2.faults_injected, 6u);
+  EXPECT_EQ(from_v2.trace_recorded, 0u);    // v3 field still default
+}
+
+TEST(SnapshotCompat, OldReaderAcceptsV3Writer) {
+  const NetworkSnapshot snap = make_v3_sample();
+  const ByteVector v3 = snap.encode();
+  // A v1-era reader stops after the fields it knows; the trailing v2+v3
+  // bytes are ignored, not an error.
+  const NetworkSnapshot v1_view =
+      NetworkSnapshot::decode_prefix({v3.data(), v3.size()}, 1);
+  EXPECT_EQ(v1_view.version, 1);
+  EXPECT_EQ(v1_view.live, 1u);
+  EXPECT_EQ(v1_view.growth_events, 4u);
+  EXPECT_EQ(v1_view.connect_retries, 0u);
+  EXPECT_TRUE(v1_view.task_rtt.empty());
+  ASSERT_EQ(v1_view.channels.size(), 1u);
+  EXPECT_EQ(v1_view.channels[0].label, "v3");
+
+  const NetworkSnapshot v2_view =
+      NetworkSnapshot::decode_prefix({v3.data(), v3.size()}, 2);
+  EXPECT_EQ(v2_view.version, 2);
+  EXPECT_EQ(v2_view.connect_retries, 2u);
+  EXPECT_EQ(v2_view.trace_recorded, 0u);
+}
+
+TEST(SnapshotCompat, FutureVersionDegradesToKnownPrefix) {
+  // Synthesize a "v4" payload: today's bytes, a bumped version byte, and
+  // trailing fields this build has never heard of.  The append-only rule
+  // says we must parse our prefix and ignore the rest.
+  const NetworkSnapshot snap = make_v3_sample();
+  ByteVector bytes = snap.encode();
+  bytes[0] = 4;
+  for (int i = 0; i < 13; ++i) bytes.push_back(0xEE);
+  const NetworkSnapshot copy =
+      NetworkSnapshot::decode({bytes.data(), bytes.size()});
+  EXPECT_EQ(copy.version, NetworkSnapshot::kVersion);
+  EXPECT_EQ(copy.trace_recorded, 1000u);
+  EXPECT_EQ(copy.task_rtt.count, 50u);
+  ASSERT_EQ(copy.channels.size(), 1u);
+  EXPECT_EQ(copy.channels[0].write_block.count, 3u);
+}
+
+TEST(SnapshotCompat, MergeTakesCommonDenominatorVersion) {
+  NetworkSnapshot fleet = make_v3_sample();
+  const ByteVector v1 = make_v3_sample().encode_as(1);
+  NetworkSnapshot old_peer = NetworkSnapshot::decode({v1.data(), v1.size()});
+  fleet.merge_from(std::move(old_peer));
+  EXPECT_EQ(fleet.version, 1);          // fleet degrades to the oldest peer
+  EXPECT_EQ(fleet.live, 2u);            // counters still sum
+  EXPECT_EQ(fleet.trace_recorded, 1000u);  // v3 side kept its own data
+  EXPECT_EQ(fleet.channels.size(), 2u);
+}
+
+// --- TraceContext + frame extension -----------------------------------------
+
+TEST(TraceContext, WireRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefULL;
+  ctx.span_id = 42;
+  ctx.flags = TraceContext::kSampled;
+  std::uint8_t wire[TraceContext::kWireSize];
+  ctx.encode(wire);
+  const TraceContext copy = TraceContext::decode(wire);
+  EXPECT_EQ(copy.trace_id, ctx.trace_id);
+  EXPECT_EQ(copy.span_id, 42u);
+  EXPECT_EQ(copy.flags, TraceContext::kSampled);
+  EXPECT_TRUE(copy.valid());
+  EXPECT_FALSE(TraceContext{}.valid());
+}
+
+TEST(Frames, DataTracedCarriesContextPrefix) {
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  net::FrameWriter writer{sink};
+  TraceContext ctx;
+  ctx.trace_id = 7;
+  ctx.span_id = 9;
+  ctx.flags = TraceContext::kSampled;
+  const std::uint8_t payload[4] = {10, 20, 30, 40};
+  writer.write_data_traced(ctx, {payload, sizeof payload});
+
+  net::FrameReader reader{
+      std::make_shared<io::MemoryInputStream>(sink->take())};
+  const net::Frame frame = reader.read_frame();
+  EXPECT_EQ(frame.type, net::FrameType::kDataTraced);
+  ASSERT_EQ(frame.payload.size(), TraceContext::kWireSize + sizeof payload);
+  const TraceContext copy = TraceContext::decode(frame.payload.data());
+  EXPECT_EQ(copy.trace_id, 7u);
+  EXPECT_EQ(copy.span_id, 9u);
+  EXPECT_EQ(frame.payload[TraceContext::kWireSize], 10);
+  EXPECT_EQ(frame.payload[TraceContext::kWireSize + 3], 40);
+}
+
+TEST(Frames, RedirectContextIsOptionalOnTheWire) {
+  net::RedirectInfo info;
+  info.host = "10.0.0.1";
+  info.port = 4242;
+  info.token = 77;
+  const ByteVector plain = info.encode();
+  const net::RedirectInfo plain_copy =
+      net::RedirectInfo::decode({plain.data(), plain.size()});
+  EXPECT_EQ(plain_copy.host, "10.0.0.1");
+  EXPECT_EQ(plain_copy.token, 77u);
+  EXPECT_FALSE(plain_copy.trace.valid());  // old payload: no context
+
+  info.trace.trace_id = 5;
+  info.trace.span_id = 6;
+  info.trace.flags = TraceContext::kSampled;
+  const ByteVector traced = info.encode();
+  EXPECT_EQ(traced.size(), plain.size() + TraceContext::kWireSize);
+  const net::RedirectInfo traced_copy =
+      net::RedirectInfo::decode({traced.data(), traced.size()});
+  EXPECT_TRUE(traced_copy.trace.valid());
+  EXPECT_EQ(traced_copy.trace.trace_id, 5u);
+  EXPECT_EQ(traced_copy.trace.span_id, 6u);
+  // An old decoder sees the ctx bytes as trailing payload and ignores
+  // them -- which is exactly what decode() of the prefix does.
+  const net::RedirectInfo prefix_copy =
+      net::RedirectInfo::decode({traced.data(), plain.size()});
+  EXPECT_EQ(prefix_copy.host, "10.0.0.1");
+  EXPECT_EQ(prefix_copy.token, 77u);
+}
+
+// --- Tracer drop accounting --------------------------------------------------
+
+TEST(Tracer, DroppedSurfacesInSnapshotAndExportedMetadata) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(8);
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::kChannelWrite, "x");
+  tracer.disable();
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+
+  NetworkSnapshot snap;
+  snap.fill_runtime_counters();
+  EXPECT_EQ(snap.trace_recorded, 20u);
+  EXPECT_EQ(snap.trace_dropped, 12u);
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"recorded\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":12"), std::string::npos);
+
+  const TraceExport exported = tracer.export_events();
+  EXPECT_EQ(exported.recorded, 20u);
+  EXPECT_EQ(exported.dropped, 12u);
+  const ByteVector bytes = exported.encode();
+  const TraceExport copy = TraceExport::decode({bytes.data(), bytes.size()});
+  EXPECT_EQ(copy.dropped, 12u);
+  ASSERT_EQ(copy.events.size(), 8u);
+  EXPECT_STREQ(copy.events[0].name, "x");
+}
+
+// --- STATS_STREAM + Prometheus (the live telemetry plane) -------------------
+
+TEST(Telemetry, StatsStreamDeliversExactlyCountedSnapshots) {
+  auto client_node = dist::NodeContext::create();
+  rmi::ComputeServer server{"stream-host"};
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server.port()},
+                           client_node};
+  rmi::StatsStream stream =
+      handle.stats_stream(std::chrono::milliseconds{10}, 3);
+  ASSERT_TRUE(stream.valid());
+  int frames = 0;
+  while (auto snap = stream.next()) {
+    EXPECT_EQ(snap->version, NetworkSnapshot::kVersion);
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3);
+  EXPECT_FALSE(stream.valid());  // clean end-of-stream consumed the socket
+}
+
+TEST(Telemetry, StatsStreamEndsWhenServerStops) {
+  auto client_node = dist::NodeContext::create();
+  auto server = std::make_unique<rmi::ComputeServer>("stopping-host");
+  rmi::ServerHandle handle{rmi::Endpoint{"127.0.0.1", server->port()},
+                           client_node};
+  rmi::StatsStream stream =
+      handle.stats_stream(std::chrono::milliseconds{5}, 0);
+  ASSERT_TRUE(stream.next().has_value());  // the stream is live
+  std::jthread stopper{[&] { server->stop(); }};
+  int drained = 0;
+  while (stream.next() && drained < 1000) ++drained;
+  // stop() terminated an unbounded stream without hanging either side.
+  SUCCEED();
+}
+
+TEST(Telemetry, PrometheusRenderingExposesCountersAndHistograms) {
+  const NetworkSnapshot snap = make_v3_sample();
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("dpn_processes_live 1"), std::string::npos);
+  EXPECT_NE(text.find("dpn_connect_retries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("dpn_trace_events_dropped_total 24"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpn_task_rtt_seconds_count 50"), std::string::npos);
+  EXPECT_NE(text.find("dpn_task_rtt_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 50"), std::string::npos);
+  EXPECT_NE(text.find("dpn_channel_write_block_seconds_count{channel=\"v3\"}"),
+            std::string::npos);
+}
+
+TEST(Telemetry, PrometheusExporterAnswersHttpScrapes) {
+  rmi::PrometheusExporter exporter{[] {
+    NetworkSnapshot snap;
+    snap.live = 2;
+    return snap;
+  }};
+  ASSERT_NE(exporter.port(), 0);
+  net::Socket scrape = net::Socket::connect("127.0.0.1", exporter.port());
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+  scrape.write_all({reinterpret_cast<const std::uint8_t*>(request.data()),
+                    request.size()});
+  std::string response;
+  std::uint8_t chunk[1024];
+  for (;;) {
+    const std::size_t n = scrape.read_some({chunk, sizeof chunk});
+    if (n == 0) break;
+    response.append(reinterpret_cast<const char*>(chunk), n);
+  }
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("dpn_processes_live 2"), std::string::npos);
+  exporter.stop();
+}
+
+// --- Acceptance: two-host causal trace --------------------------------------
+
+TEST(FleetTrace, TwoHostDynamicRunMergesOneCausalTimeline) {
+  // The dynamic-balancing schema of Figure 17, really cut across two
+  // in-process "hosts": each worker is shipped to its own ComputeServer
+  // and all task/result traffic crosses loopback TCP.  With tracing on,
+  // fleet_trace must merge the three rings (local + both servers) into
+  // one Chrome trace where a token's spans cross the host boundary with
+  // a flow arrow and the ship handshake forms a causally-linked pair.
+  constexpr std::size_t kWorkers = 2;
+  Tracer::instance().enable(1u << 16);
+
+  auto node = dist::NodeContext::create();
+  std::vector<std::unique_ptr<rmi::ComputeServer>> servers;
+  std::vector<rmi::ServerHandle> handles;
+  std::vector<std::shared_ptr<core::ChannelOutputStream>> task_outs;
+  std::vector<std::shared_ptr<core::ChannelInputStream>> result_ins;
+  auto composite = std::make_shared<core::CompositeProcess>();
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    auto tasks = std::make_shared<Channel>(4096);
+    auto results = std::make_shared<Channel>(4096);
+    auto worker = std::make_shared<cluster::ThrottledWorker>(
+        tasks->input(), results->output(), /*speed=*/1.0,
+        /*task_seconds=*/0.001);
+    servers.push_back(std::make_unique<rmi::ComputeServer>(
+        "trace-worker-" + std::to_string(i)));
+    handles.emplace_back(rmi::Endpoint{"127.0.0.1", servers.back()->port()},
+                         node);
+    handles.back().submit(worker);
+    task_outs.push_back(tasks->output());
+    result_ins.push_back(results->input());
+  }
+
+  const auto problem = factor::FactorProblem::generate(3, 64, 6);
+  auto in = std::make_shared<Channel>(4096);
+  auto out = std::make_shared<Channel>(4096);
+  auto merged = std::make_shared<Channel>(4096);
+  auto tags = std::make_shared<Channel>(4096);
+  auto prefix = std::make_shared<Channel>(4096);
+  auto index = std::make_shared<Channel>(4096);
+  composite->add(std::make_shared<par::Producer>(
+      std::make_shared<factor::FactorProducerTask>(problem.n, 6),
+      in->output()));
+  composite->add(std::make_shared<processes::Turnstile>(
+      result_ins, merged->output(), tags->output()));
+  composite->add(std::make_shared<Sequence>(
+      0, prefix->output(), static_cast<long>(kWorkers)));
+  composite->add(std::make_shared<processes::Cons>(
+      prefix->input(), tags->input(), index->output()));
+  composite->add(std::make_shared<processes::Direct>(
+      in->input(), index->input(), task_outs));
+  composite->add(std::make_shared<processes::Select>(
+      merged->input(), out->output(), kWorkers));
+  std::atomic<int> results_seen{0};
+  composite->add(std::make_shared<par::Consumer>(
+      out->input(), 0,
+      [&](const std::shared_ptr<core::Task>&) { ++results_seen; }));
+  composite->run();
+  EXPECT_EQ(results_seen.load(), 6);
+
+  Tracer::instance().disable();
+  const std::string json = rmi::fleet_trace(handles);
+  for (auto& server : servers) server->stop();
+
+  // Event-level causality: a ship.send on the local host answered by a
+  // ship.recv on another host with the same span id, and a data span
+  // (net.send/net.recv) whose two halves live on different hosts.
+  const std::vector<TraceEvent> events = Tracer::instance().drain();
+  std::map<std::uint64_t, std::uint32_t> ship_sends;
+  std::map<std::uint64_t, std::uint32_t> net_sends;
+  bool ship_pair = false;
+  bool net_pair = false;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kShipSend) ship_sends[event.arg0] = event.node;
+    if (event.kind == TraceKind::kNetSend) net_sends[event.arg0] = event.node;
+  }
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kShipRecv) {
+      const auto it = ship_sends.find(event.arg0);
+      if (it != ship_sends.end() && it->second != event.node) ship_pair = true;
+    }
+    if (event.kind == TraceKind::kNetRecv) {
+      const auto it = net_sends.find(event.arg0);
+      if (it != net_sends.end() && it->second != event.node) net_pair = true;
+    }
+  }
+  EXPECT_TRUE(ship_pair) << "no cross-host ship.send/ship.recv span pair";
+  EXPECT_TRUE(net_pair) << "no token crossed a host boundary with a span";
+
+  // Merged JSON: one timeline, per-host pid rows, flow arrows both ways.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("dpn host 0 (local)"), std::string::npos);
+  EXPECT_NE(json.find("dpn host 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ship.send\""), std::string::npos)
+      << json.substr(0, 400);
+  EXPECT_NE(json.find("\"name\":\"ship.recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"metadata\":{\"recorded\":"), std::string::npos);
 }
 
 }  // namespace
