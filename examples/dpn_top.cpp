@@ -45,6 +45,8 @@ const char* state_name(dpn::obs::ProcessState state) {
       return "pause";
     case dpn::obs::ProcessState::kFinished:
       return "done";
+    case dpn::obs::ProcessState::kRunnable:
+      return "ready";
   }
   return "?";
 }

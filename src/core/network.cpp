@@ -47,6 +47,14 @@ void Network::enable_monitor(MonitorOptions options) {
   options_ = options;
 }
 
+void Network::set_scheduler(sched::SchedulerOptions options) {
+  if (started_) throw UsageError{"Network::set_scheduler after start"};
+  // Validate eagerly so a bad DPN_STACK_KB fails at configuration, not
+  // halfway through spawning a graph.
+  options.resolved_stack_bytes();
+  sched_options_ = std::move(options);
+}
+
 void Network::start() {
   if (started_) throw UsageError{"Network::start called twice"};
   started_ = true;
@@ -71,24 +79,72 @@ void Network::start() {
     }
   }
 
+  if (sched_options_.mode == sched::SchedMode::kThreadPerProcess &&
+      processes_.size() > sched_options_.max_threads) {
+    throw UsageError{
+        "thread-per-process mode refuses " + std::to_string(processes_.size()) +
+        " processes (cap " + std::to_string(sched_options_.max_threads) +
+        "); use SchedMode::kWorkSteal (DPN_SCHED=mn) for graphs this size"};
+  }
+
   live_.store(processes_.size());
-  threads_.reserve(processes_.size());
-  // Process threads inherit the starter's trace attribution (see
+  // Process contexts inherit the starter's trace attribution (see
   // CompositeProcess::run).
   const std::uint32_t node_tag = obs::node_tag();
-  for (const auto& process : processes_) {
-    threads_.emplace_back([this, process, node_tag] {
-      obs::set_node_tag(node_tag);
-      try {
-        process->run();
-      } catch (const IoError&) {
-        // Graceful stop.
-      } catch (...) {
-        std::scoped_lock lock{failures_mutex_};
-        failures_.push_back(std::current_exception());
-      }
-      live_.fetch_sub(1);
-    });
+  if (sched_options_.mode == sched::SchedMode::kWorkSteal) {
+    sched::SchedulerOptions options = sched_options_;
+    options.worker_init = [node_tag] { obs::set_node_tag(node_tag); };
+    scheduler_ = std::make_unique<sched::Scheduler>(options);
+    graph_done_.add(processes_.size());
+    for (const auto& process : processes_) {
+      // The phase hook keeps ProcessStats honest about scheduler-side
+      // states the process body cannot see: sitting runnable on a deque,
+      // and migrating between workers.
+      auto stats = process->stats();
+      scheduler_->spawn(
+          [this, process] {
+            try {
+              process->run();
+            } catch (const IoError&) {
+              // Graceful stop.
+            } catch (...) {
+              std::scoped_lock lock{failures_mutex_};
+              failures_.push_back(std::current_exception());
+            }
+            live_.fetch_sub(1);
+            graph_done_.done();
+          },
+          process->name(),
+          [stats](sched::FiberPhase phase) {
+            switch (phase) {
+              case sched::FiberPhase::kReady:
+                stats->set_state(obs::ProcessState::kRunnable);
+                break;
+              case sched::FiberPhase::kRunning:
+                stats->set_state(obs::ProcessState::kRunning);
+                break;
+              case sched::FiberPhase::kStolen:
+                obs::bump(stats->stolen, 1);
+                break;
+            }
+          });
+    }
+  } else {
+    threads_.reserve(processes_.size());
+    for (const auto& process : processes_) {
+      threads_.emplace_back([this, process, node_tag] {
+        obs::set_node_tag(node_tag);
+        try {
+          process->run();
+        } catch (const IoError&) {
+          // Graceful stop.
+        } catch (...) {
+          std::scoped_lock lock{failures_mutex_};
+          failures_.push_back(std::current_exception());
+        }
+        live_.fetch_sub(1);
+      });
+    }
   }
   if (monitor_enabled_) {
     monitor_thread_ = std::jthread{[this](std::stop_token st) {
@@ -98,6 +154,13 @@ void Network::start() {
 }
 
 void Network::join() {
+  if (scheduler_) {
+    // Quiescence-based termination: wait for every top-level fiber to
+    // report done, then let the scheduler drain -- which also covers
+    // detached stragglers a process spawned at runtime (Sift's filters).
+    graph_done_.wait();
+    scheduler_->shutdown();
+  }
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
@@ -115,6 +178,15 @@ obs::NetworkSnapshot Network::snapshot() const {
   snap.live = live_.load();
   snap.outcome = static_cast<std::uint8_t>(outcome_.load());
   snap.growth_events = growth_events_.load();
+  if (scheduler_) {
+    const sched::Scheduler::Counters counters = scheduler_->counters();
+    snap.sched_workers = scheduler_->workers();
+    snap.sched_spawned = counters.spawned;
+    snap.sched_completed = counters.completed;
+    snap.sched_steals = counters.steals;
+    snap.sched_dispatches = counters.dispatches;
+    snap.sched_parks = counters.parks;
+  }
   for (const auto& process : processes_) {
     append_process_snapshots(*process, snap.processes);
   }

@@ -13,6 +13,7 @@
 #include "core/channel.hpp"
 #include "core/process.hpp"
 #include "obs/snapshot.hpp"
+#include "sched/scheduler.hpp"
 
 /// Top-level execution of a process network, plus the buffer-management
 /// procedure of paper Section 3.5 / [13] (Parks' bounded scheduling).
@@ -41,8 +42,10 @@ struct MonitorOptions {
   bool abort_on_true_deadlock = true;
 };
 
-/// Runs a set of processes, one thread per process, and optionally watches
-/// their channels for artificial deadlock.
+/// Runs a set of processes -- one thread per process (the paper's model)
+/// or as fibers on the M:N work-stealing scheduler, per set_scheduler() /
+/// the DPN_SCHED environment default -- and optionally watches their
+/// channels for artificial deadlock.
 ///
 /// Determining buffer capacities that avoid artificial deadlock is
 /// undecidable (Section 3.5), so the monitor implements the dynamic rule
@@ -101,6 +104,16 @@ class Network {
 
   /// Enables the deadlock monitor for the next start().
   void enable_monitor(MonitorOptions options = {});
+
+  /// Selects how the next start() executes the processes.  Defaults to
+  /// SchedulerOptions::from_env(): thread-per-process unless DPN_SCHED=mn.
+  /// Thread mode refuses (UsageError) graphs larger than
+  /// options.max_threads; the M:N mode exists precisely for that regime.
+  void set_scheduler(sched::SchedulerOptions options);
+
+  /// The M:N scheduler driving this network, or nullptr in
+  /// thread-per-process mode / before start().
+  sched::Scheduler* scheduler() const { return scheduler_.get(); }
 
   /// Starts every process (and the monitor, if enabled).
   void start();
@@ -201,6 +214,12 @@ class Network {
   bool monitor_enabled_ = false;
   MonitorOptions options_;
   bool started_ = false;
+
+  sched::SchedulerOptions sched_options_ = sched::SchedulerOptions::from_env();
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Completion latch for the M:N path: one done() per top-level process
+  /// fiber; join() waits here instead of joining threads.
+  sched::WaitGroup graph_done_;
 
   std::atomic<std::size_t> live_{0};
   std::atomic<DeadlockOutcome> outcome_{DeadlockOutcome::kNone};

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
 #include "support/log.hpp"
 
 namespace dpn::core {
@@ -195,29 +196,49 @@ void CompositeProcess::add(std::shared_ptr<Process> process) {
 void CompositeProcess::run() {
   std::mutex failures_mutex;
   std::vector<std::exception_ptr> failures;
-  {
+  // Child contexts inherit the spawning host's trace attribution -- a
+  // ComputeServer tags its handler thread, and the graph it hosts may
+  // fan out arbitrarily deep.
+  const std::uint32_t node_tag = obs::node_tag();
+  auto body_for = [&failures_mutex, &failures,
+                   node_tag](std::shared_ptr<Process> process) {
+    return
+        [&failures_mutex, &failures, node_tag, process = std::move(process)] {
+          obs::set_node_tag(node_tag);
+          // Raw Process implementations don't maintain their own stats;
+          // bracket them here (IterativeProcess overwrites redundantly).
+          process->stats()->set_state(obs::ProcessState::kRunning);
+          try {
+            process->run();
+          } catch (const IoError&) {
+            // Graceful stop for raw Process implementations too.
+          } catch (...) {
+            std::scoped_lock lock{failures_mutex};
+            failures.push_back(std::current_exception());
+          }
+          process->stats()->set_state(obs::ProcessState::kFinished);
+        };
+  };
+  if (sched::Scheduler* scheduler = sched::Scheduler::current()) {
+    // Already on the M:N scheduler: components become sibling fibers and
+    // this fiber parks on a WaitGroup, so the worker underneath stays
+    // free to run the very children being waited for.
+    sched::WaitGroup done;
+    done.add(processes_.size());
+    for (const auto& process : processes_) {
+      scheduler->spawn(
+          [body = body_for(process), &done] {
+            body();
+            done.done();
+          },
+          process->name());
+    }
+    done.wait();
+  } else {
     std::vector<std::jthread> threads;
     threads.reserve(processes_.size());
-    // Child threads inherit the spawning host's trace attribution -- a
-    // ComputeServer tags its handler thread, and the graph it hosts may
-    // fan out arbitrarily deep.
-    const std::uint32_t node_tag = obs::node_tag();
     for (const auto& process : processes_) {
-      threads.emplace_back([&failures_mutex, &failures, process, node_tag] {
-        obs::set_node_tag(node_tag);
-        // Raw Process implementations don't maintain their own stats;
-        // bracket them here (IterativeProcess overwrites redundantly).
-        process->stats()->set_state(obs::ProcessState::kRunning);
-        try {
-          process->run();
-        } catch (const IoError&) {
-          // Graceful stop for raw Process implementations too.
-        } catch (...) {
-          std::scoped_lock lock{failures_mutex};
-          failures.push_back(std::current_exception());
-        }
-        process->stats()->set_state(obs::ProcessState::kFinished);
-      });
+      threads.emplace_back(body_for(process));
     }
   }  // jthreads join here
   if (!failures.empty()) std::rethrow_exception(failures.front());

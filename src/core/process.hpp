@@ -13,8 +13,13 @@
 
 /// Processes (paper Section 3.2).
 ///
-/// Every process executes in its own thread; the only blocking operations
-/// a determinate process may perform are channel reads and writes.
+/// A process is a schedulable entity: depending on the host Network's
+/// sched::SchedulerOptions it executes either on its own OS thread (the
+/// paper's model, SchedMode::kThreadPerProcess) or as a stackful fiber on
+/// the M:N work-stealing scheduler (SchedMode::kWorkSteal), which runs it
+/// to its next blocking channel operation.  Either way the only blocking
+/// operations a determinate process may perform are channel reads and
+/// writes, and the process cannot observe which mode it runs under.
 /// IterativeProcess supplies the paper's onStart/step/onStop skeleton
 /// (Figure 4) and the cascading-termination behaviour of Section 3.4: any
 /// IoError stops the process, and a stopping process closes all of its
@@ -24,7 +29,8 @@ namespace dpn::core {
 class Process : public serial::Serializable {
  public:
   /// Executes the process to completion.  Called on the process's own
-  /// thread (CompositeProcess / Network arrange this).
+  /// execution context -- a dedicated thread or a scheduler fiber
+  /// (CompositeProcess / Network arrange this).
   virtual void run() = 0;
 
   /// Diagnostic name (thread tags, deadlock reports).
@@ -211,21 +217,24 @@ class IterativeProcess : public Process {
 };
 
 /// Appends the observability rows for a process and (recursively) its
-/// subprocesses: composite components appear individually, since each has
-/// its own thread and its own blocked/running state.
+/// subprocesses: composite components appear individually, since each is
+/// its own execution context with its own blocked/running state.
 void append_process_snapshots(const Process& process,
                               std::vector<obs::ProcessSnapshot>& out);
 
 /// Hierarchical composition (paper Section 3.2): each component keeps its
-/// own thread, so composing processes can never introduce deadlock.
+/// own execution context (thread or fiber), so composing processes can
+/// never introduce deadlock.
 class CompositeProcess final : public Process {
  public:
   CompositeProcess() = default;
 
   void add(std::shared_ptr<Process> process);
 
-  /// Runs every component on its own thread and waits for all of them.
-  /// The first non-IoError failure is rethrown after all threads join.
+  /// Runs every component concurrently and waits for all of them: as
+  /// sibling fibers when already running on the M:N scheduler, else one
+  /// thread per component.  The first non-IoError failure is rethrown
+  /// after every component finishes.
   void run() override;
 
   const std::vector<std::shared_ptr<Process>>& processes() const {

@@ -15,19 +15,44 @@ void Pipe::notify_readers_locked() {
   // waiting the (potentially syscall-priced) notify is skipped entirely,
   // and a single waiter gets notify_one instead of a broadcast.
   if (blocked_readers_ == 0) return;
-  if (blocked_readers_ == 1) {
+  // Fiber waiters first: requeueing on the waker's own deque is the M:N
+  // fast path (the bytes just written are cache-hot right here).  A
+  // popped fiber stays counted in blocked_readers_ until it resumes, so
+  // the cv arithmetic below can only over-notify, never lose a waiter.
+  std::size_t fibers = 0;
+  while (sched::Fiber* fiber = reader_fibers_.pop()) {
+    sched::make_runnable(fiber);
+    ++fibers;
+  }
+  const std::size_t cv_waiters = blocked_readers_ - fibers;
+  if (cv_waiters == 1) {
     readable_.notify_one();
-  } else {
+  } else if (cv_waiters > 1) {
     readable_.notify_all();
   }
 }
 
 void Pipe::notify_writers_locked() {
   if (blocked_writers_ == 0) return;
-  if (blocked_writers_ == 1) {
+  std::size_t fibers = 0;
+  while (sched::Fiber* fiber = writer_fibers_.pop()) {
+    sched::make_runnable(fiber);
+    ++fibers;
+  }
+  const std::size_t cv_waiters = blocked_writers_ - fibers;
+  if (cv_waiters == 1) {
     writable_.notify_one();
-  } else {
+  } else if (cv_waiters > 1) {
     writable_.notify_all();
+  }
+}
+
+void Pipe::wake_all_fibers_locked() {
+  while (sched::Fiber* fiber = reader_fibers_.pop()) {
+    sched::make_runnable(fiber);
+  }
+  while (sched::Fiber* fiber = writer_fibers_.pop()) {
+    sched::make_runnable(fiber);
   }
 }
 
@@ -39,9 +64,17 @@ std::size_t Pipe::read_some(MutableByteSpan out) {
     // The clock is only consulted when actually parking; unblocked reads
     // never pay for it.
     const auto wait_start = std::chrono::steady_clock::now();
-    readable_.wait(lock, [&] {
-      return count_ > 0 || write_closed_ || read_closed_ || aborted_;
-    });
+    if (sched::on_fiber()) {
+      // Run-to-block: park the fiber, freeing this worker thread for
+      // other processes.  One wakeup per suspension; the outer while
+      // re-checks the predicate exactly like a cv wait would.
+      sched::suspend_current(reader_fibers_, lock);
+      lock.lock();
+    } else {
+      readable_.wait(lock, [&] {
+        return count_ > 0 || write_closed_ || read_closed_ || aborted_;
+      });
+    }
     const auto waited = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - wait_start)
@@ -75,10 +108,15 @@ void Pipe::write_vectored(ByteSpan a, ByteSpan b) {
       if (room == 0) {
         ++blocked_writers_;
         const auto wait_start = std::chrono::steady_clock::now();
-        writable_.wait(lock, [&] {
-          return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
-                 count_ < capacity_;
-        });
+        if (sched::on_fiber()) {
+          sched::suspend_current(writer_fibers_, lock);
+          lock.lock();
+        } else {
+          writable_.wait(lock, [&] {
+            return read_closed_ || aborted_ || write_closed_ || unbounded_ ||
+                   count_ < capacity_;
+          });
+        }
         const auto waited = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - wait_start)
@@ -101,6 +139,7 @@ void Pipe::close_write() {
   {
     std::scoped_lock lock{mutex_};
     write_closed_ = true;
+    wake_all_fibers_locked();
   }
   readable_.notify_all();
   writable_.notify_all();
@@ -116,6 +155,7 @@ void Pipe::close_read() {
     count_ = 0;
     head_ = 0;
     ByteVector{}.swap(buffer_);
+    wake_all_fibers_locked();
   }
   readable_.notify_all();
   writable_.notify_all();
@@ -125,6 +165,7 @@ void Pipe::abort() {
   {
     std::scoped_lock lock{mutex_};
     aborted_ = true;
+    wake_all_fibers_locked();
   }
   readable_.notify_all();
   writable_.notify_all();

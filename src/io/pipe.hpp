@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "io/stream.hpp"
+#include "sched/fiber.hpp"
 #include "support/bytes.hpp"
 #include "support/histogram.hpp"
 
@@ -101,6 +102,14 @@ class Pipe {
   mutable std::mutex mutex_;
   std::condition_variable readable_;
   std::condition_variable writable_;
+  // Fibers suspended on this pipe (M:N scheduler).  A blocked read/write
+  // on a scheduler worker parks here instead of on the cv; the
+  // counterpart operation requeues the fiber on the waker's deque.  Both
+  // kinds of waiter are counted in blocked_readers_/blocked_writers_, so
+  // the deadlock monitor sees one unified picture.  Non-worker threads
+  // (socket relays, tests) keep using the cvs -- the two coexist.
+  sched::WaitQueue reader_fibers_;
+  sched::WaitQueue writer_fibers_;
   ByteVector buffer_;      // ring storage
   std::size_t head_ = 0;   // index of first unread byte
   std::size_t count_ = 0;  // bytes stored
@@ -131,6 +140,9 @@ class Pipe {
   // woken before we release it just blocks briefly on the mutex.
   void notify_readers_locked();
   void notify_writers_locked();
+  // Requeues every suspended fiber (both directions); the close/abort
+  // paths use it because a state flip can unblock either side.
+  void wake_all_fibers_locked();
 };
 
 /// Read end of a Pipe as an InputStream.

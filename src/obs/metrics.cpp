@@ -10,6 +10,7 @@ const char* to_string(ProcessState state) {
     case ProcessState::kBlockedWriting: return "blocked-writing";
     case ProcessState::kPaused: return "paused";
     case ProcessState::kFinished: return "finished";
+    case ProcessState::kRunnable: return "runnable";
   }
   return "unknown";
 }

@@ -70,6 +70,7 @@ enum class ProcessState : std::uint8_t {
   kBlockedWriting = 3,  // inside a channel write
   kPaused = 4,          // parked at a step boundary (migration)
   kFinished = 5,        // run() returned
+  kRunnable = 6,        // M:N scheduler: ready on a deque, awaiting a worker
 };
 
 const char* to_string(ProcessState state);
@@ -81,6 +82,11 @@ struct ProcessStats {
   std::atomic<ProcessState> state{ProcessState::kIdle};
   /// Completed IterativeProcess::step() calls.
   std::atomic<std::uint64_t> steps{0};
+  /// M:N scheduler only: dispatches of this process's fiber on a
+  /// different worker than the previous one (work migrations).  A fiber
+  /// is dispatched by one worker at a time, so the single-writer idiom
+  /// holds here too -- the writer just changes identity between runs.
+  std::atomic<std::uint64_t> stolen{0};
 
   void set_state(ProcessState s) { state.store(s, std::memory_order_relaxed); }
   ProcessState get_state() const {

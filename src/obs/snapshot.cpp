@@ -155,6 +155,16 @@ ByteVector NetworkSnapshot::encode_as(std::uint8_t want_version) const {
       write_histogram(out, c.write_block);
     }
   }
+
+  // Version 4: M:N scheduler counters, appended like the rest.
+  if (v >= 4) {
+    out.write_u64(sched_workers);
+    out.write_u64(sched_spawned);
+    out.write_u64(sched_completed);
+    out.write_u64(sched_steals);
+    out.write_u64(sched_dispatches);
+    out.write_u64(sched_parks);
+  }
   return sink->take();
 }
 
@@ -242,6 +252,14 @@ NetworkSnapshot NetworkSnapshot::decode_prefix(ByteSpan bytes,
       c.write_block = read_histogram(in);
     }
   }
+  if (version >= 4) {
+    snapshot.sched_workers = in.read_u64();
+    snapshot.sched_spawned = in.read_u64();
+    snapshot.sched_completed = in.read_u64();
+    snapshot.sched_steals = in.read_u64();
+    snapshot.sched_dispatches = in.read_u64();
+    snapshot.sched_parks = in.read_u64();
+  }
   return snapshot;
 }
 
@@ -260,6 +278,12 @@ void NetworkSnapshot::merge_from(NetworkSnapshot&& other) {
   faults_injected += other.faults_injected;
   trace_recorded += other.trace_recorded;
   trace_dropped += other.trace_dropped;
+  sched_workers += other.sched_workers;
+  sched_spawned += other.sched_spawned;
+  sched_completed += other.sched_completed;
+  sched_steals += other.sched_steals;
+  sched_dispatches += other.sched_dispatches;
+  sched_parks += other.sched_parks;
   task_rtt.merge(other.task_rtt);
   connect_latency.merge(other.connect_latency);
   for (auto& p : other.processes) processes.push_back(std::move(p));
@@ -284,6 +308,14 @@ std::string NetworkSnapshot::to_string() const {
   if (trace_recorded > 0) {
     out += "trace: recorded=" + std::to_string(trace_recorded) +
            " dropped=" + std::to_string(trace_dropped) + "\n";
+  }
+  if (sched_workers > 0) {
+    out += "sched: workers=" + std::to_string(sched_workers) +
+           " spawned=" + std::to_string(sched_spawned) +
+           " completed=" + std::to_string(sched_completed) +
+           " steals=" + std::to_string(sched_steals) +
+           " dispatches=" + std::to_string(sched_dispatches) +
+           " parks=" + std::to_string(sched_parks) + "\n";
   }
   if (!task_rtt.empty()) {
     out += "task rtt: n=" + std::to_string(task_rtt.count) +

@@ -79,10 +79,11 @@ struct ProcessSnapshot {
 
 struct NetworkSnapshot {
   /// Current wire-format version.  v2 appended the fault counters, v3
-  /// appends the trace accounting, the runtime histograms and the
-  /// per-channel wait histograms -- all at top level, after everything
-  /// v2 wrote, so old readers prefix-parse newer payloads.
-  static constexpr std::uint8_t kVersion = 3;
+  /// appended the trace accounting, the runtime histograms and the
+  /// per-channel wait histograms, v4 appends the M:N scheduler counters
+  /// -- all at top level, after everything the previous version wrote,
+  /// so old readers prefix-parse newer payloads.
+  static constexpr std::uint8_t kVersion = 4;
 
   /// The version this snapshot was decoded from (kVersion for locally
   /// built ones).  fleet_stats logs it per peer and merges the common
@@ -119,6 +120,15 @@ struct NetworkSnapshot {
   /// Process-wide distributions (obs::runtime_histograms()).
   HistogramSnapshot task_rtt;
   HistogramSnapshot connect_latency;
+
+  // --- M:N scheduler counters (version >= 4; zero in thread-per-process
+  // mode, filled from sched::Scheduler::counters() otherwise) ---
+  std::uint64_t sched_workers = 0;
+  std::uint64_t sched_spawned = 0;
+  std::uint64_t sched_completed = 0;
+  std::uint64_t sched_steals = 0;
+  std::uint64_t sched_dispatches = 0;
+  std::uint64_t sched_parks = 0;
 
   std::vector<ProcessSnapshot> processes;
   std::vector<ChannelSnapshot> channels;

@@ -10,7 +10,7 @@
 #include "core/process.hpp"
 #include "processes/ledger.hpp"
 #include "support/bytes.hpp"
-#include "support/sync.hpp"
+#include "sched/queue.hpp"
 
 /// The routing processes behind the paper's parallel-worker schemas
 /// (Section 5, Figures 16-18).  Elements here are *blobs*: length-prefixed
@@ -171,7 +171,7 @@ class Turnstile final : public IterativeProcess {
     bool eof = false;
   };
 
-  BlockingQueue<Arrival> arrivals_;
+  sched::BlockingQueue<Arrival> arrivals_;
   std::atomic<std::size_t> live_forwarders_{0};
   std::vector<std::jthread> forwarders_;
   bool tags_dead_ = false;

@@ -1,9 +1,33 @@
 #include "processes/sieve.hpp"
 
 #include "io/data.hpp"
+#include "sched/scheduler.hpp"
 #include "support/log.hpp"
 
 namespace dpn::processes {
+
+namespace {
+
+/// Runs a runtime-inserted process (Figure 7/8 self-reconfiguration) on
+/// whatever execution substrate the parent is using: a sibling fiber when
+/// the parent runs on the M:N scheduler, else a dedicated thread tracked
+/// in `threads` (the caller holds the spawn lock).
+void spawn_inserted(std::shared_ptr<core::Process> process, const char* what,
+                    std::vector<std::jthread>& threads) {
+  auto body = [process = std::move(process), what] {
+    try {
+      process->run();
+    } catch (const IoError&) {
+      // Graceful stop via the termination cascade.
+    } catch (const std::exception& e) {
+      log::error(what, " failed: ", e.what());
+    }
+  };
+  if (sched::spawn_detached(body, what)) return;
+  threads.emplace_back(std::move(body));
+}
+
+}  // namespace
 
 Modulo::Modulo(std::shared_ptr<ChannelInputStream> in,
                std::shared_ptr<ChannelOutputStream> out, std::int64_t divisor,
@@ -63,15 +87,7 @@ void Sift::step() {
 
   std::scoped_lock lock{spawn_mutex_};
   children_.push_back(filter);
-  threads_.emplace_back([filter] {
-    try {
-      filter->run();
-    } catch (const IoError&) {
-      // Graceful stop via the termination cascade.
-    } catch (const std::exception& e) {
-      log::error("Modulo filter failed: ", e.what());
-    }
-  });
+  spawn_inserted(std::move(filter), "Modulo filter", threads_);
 }
 
 std::size_t Sift::filters_inserted() const {
@@ -126,22 +142,8 @@ void RecursiveSift::step() {
       filtered->input(), std::move(downstream), channel_capacity_);
   successors_.push_back(filter);
   successors_.push_back(successor);
-  threads_.emplace_back([filter] {
-    try {
-      filter->run();
-    } catch (const IoError&) {
-    } catch (const std::exception& e) {
-      log::error("Modulo filter failed: ", e.what());
-    }
-  });
-  threads_.emplace_back([successor] {
-    try {
-      successor->run();
-    } catch (const IoError&) {
-    } catch (const std::exception& e) {
-      log::error("RecursiveSift successor failed: ", e.what());
-    }
-  });
+  spawn_inserted(std::move(filter), "Modulo filter", threads_);
+  spawn_inserted(std::move(successor), "RecursiveSift successor", threads_);
   throw EndOfStream{"RecursiveSift replaced itself"};
 }
 

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <setjmp.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+/// Stackful fibers: the execution contexts of the M:N scheduler.
+///
+/// A fiber is a process's run() captured as a user-level context with its
+/// own (small, heap-allocated, lazily-paged) stack.  Worker threads switch
+/// into a fiber to run it and the fiber switches back out when it finishes
+/// or when a channel operation would block -- run-to-block execution.  The
+/// only suspension points are the ones the runtime itself creates
+/// (io::Pipe waits, sched::WaitGroup), so Kahn's blocking-read discipline
+/// is preserved exactly: a process can never observe that it was
+/// descheduled.
+///
+/// Contexts are created with makecontext (portable stack setup), but the
+/// steady-state switch is _setjmp/_longjmp: swapcontext saves and
+/// restores the signal mask -- two rt_sigprocmask syscalls per switch,
+/// ~1 us, which would dominate a fine-grained relay graph -- while
+/// _setjmp is a pure register save (tens of nanoseconds).  Only the
+/// *first* entry onto a fresh fiber stack pays one swapcontext.  Under
+/// ThreadSanitizer the pure-ucontext path is kept (and every switch is
+/// annotated through the TSan fiber API so per-context shadow stacks
+/// stay coherent).
+namespace dpn::sched {
+
+class Scheduler;
+class WaitQueue;
+struct Worker;
+class Fiber;
+
+namespace detail {
+/// Switches the calling fiber out to its worker's scheduler loop
+/// (internal: the suspension half of the run-to-block protocol).
+void switch_out(Fiber* self);
+}  // namespace detail
+
+/// Scheduler-driven lifecycle transitions surfaced to the owner of a
+/// fiber (Network binds these to obs::ProcessStats so snapshots show
+/// runnable/stolen states without dpn_sched depending on dpn_obs).
+enum class FiberPhase : std::uint8_t {
+  kReady,    // made runnable: sitting in a deque awaiting a worker
+  kRunning,  // a worker switched into the fiber
+  kStolen,   // this dispatch migrated the fiber to a different worker
+};
+
+/// One schedulable execution context.  Created by Scheduler::spawn and
+/// owned by the runtime: after spawn the pointer is only valid for use
+/// with the wait/wake protocol below (the scheduler frees the fiber when
+/// its body returns).
+class Fiber {
+ public:
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Scheduler;
+  friend class WaitQueue;
+  friend void suspend_current(WaitQueue&, std::unique_lock<std::mutex>&);
+  friend void make_runnable(Fiber*);
+  friend void detail::switch_out(Fiber*);
+
+  Fiber(std::function<void()> body, std::size_t stack_bytes,
+        std::string name, std::function<void(FiberPhase)> on_phase);
+
+  /// Entry trampoline running on the fiber's own stack.
+  static void entry();
+
+  std::function<void()> body_;
+  std::function<void(FiberPhase)> on_phase_;
+  std::string name_;
+  /// The fiber's stack.  Plain heap memory, NOT mmap: 100k fibers must
+  /// not exhaust vm.max_map_count, and untouched heap pages cost no RSS,
+  /// so a generous reserve is effectively free until used.
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_size_ = 0;
+  /// Initial context: used once, for the first switch onto the fresh
+  /// stack (makecontext is the portable way to start executing there).
+  ucontext_t context_{};
+  /// Steady-state suspension point (valid once started_): _longjmp here
+  /// resumes the fiber without touching the signal mask.
+  jmp_buf jump_{};
+  bool started_ = false;
+  void* tsan_fiber_ = nullptr;
+
+  Scheduler* scheduler_ = nullptr;
+  /// Index of the worker that last ran the fiber; -1 before the first
+  /// dispatch.  A dispatch on a different worker is a steal (or a wakeup
+  /// landing elsewhere) and is reported as FiberPhase::kStolen.
+  int last_worker_ = -1;
+  /// True from the instant a worker switches into the fiber until that
+  /// worker's scheduler loop regains control after the fiber switched
+  /// out.  A waker may requeue a fiber that is still in its (very short)
+  /// switch-out window; the next worker spins on this flag before
+  /// switching in, which is also the release/acquire edge that publishes
+  /// all fiber state across worker migrations.
+  std::atomic<bool> in_switch_{false};
+  bool finished_ = false;
+  /// Intrusive link for WaitQueue.
+  Fiber* next_waiter_ = nullptr;
+};
+
+/// True when the calling thread is currently executing a fiber (i.e. we
+/// are on a scheduler worker, inside some process's run()).  Blocking
+/// primitives use this to choose fiber suspension over thread parking.
+bool on_fiber();
+
+/// The fiber the calling thread is executing, or nullptr.
+Fiber* current_fiber();
+
+/// FIFO list of suspended fibers, embedded in whatever object owns the
+/// wait condition (a pipe, a wait group).  Not internally synchronized:
+/// the owner's mutex must be held for every call, exactly like the
+/// condition_variable it sits next to.
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  void push(Fiber* fiber);
+  /// Removes and returns the oldest waiter, or nullptr when empty.
+  Fiber* pop();
+  bool empty() const { return head_ == nullptr; }
+
+ private:
+  Fiber* head_ = nullptr;
+  Fiber* tail_ = nullptr;
+};
+
+/// Suspends the calling fiber: atomically (under `guard`, which the
+/// caller holds) enqueues it on `queue`, releases `guard`, and switches
+/// to the worker's scheduler loop.  Returns once a waker has popped the
+/// fiber and a worker has dispatched it again -- possibly a *different*
+/// worker.  The caller must re-lock `guard` and re-check its predicate
+/// (wakeups are one-shot but deliberately spurious-tolerant, mirroring
+/// condition_variable semantics).
+///
+/// Must only be called on a fiber (on_fiber() == true) and never while
+/// holding any lock other than `guard`'s.
+void suspend_current(WaitQueue& queue, std::unique_lock<std::mutex>& guard);
+
+/// Hands a fiber popped from a WaitQueue back to its scheduler: pushed on
+/// the waking worker's own deque when the waker is a worker (the
+/// cache-warm choice -- the data it just produced is right here), else on
+/// the scheduler's inject queue.  Safe to call while holding the lock
+/// that guarded the WaitQueue.
+void make_runnable(Fiber* fiber);
+
+}  // namespace dpn::sched

@@ -1,10 +1,7 @@
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
-#include <optional>
-#include <utility>
 
 #include "support/error.hpp"
 
@@ -46,66 +43,8 @@ class Event {
   bool set_ = false;
 };
 
-/// Unbounded multi-producer multi-consumer queue with close semantics.
-/// pop() blocks until an item is available or the queue is closed *and*
-/// drained, in which case it returns nullopt.  Used by the Turnstile
-/// process to merge worker results in arrival order.
-template <typename T>
-class BlockingQueue {
- public:
-  /// Returns false if the queue was already closed (item dropped).
-  bool push(T item) {
-    {
-      std::scoped_lock lock{mutex_};
-      if (closed_) return false;
-      items_.push_back(std::move(item));
-    }
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocks for the next item; nullopt means closed-and-drained.
-  std::optional<T> pop() {
-    std::unique_lock lock{mutex_};
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
-  }
-
-  /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::scoped_lock lock{mutex_};
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
-  }
-
-  void close() {
-    {
-      std::scoped_lock lock{mutex_};
-      closed_ = true;
-    }
-    cv_.notify_all();
-  }
-
-  bool closed() const {
-    std::scoped_lock lock{mutex_};
-    return closed_;
-  }
-
-  std::size_t size() const {
-    std::scoped_lock lock{mutex_};
-    return items_.size();
-  }
-
- private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
-};
+// BlockingQueue lives in sched/queue.hpp: its pop() must suspend the
+// calling *fiber* under the M:N scheduler, which puts it above the
+// scheduler in the layering.
 
 }  // namespace dpn

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "core/network.hpp"
 #include "dist/ship.hpp"
+#include "factor/factor.hpp"
+#include "par/schema.hpp"
 #include "processes/arith.hpp"
 #include "processes/basic.hpp"
 #include "processes/copy.hpp"
 #include "processes/merge.hpp"
 #include "processes/sieve.hpp"
+#include "sched/scheduler.hpp"
 #include "support/rng.hpp"
 
 /// Kahn's determinacy theorem, attacked operationally: the same program
@@ -203,6 +208,146 @@ TEST(Determinacy, DistributedRunMatchesLocalRun) {
   const auto remote = run_once(true);
   ASSERT_EQ(local.size(), 300u);
   EXPECT_EQ(local, remote);
+}
+
+// --- Scheduler matrix -------------------------------------------------------
+//
+// Kahn determinacy must survive the execution substrate: the same graph
+// run thread-per-process and under the M:N work-stealing scheduler (at
+// several worker counts) must produce byte-identical output histories.
+// Steals migrate fibers between workers mid-stream, so any missing
+// publication in the fiber handoff shows up here as a corrupted history.
+
+/// One row of the scheduler matrix: a label for failure messages plus the
+/// options handed to Network::set_scheduler.
+struct SchedConfig {
+  std::string label;
+  sched::SchedulerOptions options;
+};
+
+std::vector<SchedConfig> scheduler_matrix() {
+  std::vector<SchedConfig> matrix;
+  matrix.push_back({"thread-per-process", {}});
+  const unsigned nproc = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned workers : {1u, 2u, nproc}) {
+    sched::SchedulerOptions options;
+    options.mode = sched::SchedMode::kWorkSteal;
+    options.workers = workers;
+    matrix.push_back(
+        {"work-steal x" + std::to_string(workers), std::move(options)});
+  }
+  return matrix;
+}
+
+TEST(SchedulerMatrix, SieveHistoryByteIdentical) {
+  // Figure 7/8 sieve: Sift inserts a Modulo filter per prime at runtime,
+  // so under M:N the graph also exercises detached fiber spawns from a
+  // running fiber.
+  std::vector<std::int64_t> reference;
+  for (const auto& config : scheduler_matrix()) {
+    Network network;
+    network.set_scheduler(config.options);
+    auto numbers = network.make_channel({.capacity = 64, .label = "numbers"});
+    auto primes = network.make_channel({.capacity = 64, .label = "primes"});
+    auto sink = std::make_shared<CollectSink<std::int64_t>>();
+    network.add(std::make_shared<Sequence>(2, numbers->output(), 299));
+    network.add(std::make_shared<Sift>(numbers->input(), primes->output()));
+    network.add(std::make_shared<Collect>(primes->input(), sink));
+    network.run();
+    const auto values = sink->values();
+    ASSERT_FALSE(values.empty()) << config.label;
+    EXPECT_EQ(values.front(), 2) << config.label;
+    if (reference.empty()) {
+      reference = values;
+    } else {
+      EXPECT_EQ(values, reference) << config.label;
+    }
+  }
+}
+
+TEST(SchedulerMatrix, ParallelFactorHistoryByteIdentical) {
+  // Section 5.2 weak-RSA search through the meta_dynamic schema.  The
+  // Turnstile arrival order varies with scheduling, but the indexed merge
+  // must present results to the consumer in pipeline order regardless of
+  // which substrate runs the workers.
+  const auto problem = factor::FactorProblem::generate(/*seed=*/11,
+                                                       /*prime_bits=*/64,
+                                                       /*total_tasks=*/12);
+  std::vector<std::pair<bool, std::uint64_t>> reference;
+  for (const auto& config : scheduler_matrix()) {
+    std::mutex mutex;
+    std::vector<std::pair<bool, std::uint64_t>> seen;
+    auto observer = [&](const std::shared_ptr<core::Task>& task) {
+      auto result = std::dynamic_pointer_cast<factor::FactorResultTask>(task);
+      ASSERT_TRUE(result);
+      std::scoped_lock lock{mutex};
+      seen.emplace_back(result->found, result->d_start);
+    };
+    auto graph = par::pipeline(
+        std::make_shared<factor::FactorProducerTask>(problem.n, 12, 32,
+                                                     /*announce=*/false),
+        observer, [&](auto in, auto out) {
+          return par::meta_dynamic(std::move(in), std::move(out), 3);
+        });
+    Network network;
+    network.set_scheduler(config.options);
+    network.add(graph);
+    network.run();
+    ASSERT_FALSE(seen.empty()) << config.label;
+    // The winning batch reports the true difference's batch start.
+    const auto hit = std::find_if(seen.begin(), seen.end(),
+                                  [](const auto& r) { return r.first; });
+    ASSERT_NE(hit, seen.end()) << config.label;
+    EXPECT_EQ(hit->second, (problem.d_true / 64) * 64) << config.label;
+    if (reference.empty()) {
+      reference = seen;
+    } else {
+      EXPECT_EQ(seen, reference) << config.label;
+    }
+  }
+}
+
+TEST(SchedulerMatrix, ParCompositesHistoryByteIdentical) {
+  // The static and dynamic parallel-worker schemas as nested composites
+  // inside a Network: under M:N every component (Scatter, workers,
+  // Gather / Direct, Turnstile, Select) becomes a sibling fiber of the
+  // composite's fiber.  Output must match the plain pipeline order.
+  for (const bool dynamic : {false, true}) {
+    std::vector<std::pair<bool, std::uint64_t>> reference;
+    const auto problem = factor::FactorProblem::generate(/*seed=*/13,
+                                                         /*prime_bits=*/64,
+                                                         /*total_tasks=*/8);
+    for (const auto& config : scheduler_matrix()) {
+      std::mutex mutex;
+      std::vector<std::pair<bool, std::uint64_t>> seen;
+      auto observer = [&](const std::shared_ptr<core::Task>& task) {
+        auto result =
+            std::dynamic_pointer_cast<factor::FactorResultTask>(task);
+        ASSERT_TRUE(result);
+        std::scoped_lock lock{mutex};
+        seen.emplace_back(result->found, result->d_start);
+      };
+      auto graph = par::pipeline(
+          std::make_shared<factor::FactorProducerTask>(problem.n, 8, 32,
+                                                       /*announce=*/false),
+          observer, [&](auto in, auto out) {
+            return dynamic
+                       ? par::meta_dynamic(std::move(in), std::move(out), 2)
+                       : par::meta_static(std::move(in), std::move(out), 2);
+          });
+      Network network;
+      network.set_scheduler(config.options);
+      network.add(graph);
+      network.run();
+      const char* schema = dynamic ? "dynamic" : "static";
+      ASSERT_FALSE(seen.empty()) << schema << " " << config.label;
+      if (reference.empty()) {
+        reference = seen;
+      } else {
+        EXPECT_EQ(seen, reference) << schema << " " << config.label;
+      }
+    }
+  }
 }
 
 TEST(Determinacy, ChannelReportReflectsState) {

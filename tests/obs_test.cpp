@@ -478,6 +478,12 @@ NetworkSnapshot make_v3_sample() {
   snap.connect_latency.counts[11] = 7;
   snap.connect_latency.count = 7;
   snap.connect_latency.sum_ns = 7'000'000;
+  snap.sched_workers = 2;       // v4 fields
+  snap.sched_spawned = 40;
+  snap.sched_completed = 40;
+  snap.sched_steals = 11;
+  snap.sched_dispatches = 95;
+  snap.sched_parks = 3;
   ChannelSnapshot c;
   c.id = 5;
   c.label = "v3";
@@ -509,9 +515,14 @@ TEST(SnapshotV3, TraceCountersAndHistogramsRoundTrip) {
   EXPECT_EQ(copy.channels[0].write_block.count, 3u);
   EXPECT_EQ(copy.channels[0].write_block.counts[4], 3u);
   EXPECT_EQ(copy.channels[0].read_block.count, 1u);
+  // v4 scheduler counters round-trip too.
+  EXPECT_EQ(copy.sched_workers, 2u);
+  EXPECT_EQ(copy.sched_steals, 11u);
+  EXPECT_EQ(copy.sched_dispatches, 95u);
   // The rendering includes the new percentile lines.
   EXPECT_NE(copy.to_string().find("task rtt"), std::string::npos);
   EXPECT_NE(copy.to_string().find("trace: recorded=1000"), std::string::npos);
+  EXPECT_NE(copy.to_string().find("sched: workers=2"), std::string::npos);
 }
 
 TEST(SnapshotCompat, V3ReaderAcceptsOldWriters) {
@@ -536,6 +547,14 @@ TEST(SnapshotCompat, V3ReaderAcceptsOldWriters) {
   EXPECT_EQ(from_v2.connect_retries, 2u);   // v2 field present
   EXPECT_EQ(from_v2.faults_injected, 6u);
   EXPECT_EQ(from_v2.trace_recorded, 0u);    // v3 field still default
+
+  const ByteVector v3 = snap.encode_as(3);
+  const NetworkSnapshot from_v3 =
+      NetworkSnapshot::decode({v3.data(), v3.size()});
+  EXPECT_EQ(from_v3.version, 3);
+  EXPECT_EQ(from_v3.trace_recorded, 1000u);  // v3 field present
+  EXPECT_EQ(from_v3.sched_workers, 0u);      // v4 field: default
+  EXPECT_EQ(from_v3.sched_steals, 0u);
 }
 
 TEST(SnapshotCompat, OldReaderAcceptsV3Writer) {
@@ -558,21 +577,28 @@ TEST(SnapshotCompat, OldReaderAcceptsV3Writer) {
   EXPECT_EQ(v2_view.version, 2);
   EXPECT_EQ(v2_view.connect_retries, 2u);
   EXPECT_EQ(v2_view.trace_recorded, 0u);
+
+  const NetworkSnapshot v3_view =
+      NetworkSnapshot::decode_prefix({v3.data(), v3.size()}, 3);
+  EXPECT_EQ(v3_view.version, 3);
+  EXPECT_EQ(v3_view.trace_recorded, 1000u);
+  EXPECT_EQ(v3_view.sched_workers, 0u);  // v4 tail ignored by a v3 reader
 }
 
 TEST(SnapshotCompat, FutureVersionDegradesToKnownPrefix) {
-  // Synthesize a "v4" payload: today's bytes, a bumped version byte, and
+  // Synthesize a "v5" payload: today's bytes, a bumped version byte, and
   // trailing fields this build has never heard of.  The append-only rule
   // says we must parse our prefix and ignore the rest.
   const NetworkSnapshot snap = make_v3_sample();
   ByteVector bytes = snap.encode();
-  bytes[0] = 4;
+  bytes[0] = 5;
   for (int i = 0; i < 13; ++i) bytes.push_back(0xEE);
   const NetworkSnapshot copy =
       NetworkSnapshot::decode({bytes.data(), bytes.size()});
   EXPECT_EQ(copy.version, NetworkSnapshot::kVersion);
   EXPECT_EQ(copy.trace_recorded, 1000u);
   EXPECT_EQ(copy.task_rtt.count, 50u);
+  EXPECT_EQ(copy.sched_steals, 11u);  // v4 prefix parsed before the tail
   ASSERT_EQ(copy.channels.size(), 1u);
   EXPECT_EQ(copy.channels[0].write_block.count, 3u);
 }
@@ -585,6 +611,7 @@ TEST(SnapshotCompat, MergeTakesCommonDenominatorVersion) {
   EXPECT_EQ(fleet.version, 1);          // fleet degrades to the oldest peer
   EXPECT_EQ(fleet.live, 2u);            // counters still sum
   EXPECT_EQ(fleet.trace_recorded, 1000u);  // v3 side kept its own data
+  EXPECT_EQ(fleet.sched_steals, 11u);      // v4 side kept its own data too
   EXPECT_EQ(fleet.channels.size(), 2u);
 }
 

@@ -5,6 +5,7 @@
 
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
+#include "sched/queue.hpp"
 #include "support/sync.hpp"
 
 namespace dpn {
@@ -112,6 +113,11 @@ TEST(Event, WaitForTimesOut) {
   event.set();
   EXPECT_TRUE(event.wait_for(std::chrono::milliseconds{10}));
 }
+
+// The queue itself moved to sched/queue.hpp (pop suspends fibers under
+// the M:N scheduler); the plain-thread semantics tested here are
+// unchanged.  sched_test covers the fiber path.
+using sched::BlockingQueue;
 
 TEST(BlockingQueue, FifoOrder) {
   BlockingQueue<int> queue;
