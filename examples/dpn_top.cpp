@@ -77,6 +77,18 @@ void draw(const dpn::obs::NetworkSnapshot& snap, unsigned frame) {
                 snap.connect_latency.p99_ns() / 1000,
                 snap.connect_latency.count);
   }
+  if (snap.mux_connections > 0) {
+    // Version-5 transport plane: how many logical channels ride each TCP
+    // connection, and how long writers sat waiting for credit.
+    std::printf("mux: %" PRIu64 " conn  %" PRIu64 "/%" PRIu64
+                " streams (%.1f per conn)  credit stalls: %" PRIu64
+                " (%" PRIu64 " us)\n",
+                snap.mux_connections, snap.mux_streams_active,
+                snap.mux_streams_total,
+                static_cast<double>(snap.mux_streams_active) /
+                    static_cast<double>(snap.mux_connections),
+                snap.mux_credit_stalls, snap.mux_credit_stall_ns / 1000);
+  }
   std::printf("\n%-24s %-7s %12s\n", "PROCESS", "STATE", "STEPS");
   for (const auto& process : snap.processes) {
     std::printf("%-24.24s %-7s %12" PRIu64 "\n", process.name.c_str(),

@@ -236,6 +236,7 @@ Channel::Channel(ChannelOptions options) {
   state_->label = std::move(options.label);
   state_->write_buffer = options.write_buffer;
   state_->read_buffer = options.read_buffer;
+  state_->remote = options.remote;
 
   auto in_seq = std::make_shared<io::SequenceInputStream>(
       std::make_shared<io::LocalInputStream>(state_->pipe));

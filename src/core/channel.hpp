@@ -47,6 +47,23 @@ struct ChannelOptions {
   std::string label;
   std::size_t write_buffer = 0;
   std::size_t read_buffer = 0;
+
+  /// Tuning applied if/when an endpoint of this channel is shipped to
+  /// another server (ignored while the channel stays local):
+  ///
+  ///   make_channel({.label = "bulk",
+  ///                 .remote = {.credit_window = 1 << 20,
+  ///                            .coalesce_bytes = 64 << 10}});
+  ///
+  /// credit_window is the producer's flow-control window in bytes -- the
+  /// remote channel's "capacity" -- and, on the mux backend, the logical
+  /// stream's receive window.  coalesce_bytes is the consumer-side credit
+  /// batching threshold (grants below it ride along instead of costing a
+  /// frame each).  0 means the node / transport default.
+  struct RemoteTuning {
+    std::size_t credit_window = 0;
+    std::size_t coalesce_bytes = 0;
+  } remote;
 };
 
 /// Process-wide unique id for a ChannelState; stable for the life of the
@@ -77,6 +94,9 @@ struct ChannelState {
   /// decide whether self-removal splicing is possible).
   bool input_remote = false;
   bool output_remote = false;
+  /// Remote-segment tuning (see ChannelOptions::RemoteTuning).  Travels
+  /// with shipped endpoints like the buffering config above.
+  ChannelOptions::RemoteTuning remote;
   /// Stable identity for snapshots (see next_channel_id above).
   std::uint64_t id = next_channel_id();
   /// Lock-free traffic counters, updated by the endpoints.  Shared_ptr so

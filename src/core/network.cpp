@@ -24,11 +24,6 @@ std::shared_ptr<Channel> Network::make_channel(ChannelOptions options) {
   return channel;
 }
 
-std::shared_ptr<Channel> Network::make_channel(std::size_t capacity,
-                                               std::string label) {
-  return make_channel(ChannelOptions{capacity, std::move(label), 0, 0});
-}
-
 void Network::add_connected(std::shared_ptr<Process> process) {
   if (!process) return;  // slot wired the endpoint into an existing process
   for (const auto& existing : processes_) {
@@ -196,6 +191,7 @@ obs::NetworkSnapshot Network::snapshot() const {
     snap.channels.push_back(snapshot_channel(*state));
   }
   snap.fill_fault_counters();
+  snap.fill_transport_counters();
   return snap;
 }
 

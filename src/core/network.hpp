@@ -69,14 +69,6 @@ class Network {
   ///   network.make_channel({.capacity = 4096, .label = "primes"});
   std::shared_ptr<Channel> make_channel(ChannelOptions options = {});
 
-  /// Positional form, superseded by the ChannelOptions overload above --
-  /// every new knob (endpoint buffering, and whatever comes next) would
-  /// otherwise grow this signature positionally.
-  [[deprecated(
-      "use make_channel(ChannelOptions{...}) or Network::connect()")]]
-  std::shared_ptr<Channel> make_channel(std::size_t capacity,
-                                        std::string label = {});
-
   /// Fluent graph construction: creates a channel and hands each endpoint
   /// to a slot.  A slot is any invocable taking the endpoint; if it returns
   /// a process (anything convertible to shared_ptr<Process>), that process

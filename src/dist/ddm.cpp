@@ -51,14 +51,14 @@ std::uint64_t blocked_total(const AgentState& state) {
 
 struct DeadlockCoordinator::Agent {
   std::string name;
-  std::shared_ptr<net::Socket> socket;
+  std::shared_ptr<net::Stream> stream;
   std::unique_ptr<io::DataInputStream> in;
   std::unique_ptr<io::DataOutputStream> out;
   bool alive = true;
 };
 
 DeadlockCoordinator::DeadlockCoordinator(Options options)
-    : options_(options), server_(0) {
+    : options_(options), listener_(net::default_transport().listen(0)) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
   poller_ = std::jthread{[this] { poll_loop(); }};
 }
@@ -72,7 +72,7 @@ std::size_t DeadlockCoordinator::agents_connected() const {
 
 void DeadlockCoordinator::stop() {
   if (stopping_.exchange(true)) return;
-  server_.close();
+  listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
   if (poller_.joinable()) poller_.join();
   std::scoped_lock lock{agents_mutex_};
@@ -82,26 +82,26 @@ void DeadlockCoordinator::stop() {
       agent->out->write_u8(static_cast<std::uint8_t>(Op::kShutdown));
     } catch (const IoError&) {
     }
-    agent->socket->close();
+    agent->stream->close();
   }
   agents_.clear();
 }
 
 void DeadlockCoordinator::accept_loop() {
   for (;;) {
-    net::Socket socket;
+    std::shared_ptr<net::Stream> stream;
     try {
-      socket = server_.accept();
+      stream = listener_->accept();
     } catch (const NetError&) {
       return;
     }
     try {
       auto agent = std::make_shared<Agent>();
-      agent->socket = std::make_shared<net::Socket>(std::move(socket));
+      agent->stream = std::move(stream);
       agent->in = std::make_unique<io::DataInputStream>(
-          std::make_shared<net::SocketInputStream>(agent->socket));
+          std::make_shared<net::StreamInput>(agent->stream));
       agent->out = std::make_unique<io::DataOutputStream>(
-          std::make_shared<net::SocketOutputStream>(agent->socket));
+          std::make_shared<net::StreamOutput>(agent->stream));
       agent->name = agent->in->read_string();
       std::scoped_lock lock{agents_mutex_};
       agents_.push_back(std::move(agent));
@@ -244,9 +244,9 @@ MonitorAgent::MonitorAgent(std::string name, core::Network& network,
                            const std::string& coordinator_host,
                            std::uint16_t coordinator_port)
     : name_(std::move(name)), network_(network), node_(std::move(node)) {
-  socket_ = std::make_shared<net::Socket>(
-      net::connect_with_retry(coordinator_host, coordinator_port));
-  io::DataOutputStream out{std::make_shared<net::SocketOutputStream>(socket_)};
+  stream_ = net::dial_with_retry(net::default_transport(), coordinator_host,
+                                 coordinator_port, {});
+  io::DataOutputStream out{std::make_shared<net::StreamOutput>(stream_)};
   out.write_string(name_);
   server_ = std::jthread{[this] { serve(); }};
 }
@@ -255,7 +255,7 @@ MonitorAgent::~MonitorAgent() { stop(); }
 
 void MonitorAgent::stop() {
   if (stopping_.exchange(true)) return;
-  socket_->close();  // wakes serve()
+  stream_->close();  // wakes serve()
   if (server_.joinable()) server_.join();
 }
 
@@ -278,8 +278,8 @@ AgentState MonitorAgent::snapshot() const {
 }
 
 void MonitorAgent::serve() {
-  io::DataInputStream in{std::make_shared<net::SocketInputStream>(socket_)};
-  io::DataOutputStream out{std::make_shared<net::SocketOutputStream>(socket_)};
+  io::DataInputStream in{std::make_shared<net::StreamInput>(stream_)};
+  io::DataOutputStream out{std::make_shared<net::StreamOutput>(stream_)};
   try {
     for (;;) {
       const auto op = static_cast<Op>(in.read_u8());

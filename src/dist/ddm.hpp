@@ -11,7 +11,7 @@
 
 #include "core/network.hpp"
 #include "dist/node.hpp"
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 
 /// Distributed deadlock management -- the paper's Section 6.2 future work
 /// ("we plan to apply those ideas [Parks' bounded scheduling] to our
@@ -22,8 +22,8 @@
 /// peer that is happily computing.  The detector therefore aggregates
 /// fleet-wide state through a small coordinator:
 ///
-///  * every participating Network runs a MonitorAgent that keeps one TCP
-///    connection to the DeadlockCoordinator and answers polls with its
+///  * every participating Network runs a MonitorAgent that keeps one
+///    transport stream to the DeadlockCoordinator and answers polls with its
 ///    local stall state: live processes, processes blocked on local
 ///    channels, processes blocked inside remote channel reads/writes, and
 ///    the node's cumulative remote-channel bytes sent/received;
@@ -61,7 +61,7 @@ struct AgentState {
   bool operator==(const AgentState&) const = default;
 };
 
-/// The fleet-wide detector.  Owns a listening socket; agents dial in.
+/// The fleet-wide detector.  Owns a transport listener; agents dial in.
 class DeadlockCoordinator {
  public:
   struct Options {
@@ -80,7 +80,7 @@ class DeadlockCoordinator {
   DeadlockCoordinator(const DeadlockCoordinator&) = delete;
   DeadlockCoordinator& operator=(const DeadlockCoordinator&) = delete;
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return listener_->port(); }
 
   FleetOutcome outcome() const { return outcome_.load(); }
   std::size_t growth_commands() const { return growth_commands_.load(); }
@@ -97,7 +97,7 @@ class DeadlockCoordinator {
   bool poll_round();
 
   Options options_;
-  net::ServerSocket server_;
+  std::shared_ptr<net::Listener> listener_;
   std::atomic<bool> stopping_{false};
   std::atomic<FleetOutcome> outcome_{FleetOutcome::kNone};
   std::atomic<std::size_t> growth_commands_{0};
@@ -135,7 +135,7 @@ class MonitorAgent {
   std::string name_;
   core::Network& network_;
   std::shared_ptr<NodeContext> node_;
-  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<net::Stream> stream_;
   std::atomic<bool> stopping_{false};
   std::jthread server_;
 };

@@ -17,7 +17,7 @@ namespace {
 constexpr std::uint32_t kHelloMagic = 0x44504e43;  // "DPNC"
 
 /// HELLO: magic, token, dialer rendezvous host + port.
-void write_hello(net::Socket& socket, std::uint64_t token,
+void write_hello(net::Stream& stream, std::uint64_t token,
                  const PeerAddress& self) {
   auto sink = std::make_shared<io::MemoryOutputStream>();
   io::DataOutputStream data{sink};
@@ -26,7 +26,7 @@ void write_hello(net::Socket& socket, std::uint64_t token,
   data.write_string(self.host);
   data.write_u16(self.port);
   const ByteVector& bytes = sink->data();
-  socket.write_all({bytes.data(), bytes.size()});
+  stream.write_all({bytes.data(), bytes.size()});
 }
 
 struct Hello {
@@ -34,21 +34,21 @@ struct Hello {
   PeerAddress dialer;
 };
 
-Hello read_hello(net::Socket& socket) {
-  // Sockets are handed to us freshly accepted; the dialer writes the
+Hello read_hello(net::Stream& stream) {
+  // Streams are handed to us freshly accepted; the dialer writes the
   // HELLO immediately, so a blocking read here is fine.
-  class SocketReader final : public io::InputStream {
+  class StreamReader final : public io::InputStream {
    public:
-    explicit SocketReader(net::Socket& s) : socket_(s) {}
+    explicit StreamReader(net::Stream& s) : stream_(s) {}
     std::size_t read_some(MutableByteSpan out) override {
-      return socket_.read_some(out);
+      return stream_.read_some(out);
     }
     void close() override {}
 
    private:
-    net::Socket& socket_;
+    net::Stream& stream_;
   };
-  auto reader = std::make_shared<SocketReader>(socket);
+  auto reader = std::make_shared<StreamReader>(stream);
   io::DataInputStream data{reader};
   const std::uint32_t magic = data.read_u32();
   if (magic != kHelloMagic) {
@@ -63,11 +63,12 @@ Hello read_hello(net::Socket& socket) {
 
 }  // namespace
 
-bool SocketPromise::fulfill(net::Socket socket, PeerAddress dialer) {
+bool StreamPromise::fulfill(std::shared_ptr<net::Stream> stream,
+                            PeerAddress dialer) {
   {
     std::scoped_lock lock{mutex_};
     if (cancelled_ || fulfilled_) return false;
-    socket_ = std::move(socket);
+    stream_ = std::move(stream);
     dialer_ = std::move(dialer);
     fulfilled_ = true;
   }
@@ -75,16 +76,16 @@ bool SocketPromise::fulfill(net::Socket socket, PeerAddress dialer) {
   return true;
 }
 
-net::Socket SocketPromise::wait() {
+std::shared_ptr<net::Stream> StreamPromise::wait() {
   std::unique_lock lock{mutex_};
   cv_.wait(lock, [&] { return fulfilled_ || cancelled_; });
   if (cancelled_ && !fulfilled_) {
     throw NetError{"pending channel connection cancelled"};
   }
-  return std::move(socket_);
+  return std::move(stream_);
 }
 
-void SocketPromise::cancel() {
+void StreamPromise::cancel() {
   {
     std::scoped_lock lock{mutex_};
     cancelled_ = true;
@@ -92,29 +93,30 @@ void SocketPromise::cancel() {
   cv_.notify_all();
 }
 
-bool SocketPromise::fulfilled() const {
+bool StreamPromise::fulfilled() const {
   std::scoped_lock lock{mutex_};
   return fulfilled_;
 }
 
-RendezvousService::RendezvousService() : server_(0) {
+RendezvousService::RendezvousService()
+    : listener_(net::default_transport().listen(0)) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
 }
 
 RendezvousService::~RendezvousService() {
   shutting_down_.store(true);
-  server_.close();  // wakes the acceptor
+  listener_->close();  // wakes the acceptor
   if (acceptor_.joinable()) acceptor_.join();
   std::scoped_lock lock{mutex_};
   for (auto& [token, promise] : pending_) promise->cancel();
   pending_.clear();
 }
 
-std::shared_ptr<SocketPromise> RendezvousService::expect(std::uint64_t token) {
-  auto promise = std::make_shared<SocketPromise>();
+std::shared_ptr<StreamPromise> RendezvousService::expect(std::uint64_t token) {
+  auto promise = std::make_shared<StreamPromise>();
   std::scoped_lock lock{mutex_};
   if (const auto parked = parked_.find(token); parked != parked_.end()) {
-    promise->fulfill(std::move(parked->second.socket),
+    promise->fulfill(std::move(parked->second.stream),
                      std::move(parked->second.dialer));
     parked_.erase(parked);
     return promise;
@@ -128,7 +130,7 @@ std::shared_ptr<SocketPromise> RendezvousService::expect(std::uint64_t token) {
 }
 
 void RendezvousService::forget(std::uint64_t token) {
-  std::shared_ptr<SocketPromise> promise;
+  std::shared_ptr<StreamPromise> promise;
   {
     std::scoped_lock lock{mutex_};
     parked_.erase(token);
@@ -140,30 +142,33 @@ void RendezvousService::forget(std::uint64_t token) {
   promise->cancel();
 }
 
-net::Socket RendezvousService::dial(const std::string& host,
-                                    std::uint16_t port, std::uint64_t token,
-                                    const PeerAddress& self) {
+std::shared_ptr<net::Stream> RendezvousService::dial(const std::string& host,
+                                                     std::uint16_t port,
+                                                     std::uint64_t token,
+                                                     const PeerAddress& self,
+                                                     std::size_t stream_window) {
   // Dial-backs race the peer's listener coming up (ship_process sends the
   // shipment before every cut channel has reconnected), so a refused or
   // slow connect here retries with backoff instead of failing the whole
   // re-establishment.
-  net::Socket socket = net::connect_with_retry(host, port);
-  write_hello(socket, token, self);
-  return socket;
+  auto stream = net::dial_with_retry(net::default_transport(), host, port,
+                                     {}, stream_window);
+  write_hello(*stream, token, self);
+  return stream;
 }
 
 void RendezvousService::accept_loop() {
   for (;;) {
-    net::Socket socket;
+    std::shared_ptr<net::Stream> stream;
     try {
-      socket = server_.accept();
+      stream = listener_->accept();
     } catch (const NetError&) {
       if (shutting_down_.load()) return;
       continue;
     }
     try {
-      const Hello hello = read_hello(socket);
-      std::shared_ptr<SocketPromise> promise;
+      const Hello hello = read_hello(*stream);
+      std::shared_ptr<StreamPromise> promise;
       {
         std::scoped_lock lock{mutex_};
         const auto it = pending_.find(hello.token);
@@ -178,10 +183,10 @@ void RendezvousService::accept_loop() {
         // Park the connection for the expect() that is on its way.
         std::scoped_lock lock{mutex_};
         parked_.emplace(hello.token,
-                        Parked{std::move(socket), hello.dialer});
+                        Parked{std::move(stream), hello.dialer});
         continue;
       }
-      promise->fulfill(std::move(socket), hello.dialer);
+      promise->fulfill(std::move(stream), hello.dialer);
     } catch (const std::exception& e) {
       log::warn("rendezvous: handshake failed: ", e.what());
     }
@@ -212,36 +217,37 @@ std::shared_ptr<NodeContext> NodeContext::default_node() {
   return *node;
 }
 
-void NodeContext::register_remote_socket(
-    const std::shared_ptr<net::Socket>& socket) {
-  std::scoped_lock lock{sockets_mutex_};
-  std::erase_if(remote_sockets_,
-                [](const std::weak_ptr<net::Socket>& weak) {
+void NodeContext::register_remote_stream(
+    const std::shared_ptr<net::Stream>& stream) {
+  std::scoped_lock lock{streams_mutex_};
+  std::erase_if(remote_streams_,
+                [](const std::weak_ptr<net::Stream>& weak) {
                   return weak.expired();
                 });
-  remote_sockets_.push_back(socket);
+  remote_streams_.push_back(stream);
 }
 
 void NodeContext::abort_remote_channels() {
-  std::scoped_lock lock{sockets_mutex_};
-  for (const auto& weak : remote_sockets_) {
-    if (auto socket = weak.lock()) {
+  aborting_.store(true, std::memory_order_release);
+  std::scoped_lock lock{streams_mutex_};
+  for (const auto& weak : remote_streams_) {
+    if (auto stream = weak.lock()) {
       // shutdown (not close) so a concurrently blocked recv/send wakes
       // without racing on descriptor reuse.
-      socket->shutdown_read();
-      socket->shutdown_write();
+      stream->shutdown_read();
+      stream->shutdown_write();
     }
   }
 }
 
-void NodeContext::park_socket(std::shared_ptr<net::Socket> socket) {
-  std::scoped_lock lock{sockets_mutex_};
-  parked_sockets_.push_back(std::move(socket));
+void NodeContext::park_stream(std::shared_ptr<net::Stream> stream) {
+  std::scoped_lock lock{streams_mutex_};
+  parked_streams_.push_back(std::move(stream));
 }
 
 void NodeContext::register_remote_input(
     const std::shared_ptr<FrameChannelInput>& input) {
-  std::scoped_lock lock{sockets_mutex_};
+  std::scoped_lock lock{streams_mutex_};
   std::erase_if(remote_inputs_,
                 [](const std::weak_ptr<FrameChannelInput>& weak) {
                   return weak.expired();
@@ -252,7 +258,7 @@ void NodeContext::register_remote_input(
 void NodeContext::grant_remote_credits() {
   std::vector<std::shared_ptr<FrameChannelInput>> inputs;
   {
-    std::scoped_lock lock{sockets_mutex_};
+    std::scoped_lock lock{streams_mutex_};
     for (const auto& weak : remote_inputs_) {
       if (auto input = weak.lock()) inputs.push_back(std::move(input));
     }

@@ -8,7 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "support/sync.hpp"
 
 /// Per-server infrastructure for distributed channels.
@@ -17,18 +17,23 @@
 /// stays behind must accept exactly one incoming connection for that
 /// channel (paper Section 4.2), and a redirected endpoint must accept a
 /// connection from a third server it has never heard of (Section 4.3).
-/// Rather than opening one listening socket per pending channel, each
+/// Rather than opening one listening endpoint per pending channel, each
 /// logical server (NodeContext) runs a single *rendezvous* listener:
 ///
 ///   * the staying side registers a fresh random token and gets a
-///     SocketPromise;
+///     StreamPromise;
 ///   * the stub shipped with the moving endpoint carries
 ///     (host, rendezvous port, token);
 ///   * the moving side dials the rendezvous and opens with a HELLO
 ///     carrying the token (plus its own rendezvous address, which the
 ///     receiver remembers in case *it* needs to redirect later);
-///   * the rendezvous acceptor matches the token and hands the socket to
+///   * the rendezvous acceptor matches the token and hands the stream to
 ///     the waiting endpoint.
+///
+/// All connections go through net::Transport (NetworkOptions::transport
+/// picks the backend), so on the mux backend every channel between a host
+/// pair shares one TCP connection and the rendezvous "dial" is just a new
+/// logical stream.
 ///
 /// Multiple NodeContexts may coexist in one OS process, which is how the
 /// tests and examples run "server A / B / C" topologies over real sockets
@@ -43,15 +48,15 @@ struct PeerAddress {
   bool valid() const { return port != 0; }
 };
 
-/// One-shot handoff of an accepted, handshaken socket.
-class SocketPromise {
+/// One-shot handoff of an accepted, handshaken stream.
+class StreamPromise {
  public:
   /// Fulfills the promise (acceptor side).  Returns false if the promise
-  /// was cancelled, in which case the caller keeps the socket.
-  bool fulfill(net::Socket socket, PeerAddress dialer);
+  /// was cancelled, in which case the caller keeps the stream.
+  bool fulfill(std::shared_ptr<net::Stream> stream, PeerAddress dialer);
 
   /// Blocks until fulfilled or cancelled; throws NetError on cancel.
-  net::Socket wait();
+  std::shared_ptr<net::Stream> wait();
 
   /// The dialer's rendezvous address; valid after wait() returns.
   const PeerAddress& dialer() const { return dialer_; }
@@ -64,7 +69,7 @@ class SocketPromise {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  net::Socket socket_;
+  std::shared_ptr<net::Stream> stream_;
   PeerAddress dialer_;
   bool fulfilled_ = false;
   bool cancelled_ = false;
@@ -79,33 +84,38 @@ class RendezvousService {
   RendezvousService(const RendezvousService&) = delete;
   RendezvousService& operator=(const RendezvousService&) = delete;
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return listener_->port(); }
 
   /// Registers a token and returns the promise its connection will arrive
   /// on.  Tokens are single-use.  If the connection already arrived (a
   /// dialer can race ahead of a lazily-read REDIRECT frame) the promise is
   /// fulfilled immediately from the parked connection.
-  std::shared_ptr<SocketPromise> expect(std::uint64_t token);
+  std::shared_ptr<StreamPromise> expect(std::uint64_t token);
 
   /// Drops a registration (e.g. a discarded never-connected endpoint).
   void forget(std::uint64_t token);
 
   /// Dials a remote rendezvous and performs the HELLO handshake.
   /// `self` is this node's own rendezvous address, told to the peer.
-  static net::Socket dial(const std::string& host, std::uint16_t port,
-                          std::uint64_t token, const PeerAddress& self);
+  /// `stream_window` tunes the mux backend's per-stream credit window
+  /// (0 = transport default; ignored by the blocking backend).
+  static std::shared_ptr<net::Stream> dial(const std::string& host,
+                                           std::uint16_t port,
+                                           std::uint64_t token,
+                                           const PeerAddress& self,
+                                           std::size_t stream_window = 0);
 
  private:
   void accept_loop();
 
   struct Parked {
-    net::Socket socket;
+    std::shared_ptr<net::Stream> stream;
     PeerAddress dialer;
   };
 
-  net::ServerSocket server_;
+  std::shared_ptr<net::Listener> listener_;
   std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<SocketPromise>> pending_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<StreamPromise>> pending_;
   std::unordered_map<std::uint64_t, Parked> parked_;
   std::jthread acceptor_;
   std::atomic<bool> shutting_down_{false};
@@ -149,15 +159,20 @@ class NodeContext : public std::enable_shared_from_this<NodeContext> {
   /// Remote-channel counters for this node's endpoints.
   const std::shared_ptr<TrafficStats>& traffic() const { return traffic_; }
 
-  /// Registers a live remote-channel socket so abort_remote_channels()
+  /// Registers a live remote-channel stream so abort_remote_channels()
   /// can reach it.  Dead entries are pruned opportunistically.
-  void register_remote_socket(const std::shared_ptr<net::Socket>& socket);
+  void register_remote_stream(const std::shared_ptr<net::Stream>& stream);
 
-  /// Shuts down every registered remote-channel socket, waking processes
+  /// Shuts down every registered remote-channel stream, waking processes
   /// blocked in remote reads/writes (they stop via the normal
   /// end-of-stream / ChannelClosed paths).  Used by the distributed
   /// deadlock detector's fleet abort.
   void abort_remote_channels();
+
+  /// True once abort_remote_channels() has run: readers woken by the
+  /// shutdown report a quiet stop instead of WorkerLost (an abort is
+  /// deliberate, not a lost producer).
+  bool aborting() const { return aborting_.load(std::memory_order_acquire); }
 
   /// Flow-control window (bytes) that remote producers writing *from*
   /// this node start with, and the bonus this node's consumers grant when
@@ -167,10 +182,10 @@ class NodeContext : public std::enable_shared_from_this<NodeContext> {
   std::size_t remote_window() const { return remote_window_.load(); }
   void set_remote_window(std::size_t bytes) { remote_window_.store(bytes); }
 
-  /// Keeps a half-closed producer-side socket alive until this node is
+  /// Keeps a half-closed producer-side stream alive until this node is
   /// destroyed.  Closing it earlier could turn unread credit frames into
   /// a TCP RST that destroys in-flight channel data at the consumer.
-  void park_socket(std::shared_ptr<net::Socket> socket);
+  void park_stream(std::shared_ptr<net::Stream> stream);
 
   /// Registers a consumer-side remote segment for credit bonuses.
   void register_remote_input(const std::shared_ptr<class FrameChannelInput>&
@@ -190,9 +205,10 @@ class NodeContext : public std::enable_shared_from_this<NodeContext> {
   std::uint64_t token_state_;
   std::shared_ptr<TrafficStats> traffic_ = std::make_shared<TrafficStats>();
   std::atomic<std::size_t> remote_window_{1u << 18};
-  std::mutex sockets_mutex_;
-  std::vector<std::weak_ptr<net::Socket>> remote_sockets_;
-  std::vector<std::shared_ptr<net::Socket>> parked_sockets_;
+  std::atomic<bool> aborting_{false};
+  std::mutex streams_mutex_;
+  std::vector<std::weak_ptr<net::Stream>> remote_streams_;
+  std::vector<std::shared_ptr<net::Stream>> parked_streams_;
   std::vector<std::weak_ptr<class FrameChannelInput>> remote_inputs_;
 };
 

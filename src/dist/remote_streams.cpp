@@ -7,19 +7,23 @@
 
 namespace dpn::dist {
 
-FrameChannelInput::FrameChannelInput(std::shared_ptr<net::Socket> socket,
-                                     std::shared_ptr<NodeContext> node)
-    : node_(std::move(node)), socket_(std::move(socket)) {
-  if (node_) node_->register_remote_socket(socket_);
-  reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+FrameChannelInput::FrameChannelInput(std::shared_ptr<net::Stream> stream,
+                                     std::shared_ptr<NodeContext> node,
+                                     std::uint32_t credit_batch)
+    : node_(std::move(node)), stream_(std::move(stream)),
+      credit_batch_(credit_batch != 0 ? credit_batch : kCreditBatch) {
+  if (node_) node_->register_remote_stream(stream_);
+  reader_.emplace(std::make_shared<net::StreamInput>(stream_));
 }
 
-FrameChannelInput::FrameChannelInput(std::shared_ptr<SocketPromise> promise,
+FrameChannelInput::FrameChannelInput(std::shared_ptr<StreamPromise> promise,
                                      std::uint64_t token,
-                                     std::shared_ptr<NodeContext> node)
+                                     std::shared_ptr<NodeContext> node,
+                                     std::uint32_t credit_batch)
     : node_(std::move(node)),
       promise_(std::move(promise)),
-      pending_token_(token) {}
+      pending_token_(token),
+      credit_batch_(credit_batch != 0 ? credit_batch : kCreditBatch) {}
 
 namespace {
 
@@ -44,10 +48,10 @@ class BlockedScope {
 
 void FrameChannelInput::ensure_connected() {
   if (reader_) return;
-  socket_ = std::make_shared<net::Socket>(promise_->wait());
+  stream_ = promise_->wait();
   promise_.reset();
-  if (node_) node_->register_remote_socket(socket_);
-  reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+  if (node_) node_->register_remote_stream(stream_);
+  reader_.emplace(std::make_shared<net::StreamInput>(stream_));
 }
 
 std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
@@ -61,9 +65,9 @@ std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
       // Consumption frees window.  Small grants coalesce instead of
       // costing a credit frame (header + syscall) each; they travel once
       // they amount to a useful batch, or -- below -- just before this
-      // consumer blocks on the socket.
+      // consumer blocks on the stream.
       pending_credit_ += static_cast<std::uint32_t>(n);
-      if (pending_credit_ >= kCreditBatch) {
+      if (pending_credit_ >= credit_batch_) {
         send_credit(pending_credit_);
         pending_credit_ = 0;
       }
@@ -84,7 +88,20 @@ std::size_t FrameChannelInput::read_some(MutableByteSpan out) {
       // read" for the distributed deadlock detector.
       BlockedScope blocked{stats ? &stats->blocked_remote_readers : nullptr};
       ensure_connected();
-      return reader_->read_frame();
+      try {
+        return reader_->read_frame();
+      } catch (const IoError& e) {
+        // A producer that finishes sends FIN before its transport goes
+        // away, so a stream dying mid-frame means the producer was
+        // *lost*, not done.  Locally-closed reads (our own close()/abort
+        // woke us via shutdown) keep the quiet IoError stop; everything
+        // else surfaces as WorkerLost, which IterativeProcess::run does
+        // NOT swallow -- the application sees the fault instead of a
+        // silently truncated history (docs/FAULTS.md).
+        if (closed_.load() || (node_ && node_->aborting())) throw;
+        throw WorkerLost{std::string{"remote producer lost mid-stream: "} +
+                         e.what()};
+      }
     }();
     switch (frame.type) {
       case net::FrameType::kData:
@@ -148,8 +165,8 @@ void FrameChannelInput::handle_redirect(const net::RedirectInfo& info) {
                     info.trace.span_id, info.token);
   }
   auto promise = node_->rendezvous().expect(info.token);
-  auto successor =
-      std::make_shared<FrameChannelInput>(promise, info.token, node_);
+  auto successor = std::make_shared<FrameChannelInput>(promise, info.token,
+                                                       node_, credit_batch_);
   successor->set_parent_sequence(parent_);
   if (node_) node_->register_remote_input(successor);
   parent->append(successor);
@@ -159,11 +176,10 @@ void FrameChannelInput::handle_redirect(const net::RedirectInfo& info) {
 void FrameChannelInput::send_credit(std::uint32_t bytes) {
   if (bytes == 0) return;
   std::scoped_lock lock{credit_mutex_};
-  if (credit_channel_dead_ || !socket_) return;
+  if (credit_channel_dead_ || !stream_) return;
   try {
     if (!credit_writer_) {
-      credit_writer_.emplace(
-          std::make_shared<net::SocketOutputStream>(socket_));
+      credit_writer_.emplace(std::make_shared<net::StreamOutput>(stream_));
     }
     credit_writer_->write_credit(bytes);
   } catch (const IoError&) {
@@ -182,46 +198,52 @@ void FrameChannelInput::close() {
     node_->rendezvous().forget(pending_token_);
     promise_->cancel();
   }
-  if (socket_) {
-    // Shutdown, not close: shutdown() wakes a reader currently blocked in
-    // recv() on this socket (a bare close() would leave it blocked
-    // forever -- the abort path closes endpoints from another thread),
-    // and it still makes the producer's next write fail with
-    // ChannelClosed, propagating termination upstream (Section 3.4).
-    // The descriptor itself is released when the last reference drops.
-    socket_->shutdown_read();
-    socket_->shutdown_write();
+  if (stream_) {
+    // Shutdown, not close: shutdown() wakes a reader currently blocked on
+    // this stream (a bare close() would leave it blocked forever -- the
+    // abort path closes endpoints from another thread), and it still
+    // makes the producer's next write fail with ChannelClosed,
+    // propagating termination upstream (Section 3.4).  The underlying
+    // connection/stream is released when the last reference drops.
+    stream_->shutdown_read();
+    stream_->shutdown_write();
   }
 }
 
-FrameChannelOutput::FrameChannelOutput(std::shared_ptr<net::Socket> socket,
+FrameChannelOutput::FrameChannelOutput(std::shared_ptr<net::Stream> stream,
                                        PeerAddress peer,
-                                       std::shared_ptr<NodeContext> node)
-    : node_(std::move(node)), socket_(std::move(socket)),
+                                       std::shared_ptr<NodeContext> node,
+                                       std::size_t window_override)
+    : node_(std::move(node)), stream_(std::move(stream)),
       peer_(std::move(peer)) {
-  window_ = static_cast<std::int64_t>(node_ ? node_->remote_window()
-                                            : (std::size_t{1} << 18));
-  if (node_) node_->register_remote_socket(socket_);
-  writer_.emplace(std::make_shared<net::SocketOutputStream>(socket_));
+  window_ = static_cast<std::int64_t>(
+      window_override != 0 ? window_override
+      : node_               ? node_->remote_window()
+                            : (std::size_t{1} << 18));
+  if (node_) node_->register_remote_stream(stream_);
+  writer_.emplace(std::make_shared<net::StreamOutput>(stream_));
 }
 
-FrameChannelOutput::FrameChannelOutput(std::shared_ptr<SocketPromise> promise,
+FrameChannelOutput::FrameChannelOutput(std::shared_ptr<StreamPromise> promise,
                                        std::uint64_t token,
-                                       std::shared_ptr<NodeContext> node)
+                                       std::shared_ptr<NodeContext> node,
+                                       std::size_t window_override)
     : node_(std::move(node)),
       promise_(std::move(promise)),
       pending_token_(token) {
-  window_ = static_cast<std::int64_t>(node_ ? node_->remote_window()
-                                            : (std::size_t{1} << 18));
+  window_ = static_cast<std::int64_t>(
+      window_override != 0 ? window_override
+      : node_               ? node_->remote_window()
+                            : (std::size_t{1} << 18));
 }
 
 void FrameChannelOutput::ensure_connected_locked() {
   if (writer_) return;
-  socket_ = std::make_shared<net::Socket>(promise_->wait());
+  stream_ = promise_->wait();
   peer_ = promise_->dialer();
   promise_.reset();
-  if (node_) node_->register_remote_socket(socket_);
-  writer_.emplace(std::make_shared<net::SocketOutputStream>(socket_));
+  if (node_) node_->register_remote_stream(stream_);
+  writer_.emplace(std::make_shared<net::StreamOutput>(stream_));
 }
 
 void FrameChannelOutput::write(ByteSpan data) {
@@ -263,7 +285,7 @@ void FrameChannelOutput::write(ByteSpan data) {
 
 void FrameChannelOutput::await_credit_locked() {
   if (!credit_reader_) {
-    credit_reader_.emplace(std::make_shared<net::SocketInputStream>(socket_));
+    credit_reader_.emplace(std::make_shared<net::StreamInput>(stream_));
   }
   const net::Frame frame = credit_reader_->read_frame();
   switch (frame.type) {
@@ -291,20 +313,22 @@ void FrameChannelOutput::close() {
     // contract promises the consumer an explicit end-of-stream.
     ensure_connected_locked();
     writer_->write_fin();
-    socket_->shutdown_write();
-    park_socket_locked();
+    stream_->shutdown_write();
+    park_stream_locked();
   } catch (const IoError&) {
     // Consumer already gone; nothing to tell it.
   }
 }
 
-void FrameChannelOutput::park_socket_locked() {
-  // Closing a TCP descriptor with unread data (late credit frames) in its
-  // receive buffer makes the kernel send RST, which would discard our own
-  // in-flight data at the consumer.  Instead of closing, park the socket
-  // with the node: the descriptor stays open (harmless) until the node
-  // itself is torn down, long after the consumer has drained our FIN.
-  if (node_ && socket_) node_->park_socket(socket_);
+void FrameChannelOutput::park_stream_locked() {
+  // Dropping the stream with unread data (late credit frames) inbound can
+  // turn into a connection reset that destroys our own in-flight channel
+  // data at the consumer (on the blocking backend a close with unread TCP
+  // data sends RST; on the mux backend dropping the handle RSTs the
+  // logical stream).  Instead, park the half-closed stream with the node:
+  // it stays open (harmless) until the node itself is torn down, long
+  // after the consumer has drained our FIN.
+  if (node_ && stream_) node_->park_stream(stream_);
 }
 
 void FrameChannelOutput::connect_now() {
@@ -336,8 +360,8 @@ void FrameChannelOutput::redirect_and_finish(std::uint64_t successor_token) {
   }
   writer_->write_redirect(info);
   writer_->write_fin();
-  socket_->shutdown_write();
-  park_socket_locked();
+  stream_->shutdown_write();
+  park_stream_locked();
   closed_ = true;
 }
 

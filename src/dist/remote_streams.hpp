@@ -8,13 +8,13 @@
 #include "io/sequence.hpp"
 #include "io/stream.hpp"
 #include "net/frames.hpp"
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 
-/// The socket-backed stream segments that sit underneath a distributed
+/// The transport-backed stream segments that sit underneath a distributed
 /// channel (the paper's RemoteInputStream / RemoteOutputStream /
 /// RedirectedInputStream, Sections 4.2-4.3).
 ///
-/// A remote channel segment is one TCP connection carrying frames in the
+/// A remote channel segment is one net::Stream carrying frames in the
 /// producer->consumer direction:
 ///   DATA     -- payload bytes;
 ///   FIN      -- producer closed: consumer sees end-of-stream after drain;
@@ -22,9 +22,12 @@
 ///               rendezvous with this token" (sent when the producing
 ///               endpoint is shipped onward to a third server, so traffic
 ///               stops relaying through the middle man -- Figure 15).
-/// Consumer-side close simply closes the socket, which surfaces as
+/// Consumer-side close shuts the stream down, which surfaces as
 /// ChannelClosed on the producer's next write: the cascade of Section 3.4
-/// crosses machine boundaries.
+/// crosses machine boundaries.  On the blocking backend a segment owns a
+/// TCP connection; on the mux backend it is one logical stream over the
+/// shared per-host connection -- the frame protocol is identical either
+/// way.
 namespace dpn::dist {
 
 /// Consumer side of a remote channel segment.  Lives inside a
@@ -34,14 +37,18 @@ namespace dpn::dist {
 class FrameChannelInput final : public io::InputStream {
  public:
   /// An established connection (this endpoint dialed the producer's node).
-  FrameChannelInput(std::shared_ptr<net::Socket> socket,
-                    std::shared_ptr<NodeContext> node);
+  /// `credit_batch` overrides the consumption-credit coalescing threshold
+  /// (0 = default; see ChannelOptions::remote.coalesce_bytes).
+  FrameChannelInput(std::shared_ptr<net::Stream> stream,
+                    std::shared_ptr<NodeContext> node,
+                    std::uint32_t credit_batch = 0);
 
   /// A connection that will arrive at this node's rendezvous (this
   /// endpoint stayed put / was redirected to).  The first read blocks
   /// until the producer dials in.
-  FrameChannelInput(std::shared_ptr<SocketPromise> promise,
-                    std::uint64_t token, std::shared_ptr<NodeContext> node);
+  FrameChannelInput(std::shared_ptr<StreamPromise> promise,
+                    std::uint64_t token, std::shared_ptr<NodeContext> node,
+                    std::uint32_t credit_batch = 0);
 
   /// The sequence to splice successor segments into on REDIRECT.
   void set_parent_sequence(std::weak_ptr<io::SequenceInputStream> parent) {
@@ -54,7 +61,7 @@ class FrameChannelInput final : public io::InputStream {
   /// Grants the producer extra window beyond normal consumption credits.
   /// The distributed deadlock detector uses this as the remote analogue
   /// of growing a full local channel.  Thread-safe; a no-op until the
-  /// segment has a live socket.
+  /// segment has a live stream.
   void grant_bonus_credits(std::uint32_t bytes);
 
  private:
@@ -65,8 +72,8 @@ class FrameChannelInput final : public io::InputStream {
   std::shared_ptr<NodeContext> node_;
   std::weak_ptr<io::SequenceInputStream> parent_;
 
-  std::shared_ptr<net::Socket> socket_;
-  std::shared_ptr<SocketPromise> promise_;
+  std::shared_ptr<net::Stream> stream_;
+  std::shared_ptr<StreamPromise> promise_;
   std::uint64_t pending_token_ = 0;
   std::optional<net::FrameReader> reader_;
 
@@ -74,6 +81,7 @@ class FrameChannelInput final : public io::InputStream {
   // Consumption credits below this size coalesce into one grant instead
   // of costing a frame (header + syscall) each.
   static constexpr std::uint32_t kCreditBatch = 4096;
+  const std::uint32_t credit_batch_;
   std::mutex credit_mutex_;
   std::optional<net::FrameWriter> credit_writer_;
   bool credit_channel_dead_ = false;
@@ -91,22 +99,26 @@ class FrameChannelOutput final : public io::OutputStream {
   /// An established connection; `peer` is the consumer node's rendezvous
   /// address (kept so this endpoint can orchestrate a redirect if it is
   /// shipped again).  `node` attributes traffic to the hosting node's
-  /// counters (may be null in tests).
-  FrameChannelOutput(std::shared_ptr<net::Socket> socket, PeerAddress peer,
-                     std::shared_ptr<NodeContext> node = nullptr);
+  /// counters (may be null in tests).  `window_override` replaces the
+  /// node's default flow-control window when nonzero
+  /// (ChannelOptions::remote.credit_window).
+  FrameChannelOutput(std::shared_ptr<net::Stream> stream, PeerAddress peer,
+                     std::shared_ptr<NodeContext> node = nullptr,
+                     std::size_t window_override = 0);
 
   /// A connection that will arrive at this node's rendezvous (this
   /// endpoint stayed put while its consumer shipped out).  The first
   /// write blocks until the consumer dials in; the consumer's rendezvous
   /// address is learned from its HELLO.
-  FrameChannelOutput(std::shared_ptr<SocketPromise> promise,
-                     std::uint64_t token, std::shared_ptr<NodeContext> node);
+  FrameChannelOutput(std::shared_ptr<StreamPromise> promise,
+                     std::uint64_t token, std::shared_ptr<NodeContext> node,
+                     std::size_t window_override = 0);
 
   void write(ByteSpan data) override;
   void flush() override {}
   void close() override;
 
-  /// Blocks until the segment has a live socket (no-op if it already
+  /// Blocks until the segment has a live stream (no-op if it already
   /// does).  Used before a redirect.
   void connect_now();
 
@@ -122,12 +134,12 @@ class FrameChannelOutput final : public io::OutputStream {
  private:
   void ensure_connected_locked();
   void await_credit_locked();
-  void park_socket_locked();
+  void park_stream_locked();
 
   mutable std::mutex mutex_;
   std::shared_ptr<NodeContext> node_;
-  std::shared_ptr<net::Socket> socket_;
-  std::shared_ptr<SocketPromise> promise_;
+  std::shared_ptr<net::Stream> stream_;
+  std::shared_ptr<StreamPromise> promise_;
   std::uint64_t pending_token_ = 0;
   std::optional<net::FrameWriter> writer_;
   // Flow-control window: payload bytes this producer may still send

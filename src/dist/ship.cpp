@@ -53,6 +53,9 @@ class RemoteInputStub final : public serial::Serializable {
   // channel's metrics survive migration.
   std::uint64_t bytes_read = 0;
   std::uint64_t tokens_read = 0;
+  // Remote tuning (ChannelOptions::RemoteTuning) travels too.
+  std::uint64_t credit_window = 0;
+  std::uint64_t coalesce_bytes = 0;
 
   std::string type_name() const override { return "dpn.RemoteInputStub"; }
 
@@ -67,6 +70,8 @@ class RemoteInputStub final : public serial::Serializable {
     out.write_u64(read_buffer);
     out.write_u64(bytes_read);
     out.write_u64(tokens_read);
+    out.write_u64(credit_window);
+    out.write_u64(coalesce_bytes);
   }
 
   static std::shared_ptr<RemoteInputStub> read_object(
@@ -82,6 +87,8 @@ class RemoteInputStub final : public serial::Serializable {
     stub->read_buffer = in.read_u64();
     stub->bytes_read = in.read_u64();
     stub->tokens_read = in.read_u64();
+    stub->credit_window = in.read_u64();
+    stub->coalesce_bytes = in.read_u64();
     return stub;
   }
 
@@ -94,6 +101,8 @@ class RemoteInputStub final : public serial::Serializable {
     state->label = label;
     state->read_buffer = static_cast<std::size_t>(read_buffer);
     state->output_remote = true;
+    state->remote.credit_window = static_cast<std::size_t>(credit_window);
+    state->remote.coalesce_bytes = static_cast<std::size_t>(coalesce_bytes);
     state->metrics->bytes_read.store(bytes_read, std::memory_order_relaxed);
     state->metrics->tokens_read.store(tokens_read, std::memory_order_relaxed);
 
@@ -105,12 +114,15 @@ class RemoteInputStub final : public serial::Serializable {
     if (live) {
       // Dial back to the node that kept the producer (the paper's
       // "establishes a network connection back to the waiting
-      // RemoteOutputStream").
-      auto socket = std::make_shared<net::Socket>(RendezvousService::dial(
+      // RemoteOutputStream").  The channel's credit window doubles as the
+      // mux stream's receive window: the transport never buffers more
+      // than the channel would accept.
+      auto stream = RendezvousService::dial(
           host, static_cast<std::uint16_t>(port), token,
-          ctx->node->address()));
-      auto segment =
-          std::make_shared<FrameChannelInput>(std::move(socket), ctx->node);
+          ctx->node->address(), static_cast<std::size_t>(credit_window));
+      auto segment = std::make_shared<FrameChannelInput>(
+          std::move(stream), ctx->node,
+          static_cast<std::uint32_t>(coalesce_bytes));
       segment->set_parent_sequence(sequence);
       ctx->node->register_remote_input(segment);
       sequence->append(std::move(segment));
@@ -135,6 +147,9 @@ class RemoteOutputStub final : public serial::Serializable {
   // Producer-side traffic counters; see RemoteInputStub.
   std::uint64_t bytes_written = 0;
   std::uint64_t tokens_written = 0;
+  // Remote tuning (ChannelOptions::RemoteTuning).
+  std::uint64_t credit_window = 0;
+  std::uint64_t coalesce_bytes = 0;
 
   std::string type_name() const override { return "dpn.RemoteOutputStub"; }
 
@@ -148,6 +163,8 @@ class RemoteOutputStub final : public serial::Serializable {
     out.write_u64(write_buffer);
     out.write_u64(bytes_written);
     out.write_u64(tokens_written);
+    out.write_u64(credit_window);
+    out.write_u64(coalesce_bytes);
   }
 
   static std::shared_ptr<RemoteOutputStub> read_object(
@@ -162,6 +179,8 @@ class RemoteOutputStub final : public serial::Serializable {
     stub->write_buffer = in.read_u64();
     stub->bytes_written = in.read_u64();
     stub->tokens_written = in.read_u64();
+    stub->credit_window = in.read_u64();
+    stub->coalesce_bytes = in.read_u64();
     return stub;
   }
 
@@ -174,6 +193,8 @@ class RemoteOutputStub final : public serial::Serializable {
     state->label = label;
     state->write_buffer = static_cast<std::size_t>(write_buffer);
     state->input_remote = true;
+    state->remote.credit_window = static_cast<std::size_t>(credit_window);
+    state->remote.coalesce_bytes = static_cast<std::size_t>(coalesce_bytes);
     state->metrics->bytes_written.store(bytes_written,
                                         std::memory_order_relaxed);
     state->metrics->tokens_written.store(tokens_written,
@@ -183,12 +204,13 @@ class RemoteOutputStub final : public serial::Serializable {
     if (dead) {
       sink = std::make_shared<DeadOutputStream>();
     } else {
-      auto socket = std::make_shared<net::Socket>(RendezvousService::dial(
+      auto stream = RendezvousService::dial(
           host, static_cast<std::uint16_t>(port), token,
-          ctx->node->address()));
+          ctx->node->address());
       sink = std::make_shared<FrameChannelOutput>(
-          std::move(socket),
-          PeerAddress{host, static_cast<std::uint16_t>(port)}, ctx->node);
+          std::move(stream),
+          PeerAddress{host, static_cast<std::uint16_t>(port)}, ctx->node,
+          static_cast<std::size_t>(credit_window));
     }
     auto sequence =
         std::make_shared<io::SequenceOutputStream>(std::move(sink));
@@ -214,6 +236,8 @@ class LocalPairStub final : public serial::Serializable {
   bool read_closed = false;
   std::uint64_t write_buffer = 0;
   std::uint64_t read_buffer = 0;
+  std::uint64_t credit_window = 0;
+  std::uint64_t coalesce_bytes = 0;
   // Full traffic counters: the whole channel moves, so both directions'
   // metrics travel with the metadata stub.
   std::uint64_t bytes_written = 0;
@@ -235,6 +259,8 @@ class LocalPairStub final : public serial::Serializable {
       out.write_bool(read_closed);
       out.write_u64(write_buffer);
       out.write_u64(read_buffer);
+      out.write_u64(credit_window);
+      out.write_u64(coalesce_bytes);
       out.write_u64(bytes_written);
       out.write_u64(tokens_written);
       out.write_u64(bytes_read);
@@ -256,6 +282,8 @@ class LocalPairStub final : public serial::Serializable {
       stub->read_closed = in.read_bool();
       stub->write_buffer = in.read_u64();
       stub->read_buffer = in.read_u64();
+      stub->credit_window = in.read_u64();
+      stub->coalesce_bytes = in.read_u64();
       stub->bytes_written = in.read_u64();
       stub->tokens_written = in.read_u64();
       stub->bytes_read = in.read_u64();
@@ -276,7 +304,9 @@ class LocalPairStub final : public serial::Serializable {
           static_cast<std::size_t>(capacity), buffered.size());
       channel = std::make_shared<core::Channel>(core::ChannelOptions{
           cap, label, static_cast<std::size_t>(write_buffer),
-          static_cast<std::size_t>(read_buffer)});
+          static_cast<std::size_t>(read_buffer),
+          {static_cast<std::size_t>(credit_window),
+           static_cast<std::size_t>(coalesce_bytes)}});
       if (!buffered.empty()) {
         channel->pipe()->write({buffered.data(), buffered.size()});
       }
@@ -342,6 +372,8 @@ std::shared_ptr<serial::Serializable> make_pair_stub(
     stub->label = state->label;
     stub->write_buffer = state->write_buffer;
     stub->read_buffer = state->read_buffer;
+    stub->credit_window = state->remote.credit_window;
+    stub->coalesce_bytes = state->remote.coalesce_bytes;
     stub->bytes_written =
         state->metrics->bytes_written.load(std::memory_order_relaxed);
     stub->tokens_written =
@@ -391,6 +423,8 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
   stub->label = state->label;
   stub->capacity = state->capacity;
   stub->read_buffer = state->read_buffer;
+  stub->credit_window = state->remote.credit_window;
+  stub->coalesce_bytes = state->remote.coalesce_bytes;
   stub->bytes_read =
       state->metrics->bytes_read.load(std::memory_order_relaxed);
   stub->tokens_read =
@@ -415,11 +449,11 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
     // positions; writes after the switch coalesce towards the socket.
     const std::uint64_t token = node.next_token();
     auto promise = node.rendezvous().expect(token);
-    auto socket_out =
-        std::make_shared<FrameChannelOutput>(promise, token, ctx->node);
+    auto stream_out = std::make_shared<FrameChannelOutput>(
+        promise, token, ctx->node, state->remote.credit_window);
     state->pipe->set_unbounded();  // unwedge any in-flight producer write
     flush_producer(state);
-    producer->sequence().switch_to(std::move(socket_out),
+    producer->sequence().switch_to(std::move(stream_out),
                                    /*close_old=*/false);
     stub->buffered = drain_unconsumed(state);
     stub->live = true;
@@ -464,6 +498,8 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->label = state->label;
     stub->capacity = state->capacity;
     stub->write_buffer = state->write_buffer;
+    stub->credit_window = state->remote.credit_window;
+    stub->coalesce_bytes = state->remote.coalesce_bytes;
     stub->bytes_written =
         state->metrics->bytes_written.load(std::memory_order_relaxed);
     stub->tokens_written =
@@ -475,8 +511,9 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     } else {
       const std::uint64_t token = node.next_token();
       auto promise = node.rendezvous().expect(token);
-      auto segment =
-          std::make_shared<FrameChannelInput>(promise, token, ctx->node);
+      auto segment = std::make_shared<FrameChannelInput>(
+          promise, token, ctx->node,
+          static_cast<std::uint32_t>(state->remote.coalesce_bytes));
       segment->set_parent_sequence(consumer->sequence_ptr());
       ctx->node->register_remote_input(segment);
       consumer->sequence().append(std::move(segment));
@@ -503,6 +540,8 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->label = state->label;
     stub->capacity = state->capacity;
     stub->write_buffer = state->write_buffer;
+    stub->credit_window = state->remote.credit_window;
+    stub->coalesce_bytes = state->remote.coalesce_bytes;
     stub->bytes_written =
         state->metrics->bytes_written.load(std::memory_order_relaxed);
     stub->tokens_written =

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.hpp"
+
+/// The multiplexed transport backend (TransportKind::kMux).
+///
+/// All logical streams between one pair of hosts share ONE TCP
+/// connection, driven by the process-wide edge-triggered EventLoop
+/// (net/event_loop.hpp).  Connection count is O(host pairs), not
+/// O(channels): 50k channels between two nodes cost two descriptors,
+/// one per direction of dialing.
+///
+/// Wire format (docs/PROTOCOLS.md Section 8).  Each side sends a preface
+/// immediately after connect:
+///
+///   preface := magic:u32 'DPNM' version:u8 default_window:u32
+///
+/// then the connection carries frames:
+///
+///   frame := stream_id:u32 type:u8 length:u32 payload[length]
+///
+///   OPEN(0)        payload = window:u32 -- dialer opens stream_id and
+///                  grants the acceptor `window` bytes of send credit
+///   DATA(1)        payload = stream bytes (counted against the window)
+///   DATA_TRACED(2) payload = TraceContext(17B) + stream bytes; the
+///                  context bytes are NOT counted against the window
+///   CREDIT(3)      payload = bytes:u32 -- receiver consumed, send more
+///   FIN(4)         sender finished writing (ordered after its data)
+///   RST(5)         sender stopped reading; peer writes fail
+///
+/// Stream ids are allocated by the dialer only, so the two directions of
+/// dialing between a host pair can never collide.  The dialer's initial
+/// send window comes from the acceptor's preface default_window; the
+/// acceptor's from the OPEN frame (DialOptions::stream_window).  Credit
+/// is granted by the consuming side as it reads, mirroring the channel
+/// layer's remote-credit machinery one level down.
+///
+/// Fairness: each connection flushes its ready streams round-robin, one
+/// chunk (<= NetworkOptions::coalesce_bytes) per turn, so one hot stream
+/// cannot starve its siblings on the shared connection.
+namespace dpn::net {
+
+/// Aggregate counters of the mux backend (all zero when it is unused).
+/// Mirrored into NetworkSnapshot so dpn_top can show streams/connection.
+struct MuxStats {
+  /// Live mux connections (both dialed and accepted).
+  std::uint64_t connections = 0;
+  /// Logical streams currently open across all connections.
+  std::uint64_t streams_active = 0;
+  /// Logical streams ever opened.
+  std::uint64_t streams_total = 0;
+  /// Times a writer blocked with an exhausted per-stream credit window.
+  std::uint64_t credit_stalls = 0;
+  /// Total nanoseconds spent in those stalls.
+  std::uint64_t credit_stall_ns = 0;
+};
+
+MuxStats mux_stats();
+
+/// The process-wide mux Transport singleton (owns the EventLoop; prefer
+/// transport_for(TransportKind::kMux)).
+Transport& mux_transport();
+
+}  // namespace dpn::net

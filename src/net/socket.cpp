@@ -295,6 +295,55 @@ void Socket::set_no_delay(bool on) {
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof flag);
 }
 
+void Socket::set_nonblocking(bool on) {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+std::optional<std::size_t> Socket::try_read_some(MutableByteSpan out) {
+  if (out.empty()) return std::size_t{0};
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    if (errno == ECONNRESET || errno == EBADF || errno == ENOTCONN) {
+      return std::size_t{0};  // end-of-stream, as in read_some
+    }
+    throw_errno("recv");
+  }
+}
+
+std::optional<std::size_t> Socket::try_write_some(ByteSpan data) {
+  if (data.empty()) return std::size_t{0};
+  // Metered (fault-injected) sockets cap each attempt to the remaining
+  // byte budget and crash the connection when it runs out -- the shared
+  // mux connection dies mid-stream exactly like a per-channel socket.
+  if (kill_after_ == 0) {
+    hard_reset();
+    throw ChannelClosed{"socket killed after byte budget (fault injection)"};
+  }
+  if (kill_after_ > 0) {
+    data = data.subspan(
+        0, std::min<std::size_t>(data.size(),
+                                 static_cast<std::size_t>(kill_after_)));
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      if (kill_after_ > 0) kill_after_ -= n;
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
+    throw_errno("send");
+  }
+}
+
 ServerSocket::ServerSocket(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "fault/fault.hpp"
@@ -82,6 +83,26 @@ class Socket {
 
   /// Disables Nagle; remote channels are latency-sensitive.
   void set_no_delay(bool on);
+
+  /// Switches the descriptor in/out of O_NONBLOCK.  The event-loop
+  /// backend runs its connections nonblocking; everything else stays
+  /// blocking.
+  void set_nonblocking(bool on);
+
+  /// Nonblocking single read attempt (fd must be in O_NONBLOCK):
+  /// nullopt when the operation would block, 0 at end-of-stream, else
+  /// bytes read.  Error mapping as read_some.
+  std::optional<std::size_t> try_read_some(MutableByteSpan out);
+
+  /// Nonblocking single write attempt: nullopt when the send buffer is
+  /// full, else bytes accepted (possibly fewer than data.size()).
+  /// Honours the fault-injection kill-after-bytes budget exactly like
+  /// write_all -- the metered path is what makes "kill the shared mux
+  /// connection after N bytes" deterministic.
+  std::optional<std::size_t> try_write_some(ByteSpan data);
+
+  /// The raw descriptor, for epoll registration.  -1 when closed.
+  int fd() const { return fd_; }
 
  private:
   void write_metered(ByteSpan data);

@@ -1,0 +1,122 @@
+#include "net/transport.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "support/bytes.hpp"
+
+namespace dpn::net {
+
+void Stream::write_vectored(ByteSpan a, ByteSpan b) {
+  // Generic gather: one temporary so the two parts stay one unit even on
+  // transports without a native scatter write.
+  ByteVector merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  write_all({merged.data(), merged.size()});
+}
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kBlocking:
+      return "blocking";
+    case TransportKind::kMux:
+      return "mux";
+  }
+  return "?";
+}
+
+NetworkOptions NetworkOptions::from_env() {
+  NetworkOptions options;
+  if (const char* env = std::getenv("DPN_TRANSPORT")) {
+    if (std::string{env} == "mux") options.transport = TransportKind::kMux;
+  }
+  return options;
+}
+
+NetworkOptions& network_options() {
+  static NetworkOptions* options = new NetworkOptions{NetworkOptions::from_env()};
+  return *options;
+}
+
+namespace {
+
+/// The classic backend: one TCP connection per stream, blocking reads and
+/// writes on the caller's thread.  Everything PR 0-6 did, behind the new
+/// interface.
+class BlockingListener final : public Listener {
+ public:
+  explicit BlockingListener(std::uint16_t port) : server_(port) {}
+
+  std::shared_ptr<Stream> accept() override {
+    return std::make_shared<SocketStream>(server_.accept());
+  }
+
+  std::uint16_t port() const override { return server_.port(); }
+  void close() override { server_.close(); }
+  bool closed() const override { return server_.closed(); }
+
+ private:
+  ServerSocket server_;
+};
+
+class BlockingTransport final : public Transport {
+ public:
+  TransportKind kind() const override { return TransportKind::kBlocking; }
+
+  std::shared_ptr<Stream> dial(const std::string& host, std::uint16_t port,
+                               const DialOptions& options) override {
+    return std::make_shared<SocketStream>(
+        Socket::connect(host, port, options.timeout));
+  }
+
+  std::shared_ptr<Listener> listen(std::uint16_t port) override {
+    return std::make_shared<BlockingListener>(port);
+  }
+};
+
+}  // namespace
+
+// Defined in net/mux.cpp; declared here so transport.cpp stays the only
+// registry of backends.
+Transport& mux_transport();
+
+Transport& transport_for(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kMux:
+      return mux_transport();
+    case TransportKind::kBlocking:
+      break;
+  }
+  static BlockingTransport* blocking = new BlockingTransport;
+  return *blocking;
+}
+
+Transport& default_transport() {
+  return transport_for(network_options().transport);
+}
+
+std::shared_ptr<Stream> dial_with_retry(Transport& transport,
+                                        const std::string& host,
+                                        std::uint16_t port,
+                                        const fault::RetryPolicy& policy,
+                                        std::size_t stream_window) {
+  // The whole retry loop is one histogram sample: what the caller
+  // experienced, backoff included (same accounting as connect_with_retry).
+  const auto start = std::chrono::steady_clock::now();
+  DialOptions options;
+  options.timeout = policy.connect_timeout;
+  options.stream_window = stream_window;
+  auto stream = fault::with_retry(
+      policy, "dial " + host + ":" + std::to_string(port),
+      [&] { return transport.dial(host, port, options); });
+  obs::runtime_histograms().connect.record_shared(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return stream;
+}
+
+}  // namespace dpn::net

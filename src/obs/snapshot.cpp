@@ -1,6 +1,7 @@
 #include "obs/snapshot.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "fault/fault.hpp"
@@ -38,7 +39,13 @@ HistogramSnapshot read_histogram(io::DataInputStream& in) {
 
 std::string us_string(std::uint64_t ns) { return std::to_string(ns / 1000); }
 
+std::atomic<TransportStats (*)()> g_transport_stats_source{nullptr};
+
 }  // namespace
+
+void set_transport_stats_source(TransportStats (*source)()) {
+  g_transport_stats_source.store(source, std::memory_order_release);
+}
 
 void NetworkSnapshot::fill_fault_counters() {
   const fault::FaultStats& stats = fault::stats();
@@ -58,6 +65,17 @@ void NetworkSnapshot::fill_runtime_counters() {
   trace_dropped = tracer.dropped();
   task_rtt = runtime_histograms().task_rtt.snapshot();
   connect_latency = runtime_histograms().connect.snapshot();
+}
+
+void NetworkSnapshot::fill_transport_counters() {
+  const auto source = g_transport_stats_source.load(std::memory_order_acquire);
+  if (source == nullptr) return;
+  const TransportStats stats = source();
+  mux_connections = stats.mux_connections;
+  mux_streams_active = stats.mux_streams_active;
+  mux_streams_total = stats.mux_streams_total;
+  mux_credit_stalls = stats.mux_credit_stalls;
+  mux_credit_stall_ns = stats.mux_credit_stall_ns;
 }
 
 std::uint64_t NetworkSnapshot::blocked_readers() const {
@@ -165,6 +183,15 @@ ByteVector NetworkSnapshot::encode_as(std::uint8_t want_version) const {
     out.write_u64(sched_dispatches);
     out.write_u64(sched_parks);
   }
+
+  // Version 5: mux transport counters, appended like the rest.
+  if (v >= 5) {
+    out.write_u64(mux_connections);
+    out.write_u64(mux_streams_active);
+    out.write_u64(mux_streams_total);
+    out.write_u64(mux_credit_stalls);
+    out.write_u64(mux_credit_stall_ns);
+  }
   return sink->take();
 }
 
@@ -260,6 +287,13 @@ NetworkSnapshot NetworkSnapshot::decode_prefix(ByteSpan bytes,
     snapshot.sched_dispatches = in.read_u64();
     snapshot.sched_parks = in.read_u64();
   }
+  if (version >= 5) {
+    snapshot.mux_connections = in.read_u64();
+    snapshot.mux_streams_active = in.read_u64();
+    snapshot.mux_streams_total = in.read_u64();
+    snapshot.mux_credit_stalls = in.read_u64();
+    snapshot.mux_credit_stall_ns = in.read_u64();
+  }
   return snapshot;
 }
 
@@ -284,6 +318,11 @@ void NetworkSnapshot::merge_from(NetworkSnapshot&& other) {
   sched_steals += other.sched_steals;
   sched_dispatches += other.sched_dispatches;
   sched_parks += other.sched_parks;
+  mux_connections += other.mux_connections;
+  mux_streams_active += other.mux_streams_active;
+  mux_streams_total += other.mux_streams_total;
+  mux_credit_stalls += other.mux_credit_stalls;
+  mux_credit_stall_ns += other.mux_credit_stall_ns;
   task_rtt.merge(other.task_rtt);
   connect_latency.merge(other.connect_latency);
   for (auto& p : other.processes) processes.push_back(std::move(p));
@@ -316,6 +355,13 @@ std::string NetworkSnapshot::to_string() const {
            " steals=" + std::to_string(sched_steals) +
            " dispatches=" + std::to_string(sched_dispatches) +
            " parks=" + std::to_string(sched_parks) + "\n";
+  }
+  if (mux_connections > 0) {
+    out += "mux: connections=" + std::to_string(mux_connections) +
+           " streams=" + std::to_string(mux_streams_active) + "/" +
+           std::to_string(mux_streams_total) +
+           " credit_stalls=" + std::to_string(mux_credit_stalls) +
+           " stall_time=" + us_string(mux_credit_stall_ns) + "us\n";
   }
   if (!task_rtt.empty()) {
     out += "task rtt: n=" + std::to_string(task_rtt.count) +

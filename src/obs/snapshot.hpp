@@ -77,13 +77,29 @@ struct ProcessSnapshot {
   std::uint64_t steps = 0;
 };
 
+/// Transport-plane counters for the version-5 snapshot suffix.  The obs
+/// library sits below net in the dependency order, so it cannot read
+/// net::mux_stats() directly; the net library registers a source with
+/// set_transport_stats_source() instead, and fill_transport_counters()
+/// reads through it (zeros when no transport has been used).
+struct TransportStats {
+  std::uint64_t mux_connections = 0;
+  std::uint64_t mux_streams_active = 0;
+  std::uint64_t mux_streams_total = 0;
+  std::uint64_t mux_credit_stalls = 0;
+  std::uint64_t mux_credit_stall_ns = 0;
+};
+
+void set_transport_stats_source(TransportStats (*source)());
+
 struct NetworkSnapshot {
   /// Current wire-format version.  v2 appended the fault counters, v3
   /// appended the trace accounting, the runtime histograms and the
-  /// per-channel wait histograms, v4 appends the M:N scheduler counters
-  /// -- all at top level, after everything the previous version wrote,
-  /// so old readers prefix-parse newer payloads.
-  static constexpr std::uint8_t kVersion = 4;
+  /// per-channel wait histograms, v4 appended the M:N scheduler counters,
+  /// v5 appends the mux transport counters -- all at top level, after
+  /// everything the previous version wrote, so old readers prefix-parse
+  /// newer payloads.
+  static constexpr std::uint8_t kVersion = 5;
 
   /// The version this snapshot was decoded from (kVersion for locally
   /// built ones).  fleet_stats logs it per peer and merges the common
@@ -130,6 +146,15 @@ struct NetworkSnapshot {
   std::uint64_t sched_dispatches = 0;
   std::uint64_t sched_parks = 0;
 
+  // --- mux transport counters (version >= 5; zero on the blocking
+  // transport, filled from net::mux_stats() through the registered
+  // transport-stats source otherwise) ---
+  std::uint64_t mux_connections = 0;
+  std::uint64_t mux_streams_active = 0;
+  std::uint64_t mux_streams_total = 0;
+  std::uint64_t mux_credit_stalls = 0;
+  std::uint64_t mux_credit_stall_ns = 0;
+
   std::vector<ProcessSnapshot> processes;
   std::vector<ChannelSnapshot> channels;
 
@@ -139,6 +164,10 @@ struct NetworkSnapshot {
   /// Copies the tracer accounting and the process-wide runtime
   /// histograms into this snapshot (the version-3 fields).
   void fill_runtime_counters();
+
+  /// Copies the process-wide transport counters (the version-5 fields)
+  /// from the registered source; no-op when none is registered.
+  void fill_transport_counters();
 
   // --- derived queries (used by the monitor and tests) ---
   std::uint64_t blocked_readers() const;

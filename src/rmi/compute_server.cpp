@@ -48,29 +48,28 @@ std::uint64_t steady_now_ns() {
 constexpr std::uint8_t kReplyMarker = 0xB0;
 constexpr std::uint8_t kHeartbeatMarker = 0xB1;
 
-io::DataInputStream make_in(const std::shared_ptr<net::Socket>& socket) {
-  return io::DataInputStream{std::make_shared<net::SocketInputStream>(socket)};
+io::DataInputStream make_in(const std::shared_ptr<net::Stream>& stream) {
+  return io::DataInputStream{std::make_shared<net::StreamInput>(stream)};
 }
 
-io::DataOutputStream make_out(const std::shared_ptr<net::Socket>& socket) {
-  return io::DataOutputStream{
-      std::make_shared<net::SocketOutputStream>(socket)};
+io::DataOutputStream make_out(const std::shared_ptr<net::Stream>& stream) {
+  return io::DataOutputStream{std::make_shared<net::StreamOutput>(stream)};
 }
 
 /// Client side of the framing: consumes heartbeats until the reply
 /// marker.  Throws WorkerLost on lease expiry (no byte for `patience`)
 /// or a dropped connection -- fail fast instead of hanging forever.
-void await_reply(net::Socket& socket, const fault::LeaseOptions& lease,
+void await_reply(net::Stream& stream, const fault::LeaseOptions& lease,
                  const std::string& what) {
   for (;;) {
-    if (!socket.wait_readable(lease.patience)) {
+    if (!stream.wait_readable(lease.patience)) {
       fault::stats().lease_expiries.fetch_add(1, std::memory_order_relaxed);
       throw WorkerLost{what + ": no heartbeat within " +
                        std::to_string(lease.patience.count()) +
                        "ms -- worker lost"};
     }
     std::uint8_t marker = 0;
-    if (socket.read_some({&marker, 1}) == 0) {
+    if (stream.read_some({&marker, 1}) == 0) {
       throw WorkerLost{what + ": connection lost"};
     }
     if (marker == kHeartbeatMarker) continue;
@@ -88,10 +87,11 @@ ComputeServer::ComputeServer(std::string name,
     : name_(std::move(name)),
       node_(node ? std::move(node) : dist::NodeContext::create()),
       lease_(lease),
-      server_(0),
+      listener_(net::default_transport().listen(0)),
       trace_tag_(next_trace_tag()) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
-  log::info("compute server '", name_, "' listening on port ", server_.port());
+  log::info("compute server '", name_, "' listening on port ",
+            listener_->port());
 }
 
 ComputeServer::~ComputeServer() { stop(); }
@@ -105,7 +105,7 @@ void ComputeServer::register_with(const std::string& registry_host,
 void ComputeServer::stop() {
   if (stopping_.exchange(true)) return;
   hosted_cv_.notify_all();  // wake stats streamers so stop() can join them
-  server_.close();
+  listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::jthread> workers;
   {
@@ -125,10 +125,12 @@ obs::NetworkSnapshot ComputeServer::snapshot() const {
   snap.remote_bytes_received =
       traffic.bytes_received.load(std::memory_order_relaxed);
   snap.fill_fault_counters();
-  // Trace/task-RTT/connect counters are process-global; in an in-process
-  // simulated fleet every server reports the same values (fleet_stats
-  // merges are therefore an upper bound there, exact for real fleets).
+  // Trace/task-RTT/connect/mux counters are process-global; in an
+  // in-process simulated fleet every server reports the same values
+  // (fleet_stats merges are therefore an upper bound there, exact for
+  // real fleets).
   snap.fill_runtime_counters();
+  snap.fill_transport_counters();
 
   std::scoped_lock lock{hosted_mutex_};
   std::set<const core::ChannelState*> seen;
@@ -191,20 +193,19 @@ void ComputeServer::run_hosted(std::uint64_t id) {
 
 void ComputeServer::accept_loop() {
   for (;;) {
-    net::Socket socket;
+    std::shared_ptr<net::Stream> stream;
     try {
-      socket = server_.accept();
+      stream = listener_->accept();
     } catch (const NetError&) {
       return;  // stopped
     }
-    auto shared = std::make_shared<net::Socket>(std::move(socket));
     // Each request gets its own thread: run(Task) is synchronous and may
     // be long, and deserializing a process graph dials back for channels,
     // which must not block unrelated requests.
     std::scoped_lock lock{workers_mutex_};
-    workers_.emplace_back([this, shared] {
+    workers_.emplace_back([this, stream = std::move(stream)] {
       try {
-        handle(shared);
+        handle(stream);
       } catch (const std::exception& e) {
         log::warn("compute server '", name_, "': request failed: ", e.what());
       }
@@ -212,13 +213,13 @@ void ComputeServer::accept_loop() {
   }
 }
 
-void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
+void ComputeServer::handle(std::shared_ptr<net::Stream> stream) {
   // Everything this thread does -- including running a hosted process,
   // whose spawned threads inherit the tag -- records trace events under
   // this server's host tag.
   obs::set_node_tag(trace_tag_);
-  auto in = make_in(socket);
-  auto out = make_out(socket);
+  auto in = make_in(stream);
+  auto out = make_out(stream);
   const auto op = static_cast<Op>(in.read_u8());
   switch (op) {
     case Op::kRunProcess:
@@ -444,8 +445,8 @@ void ComputeServer::handle(std::shared_ptr<net::Socket> socket) {
 }
 
 std::shared_ptr<core::Task> TaskFuture::get() {
-  if (!socket_) throw UsageError{"TaskFuture::get on an invalid future"};
-  auto socket = std::move(socket_);
+  if (!stream_) throw UsageError{"TaskFuture::get on an invalid future"};
+  auto socket = std::move(stream_);
   await_reply(*socket, lease_, "compute server task");
   obs::runtime_histograms().task_rtt.record_shared(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -467,8 +468,8 @@ std::shared_ptr<core::Task> TaskFuture::get() {
 
 void ProcessHandle::join() {
   if (!valid()) throw UsageError{"ProcessHandle::join on an invalid handle"};
-  auto socket = std::make_shared<net::Socket>(
-      net::connect_with_retry(endpoint_.host, endpoint_.port));
+  auto socket = net::dial_with_retry(net::default_transport(), endpoint_.host,
+                                     endpoint_.port, {});
   auto out = make_out(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kJoinProcess));
   out.write_u64(id_);
@@ -482,8 +483,8 @@ void ProcessHandle::join() {
 
 void ProcessHandle::abort() {
   if (!valid()) throw UsageError{"ProcessHandle::abort on an invalid handle"};
-  auto socket = std::make_shared<net::Socket>(
-      net::connect_with_retry(endpoint_.host, endpoint_.port));
+  auto socket = net::dial_with_retry(net::default_transport(), endpoint_.host,
+                                     endpoint_.port, {});
   auto out = make_out(socket);
   auto in = make_in(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kAbortProcess));
@@ -522,10 +523,10 @@ ServerHandle ServerHandle::lookup(const std::string& registry_host,
   return handle;
 }
 
-std::shared_ptr<net::Socket> ServerHandle::connect_() {
+std::shared_ptr<net::Stream> ServerHandle::connect_() {
   try {
-    return std::make_shared<net::Socket>(
-        net::connect_with_retry(endpoint_.host, endpoint_.port, retry_));
+    return net::dial_with_retry(net::default_transport(), endpoint_.host,
+                                endpoint_.port, retry_);
   } catch (const NetError&) {
     if (provenance_) {
       // NACK the registry entry so repeated failures evict it; best
@@ -599,17 +600,17 @@ obs::NetworkSnapshot ServerHandle::stats() {
 }
 
 std::optional<obs::NetworkSnapshot> StatsStream::next() {
-  if (!socket_) return std::nullopt;
-  auto in = make_in(socket_);
+  if (!stream_) return std::nullopt;
+  auto in = make_in(stream_);
   try {
     if (!in.read_bool()) {
-      socket_.reset();  // clean end-of-stream
+      stream_.reset();  // clean end-of-stream
       return std::nullopt;
     }
     const ByteVector reply = in.read_bytes();
     return obs::NetworkSnapshot::decode({reply.data(), reply.size()});
   } catch (const IoError&) {
-    socket_.reset();  // server went away mid-stream
+    stream_.reset();  // server went away mid-stream
     return std::nullopt;
   }
 }
@@ -648,15 +649,6 @@ std::pair<std::int64_t, std::uint64_t> ServerHandle::probe_clock() {
   return {static_cast<std::int64_t>(server_now) -
               static_cast<std::int64_t>(midpoint),
           t1 - t0};
-}
-
-void ServerHandle::run_async(const std::shared_ptr<core::Process>& process) {
-  submit(process);
-}
-
-std::shared_ptr<core::Task> ServerHandle::run(
-    const std::shared_ptr<core::Task>& task) {
-  return submit(task).get();
 }
 
 void ServerHandle::ping() {

@@ -18,7 +18,7 @@
 #include "core/task.hpp"
 #include "dist/node.hpp"
 #include "fault/fault.hpp"
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "rmi/registry.hpp"
@@ -62,7 +62,7 @@ class ComputeServer {
   ComputeServer& operator=(const ComputeServer&) = delete;
 
   const std::string& name() const { return name_; }
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return listener_->port(); }
   const std::shared_ptr<dist::NodeContext>& node() const { return node_; }
 
   /// This server's trace node tag: every handler thread (and therefore
@@ -96,14 +96,14 @@ class ComputeServer {
   };
 
   void accept_loop();
-  void handle(std::shared_ptr<net::Socket> socket);
+  void handle(std::shared_ptr<net::Stream> stream);
   std::uint64_t host_process(std::shared_ptr<core::Process> process);
   void run_hosted(std::uint64_t id);
 
   std::string name_;
   std::shared_ptr<dist::NodeContext> node_;
   fault::LeaseOptions lease_;
-  net::ServerSocket server_;
+  std::shared_ptr<net::Listener> listener_;
   std::uint32_t trace_tag_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> processes_hosted_{0};
@@ -127,7 +127,7 @@ class TaskFuture {
  public:
   TaskFuture() = default;
 
-  bool valid() const { return socket_ != nullptr; }
+  bool valid() const { return stream_ != nullptr; }
 
   /// Blocks until the server replies, then deserializes and returns the
   /// completed task.  Throws IoError if the task failed remotely, and
@@ -138,15 +138,15 @@ class TaskFuture {
 
  private:
   friend class ServerHandle;
-  TaskFuture(std::shared_ptr<net::Socket> socket,
+  TaskFuture(std::shared_ptr<net::Stream> stream,
              std::shared_ptr<dist::NodeContext> local,
              fault::LeaseOptions lease)
-      : socket_(std::move(socket)),
+      : stream_(std::move(stream)),
         local_(std::move(local)),
         lease_(lease),
         submitted_(std::chrono::steady_clock::now()) {}
 
-  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<net::Stream> stream_;
   std::shared_ptr<dist::NodeContext> local_;
   fault::LeaseOptions lease_;
   /// submit() time; get() records the full round trip into the task-RTT
@@ -157,13 +157,13 @@ class TaskFuture {
 /// Live snapshot stream from a ComputeServer (the STATS_STREAM op):
 /// the server pushes one encoded NetworkSnapshot per interval until the
 /// requested count is reached or the subscriber goes away.  Dropping the
-/// stream object closes the socket, which the server notices on its next
-/// push.  examples/dpn_top.cpp is the reference consumer.
+/// stream object closes the connection, which the server notices on its
+/// next push.  examples/dpn_top.cpp is the reference consumer.
 class StatsStream {
  public:
   StatsStream() = default;
 
-  bool valid() const { return socket_ != nullptr; }
+  bool valid() const { return stream_ != nullptr; }
 
   /// Blocks for the next pushed snapshot; nullopt when the server ends
   /// the stream (count reached or server stopping).
@@ -171,10 +171,10 @@ class StatsStream {
 
  private:
   friend class ServerHandle;
-  explicit StatsStream(std::shared_ptr<net::Socket> socket)
-      : socket_(std::move(socket)) {}
+  explicit StatsStream(std::shared_ptr<net::Stream> stream)
+      : stream_(std::move(stream)) {}
 
-  std::shared_ptr<net::Socket> socket_;
+  std::shared_ptr<net::Stream> stream_;
 };
 
 /// Handle to a process hosted by a remote ComputeServer, returned by
@@ -256,12 +256,6 @@ class ServerHandle {
   /// the tightest bound on the offset.
   std::pair<std::int64_t, std::uint64_t> probe_clock();
 
-  [[deprecated("use submit(process)")]] void run_async(
-      const std::shared_ptr<core::Process>& process);
-
-  [[deprecated("use submit(task).get()")]] std::shared_ptr<core::Task> run(
-      const std::shared_ptr<core::Task>& task);
-
   /// Round-trip health check.
   void ping();
 
@@ -277,7 +271,7 @@ class ServerHandle {
 
   /// Connects with retry; on final failure, best-effort NACKs the
   /// registry entry (when lookup provenance is known) before rethrowing.
-  std::shared_ptr<net::Socket> connect_();
+  std::shared_ptr<net::Stream> connect_();
 
   Endpoint endpoint_;
   std::shared_ptr<dist::NodeContext> local_;

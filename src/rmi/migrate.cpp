@@ -17,7 +17,7 @@ bool migrate(const std::shared_ptr<core::IterativeProcess>& process,
     destination.submit(process);
     DPN_TRACE_EVENT(obs::TraceKind::kMigrate, process->name());
   } catch (const NetError&) {
-    // Could not reach the server: run_async connects before it
+    // Could not reach the server: submit connects before it
     // serializes, so the graph is untouched and resuming in place is
     // safe.
     process->resume();

@@ -17,15 +17,15 @@ enum class Op : std::uint8_t {
 };
 
 std::pair<io::DataInputStream, io::DataOutputStream> wrap(
-    const std::shared_ptr<net::Socket>& socket) {
-  return {io::DataInputStream{std::make_shared<net::SocketInputStream>(socket)},
-          io::DataOutputStream{
-              std::make_shared<net::SocketOutputStream>(socket)}};
+    const std::shared_ptr<net::Stream>& stream) {
+  return {io::DataInputStream{std::make_shared<net::StreamInput>(stream)},
+          io::DataOutputStream{std::make_shared<net::StreamOutput>(stream)}};
 }
 
 }  // namespace
 
-Registry::Registry(std::uint16_t port) : server_(port) {
+Registry::Registry(std::uint16_t port)
+    : listener_(net::default_transport().listen(port)) {
   acceptor_ = std::jthread{[this] { accept_loop(); }};
 }
 
@@ -33,7 +33,7 @@ Registry::~Registry() { stop(); }
 
 void Registry::stop() {
   if (stopping_.exchange(true)) return;
-  server_.close();
+  listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
 }
 
@@ -44,23 +44,22 @@ std::vector<std::pair<std::string, Endpoint>> Registry::entries() const {
 
 void Registry::accept_loop() {
   for (;;) {
-    net::Socket socket;
+    std::shared_ptr<net::Stream> stream;
     try {
-      socket = server_.accept();
+      stream = listener_->accept();
     } catch (const NetError&) {
       return;  // stopped
     }
     try {
-      handle(std::move(socket));
+      handle(std::move(stream));
     } catch (const std::exception& e) {
       log::warn("registry: request failed: ", e.what());
     }
   }
 }
 
-void Registry::handle(net::Socket socket) {
-  auto shared = std::make_shared<net::Socket>(std::move(socket));
-  auto [in, out] = wrap(shared);
+void Registry::handle(std::shared_ptr<net::Stream> stream) {
+  auto [in, out] = wrap(stream);
   const auto op = static_cast<Op>(in.read_u8());
   switch (op) {
     case Op::kRegister: {
@@ -150,13 +149,13 @@ void Registry::handle(net::Socket socket) {
   }
 }
 
-net::Socket RegistryClient::connect_() {
-  return net::connect_with_retry(host_, port_, retry_);
+std::shared_ptr<net::Stream> RegistryClient::connect_() {
+  return net::dial_with_retry(net::default_transport(), host_, port_, retry_);
 }
 
 void RegistryClient::register_name(const std::string& name,
                                    const Endpoint& endpoint) {
-  auto socket = std::make_shared<net::Socket>(connect_());
+  auto socket = connect_();
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kRegister));
   out.write_string(name);
@@ -166,7 +165,7 @@ void RegistryClient::register_name(const std::string& name,
 }
 
 void RegistryClient::unregister_name(const std::string& name) {
-  auto socket = std::make_shared<net::Socket>(connect_());
+  auto socket = connect_();
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kUnregister));
   out.write_string(name);
@@ -174,7 +173,7 @@ void RegistryClient::unregister_name(const std::string& name) {
 }
 
 std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
-  auto socket = std::make_shared<net::Socket>(connect_());
+  auto socket = connect_();
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kLookup));
   out.write_string(name);
@@ -186,7 +185,7 @@ std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
 }
 
 std::vector<std::string> RegistryClient::list() {
-  auto socket = std::make_shared<net::Socket>(connect_());
+  auto socket = connect_();
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kList));
   const std::uint64_t n = in.read_varint();
@@ -198,7 +197,7 @@ std::vector<std::string> RegistryClient::list() {
 
 bool RegistryClient::report_unreachable(const std::string& name,
                                         const Endpoint& endpoint) {
-  auto socket = std::make_shared<net::Socket>(connect_());
+  auto socket = connect_();
   auto [in, out] = wrap(socket);
   out.write_u8(static_cast<std::uint8_t>(Op::kReport));
   out.write_string(name);

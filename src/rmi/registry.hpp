@@ -10,9 +10,9 @@
 #include <vector>
 
 #include "fault/fault.hpp"
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 
-/// A small TCP name service standing in for the RMI registry (paper
+/// A small name service standing in for the RMI registry (paper
 /// Section 4.1): compute servers register themselves by name, and client
 /// applications look them up to obtain host:port endpoints.
 namespace dpn::rmi {
@@ -43,7 +43,7 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return listener_->port(); }
 
   /// Entries currently registered (server-side view, for tests/tools).
   std::vector<std::pair<std::string, Endpoint>> entries() const;
@@ -52,9 +52,9 @@ class Registry {
 
  private:
   void accept_loop();
-  void handle(net::Socket socket);
+  void handle(std::shared_ptr<net::Stream> stream);
 
-  net::ServerSocket server_;
+  std::shared_ptr<net::Listener> listener_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Endpoint> names_;
   std::unordered_map<std::string, int> strikes_;
@@ -81,7 +81,7 @@ class RegistryClient {
   bool report_unreachable(const std::string& name, const Endpoint& endpoint);
 
  private:
-  net::Socket connect_();
+  std::shared_ptr<net::Stream> connect_();
 
   std::string host_;
   std::uint16_t port_;

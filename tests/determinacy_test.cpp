@@ -6,6 +6,7 @@
 
 #include "core/network.hpp"
 #include "dist/ship.hpp"
+#include "net/transport.hpp"
 #include "factor/factor.hpp"
 #include "par/schema.hpp"
 #include "processes/arith.hpp"
@@ -208,6 +209,84 @@ TEST(Determinacy, DistributedRunMatchesLocalRun) {
   const auto remote = run_once(true);
   ASSERT_EQ(local.size(), 300u);
   EXPECT_EQ(local, remote);
+}
+
+// --- Transport x scheduler matrix -------------------------------------------
+//
+// Determinacy must also survive the transport substrate: the same
+// distributed pipeline run over the blocking transport (one TCP
+// connection per channel) and the mux transport (stream-id-tagged frames
+// over one connection per host pair), under both thread-per-process and
+// M:N work-stealing execution, must produce byte-identical histories.
+
+struct TransportSchedConfig {
+  std::string label;
+  net::TransportKind transport;
+  sched::SchedulerOptions sched;
+};
+
+std::vector<TransportSchedConfig> transport_matrix() {
+  std::vector<TransportSchedConfig> matrix;
+  for (const net::TransportKind kind :
+       {net::TransportKind::kBlocking, net::TransportKind::kMux}) {
+    const std::string name =
+        kind == net::TransportKind::kMux ? "mux" : "blocking";
+    matrix.push_back({name + " / threads", kind, {}});
+    sched::SchedulerOptions mn;
+    mn.mode = sched::SchedMode::kWorkSteal;
+    mn.workers = 2;
+    matrix.push_back({name + " / work-steal x2", kind, mn});
+  }
+  return matrix;
+}
+
+TEST(TransportMatrix, DistributedHistoryByteIdentical) {
+  const net::TransportKind saved = net::network_options().transport;
+  std::vector<std::int64_t> reference;
+  for (const auto& config : transport_matrix()) {
+    net::network_options().transport = config.transport;
+    // Nodes are created after the transport switch so their rendezvous
+    // listeners (and every dial-back) use the row's backend.
+    auto node_a = dist::NodeContext::create();
+    auto node_b = dist::NodeContext::create();
+
+    auto ch1 = std::make_shared<Channel>(128, "tm-ch1");
+    auto ch2 = std::make_shared<Channel>(128, "tm-ch2");
+    auto ch3 = std::make_shared<Channel>(128, "tm-ch3");
+    auto sink = std::make_shared<CollectSink<std::int64_t>>();
+
+    auto source = std::make_shared<Sequence>(-50, ch1->output(), 300);
+    auto stage1 = std::make_shared<Scale>(ch1->input(), ch2->output(), -7);
+    std::shared_ptr<core::Process> stage2 =
+        std::make_shared<Identity>(ch2->input(), ch3->output());
+    auto drain = std::make_shared<Collect>(ch3->input(), sink);
+
+    const ByteVector shipment = dist::ship_process(node_a, stage2);
+    stage2 =
+        dist::receive_process(node_b, {shipment.data(), shipment.size()});
+
+    Network host_a;
+    host_a.set_scheduler(config.sched);
+    host_a.add(source);
+    host_a.add(stage1);
+    host_a.add(drain);
+    Network host_b;
+    host_b.set_scheduler(config.sched);
+    host_b.add(stage2);
+
+    std::jthread remote{[&] { host_b.run(); }};
+    host_a.run();
+    remote.join();
+
+    const auto values = sink->values();
+    ASSERT_EQ(values.size(), 300u) << config.label;
+    if (reference.empty()) {
+      reference = values;
+    } else {
+      EXPECT_EQ(values, reference) << config.label;
+    }
+  }
+  net::network_options().transport = saved;
 }
 
 // --- Scheduler matrix -------------------------------------------------------

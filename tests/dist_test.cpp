@@ -32,16 +32,15 @@ TEST(Rendezvous, ExpectThenDial) {
   auto node_b = NodeContext::create();
   auto promise = node_a->rendezvous().expect(42);
   std::jthread dialer{[&] {
-    net::Socket socket = RendezvousService::dial(
+    std::shared_ptr<net::Stream> stream = RendezvousService::dial(
         "127.0.0.1", node_a->rendezvous().port(), 42, node_b->address());
     const std::string hello = "hi";
-    socket.write_all(as_bytes(hello));
+    stream->write_all(as_bytes(hello));
   }};
-  net::Socket socket = promise->wait();
+  std::shared_ptr<net::Stream> stream = promise->wait();
   EXPECT_EQ(promise->dialer().port, node_b->rendezvous().port());
   ByteVector buffer(2);
-  io::read_fully(*std::make_shared<net::SocketInputStream>(
-                     std::make_shared<net::Socket>(std::move(socket))),
+  io::read_fully(*std::make_shared<net::StreamInput>(stream),
                  {buffer.data(), buffer.size()});
   EXPECT_EQ(to_string({buffer.data(), buffer.size()}), "hi");
 }
@@ -49,14 +48,14 @@ TEST(Rendezvous, ExpectThenDial) {
 TEST(Rendezvous, DialBeforeExpectIsParked) {
   auto node_a = NodeContext::create();
   auto node_b = NodeContext::create();
-  net::Socket dialed = RendezvousService::dial(
+  std::shared_ptr<net::Stream> dialed = RendezvousService::dial(
       "127.0.0.1", node_a->rendezvous().port(), 7, node_b->address());
   // Give the acceptor time to park the connection.
   std::this_thread::sleep_for(std::chrono::milliseconds{50});
   auto promise = node_a->rendezvous().expect(7);
   EXPECT_TRUE(promise->fulfilled());
-  net::Socket socket = promise->wait();
-  EXPECT_TRUE(socket.valid());
+  std::shared_ptr<net::Stream> stream = promise->wait();
+  EXPECT_TRUE(stream != nullptr);
 }
 
 TEST(Rendezvous, ForgetCancelsWaiter) {

@@ -11,6 +11,7 @@
 #include "io/memory.hpp"
 #include "image/codec.hpp"
 #include "net/frames.hpp"
+#include "net/transport.hpp"
 #include "obs/snapshot.hpp"
 #include "par/generic.hpp"
 #include "par/schema.hpp"
@@ -399,6 +400,69 @@ TEST(Fault, SocketKilledAfterByteBudget) {
   // and the write surfaces as an IoError, long before 256000 bytes.
   EXPECT_THROW(flood(), IoError);
   server.close();
+}
+
+TEST(Fault, MuxConnectionKilledSurfacesWorkerLostPerStream) {
+  // Two logical channels ride node B's single mux connection back to
+  // node A.  Kill that shared connection after a byte budget: every
+  // affected consumer must see WorkerLost promptly -- not a hang, and
+  // not a silent truncation dressed up as a clean end-of-stream.
+  const net::TransportKind saved = net::network_options().transport;
+  net::network_options().transport = net::TransportKind::kMux;
+  struct RestoreTransport {
+    net::TransportKind saved;
+    ~RestoreTransport() { net::network_options().transport = saved; }
+  } restore{saved};
+
+  auto node_a = dist::NodeContext::create();
+  auto node_b = dist::NodeContext::create();
+
+  auto ch1 = std::make_shared<Channel>(256);
+  auto ch2 = std::make_shared<Channel>(256);
+  auto sink1 = std::make_shared<CollectSink<std::int64_t>>();
+  auto sink2 = std::make_shared<CollectSink<std::int64_t>>();
+  auto source1 = std::make_shared<Sequence>(0, ch1->output());    // unbounded
+  auto source2 = std::make_shared<Sequence>(100, ch2->output());  // unbounded
+  auto drain1 = std::make_shared<Collect>(ch1->input(), sink1);
+  auto drain2 = std::make_shared<Collect>(ch2->input(), sink2);
+
+  const ByteVector ship1 = dist::ship_process(node_a, source1);
+  const ByteVector ship2 = dist::ship_process(node_a, source2);
+
+  // Budget well past the rendezvous handshakes (~100 bytes) but far
+  // short of the producers' unbounded output.  Both dial-backs target
+  // node A's rendezvous, so they share one metered connection.
+  auto plan = std::make_shared<fault::Plan>();
+  plan->kill_after_bytes("127.0.0.1", node_a->rendezvous().port(), 8192, 1);
+  fault::ScopedPlan scoped{std::move(plan)};
+
+  auto remote1 = std::dynamic_pointer_cast<core::IterativeProcess>(
+      dist::receive_process(node_b, {ship1.data(), ship1.size()}));
+  auto remote2 = std::dynamic_pointer_cast<core::IterativeProcess>(
+      dist::receive_process(node_b, {ship2.data(), ship2.size()}));
+  ASSERT_TRUE(remote1);
+  ASSERT_TRUE(remote2);
+
+  // The producers die of ChannelClosed when the connection resets; that
+  // side's stop is routine (a lost *consumer* is end-of-demand).
+  std::jthread prod1{[&] {
+    try {
+      remote1->run();
+    } catch (const std::exception&) {
+    }
+  }};
+  std::jthread prod2{[&] {
+    try {
+      remote2->run();
+    } catch (const std::exception&) {
+    }
+  }};
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(drain1->run(), WorkerLost);
+  EXPECT_THROW(drain2->run(), WorkerLost);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds{30});
 }
 
 TEST(Fault, RegistryEvictsUnreachableEndpoints) {

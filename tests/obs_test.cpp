@@ -484,6 +484,11 @@ NetworkSnapshot make_v3_sample() {
   snap.sched_steals = 11;
   snap.sched_dispatches = 95;
   snap.sched_parks = 3;
+  snap.mux_connections = 3;     // v5 fields
+  snap.mux_streams_active = 128;
+  snap.mux_streams_total = 500;
+  snap.mux_credit_stalls = 17;
+  snap.mux_credit_stall_ns = 9'000'000;
   ChannelSnapshot c;
   c.id = 5;
   c.label = "v3";
@@ -519,10 +524,17 @@ TEST(SnapshotV3, TraceCountersAndHistogramsRoundTrip) {
   EXPECT_EQ(copy.sched_workers, 2u);
   EXPECT_EQ(copy.sched_steals, 11u);
   EXPECT_EQ(copy.sched_dispatches, 95u);
+  // ...and the v5 mux transport counters.
+  EXPECT_EQ(copy.mux_connections, 3u);
+  EXPECT_EQ(copy.mux_streams_active, 128u);
+  EXPECT_EQ(copy.mux_streams_total, 500u);
+  EXPECT_EQ(copy.mux_credit_stalls, 17u);
+  EXPECT_EQ(copy.mux_credit_stall_ns, 9'000'000u);
   // The rendering includes the new percentile lines.
   EXPECT_NE(copy.to_string().find("task rtt"), std::string::npos);
   EXPECT_NE(copy.to_string().find("trace: recorded=1000"), std::string::npos);
   EXPECT_NE(copy.to_string().find("sched: workers=2"), std::string::npos);
+  EXPECT_NE(copy.to_string().find("mux: connections=3"), std::string::npos);
 }
 
 TEST(SnapshotCompat, V3ReaderAcceptsOldWriters) {
@@ -555,6 +567,14 @@ TEST(SnapshotCompat, V3ReaderAcceptsOldWriters) {
   EXPECT_EQ(from_v3.trace_recorded, 1000u);  // v3 field present
   EXPECT_EQ(from_v3.sched_workers, 0u);      // v4 field: default
   EXPECT_EQ(from_v3.sched_steals, 0u);
+
+  const ByteVector v4 = snap.encode_as(4);
+  const NetworkSnapshot from_v4 =
+      NetworkSnapshot::decode({v4.data(), v4.size()});
+  EXPECT_EQ(from_v4.version, 4);
+  EXPECT_EQ(from_v4.sched_steals, 11u);      // v4 field present
+  EXPECT_EQ(from_v4.mux_connections, 0u);    // v5 field: default
+  EXPECT_EQ(from_v4.mux_credit_stalls, 0u);
 }
 
 TEST(SnapshotCompat, OldReaderAcceptsV3Writer) {
@@ -583,22 +603,54 @@ TEST(SnapshotCompat, OldReaderAcceptsV3Writer) {
   EXPECT_EQ(v3_view.version, 3);
   EXPECT_EQ(v3_view.trace_recorded, 1000u);
   EXPECT_EQ(v3_view.sched_workers, 0u);  // v4 tail ignored by a v3 reader
+
+  const NetworkSnapshot v4_view =
+      NetworkSnapshot::decode_prefix({v3.data(), v3.size()}, 4);
+  EXPECT_EQ(v4_view.version, 4);
+  EXPECT_EQ(v4_view.sched_steals, 11u);
+  EXPECT_EQ(v4_view.mux_connections, 0u);  // v5 tail ignored by a v4 reader
+}
+
+// The v1 x v5 corners of the compat matrix, explicitly: the oldest
+// deployed reader against today's writer and vice versa.
+TEST(SnapshotCompat, V1ReaderAcceptsV5Writer) {
+  const NetworkSnapshot snap = make_v3_sample();
+  const ByteVector v5 = snap.encode();  // kVersion == 5
+  const NetworkSnapshot v1_view =
+      NetworkSnapshot::decode_prefix({v5.data(), v5.size()}, 1);
+  EXPECT_EQ(v1_view.version, 1);
+  EXPECT_EQ(v1_view.live, 1u);
+  ASSERT_EQ(v1_view.channels.size(), 1u);
+  EXPECT_EQ(v1_view.channels[0].label, "v3");
+  EXPECT_EQ(v1_view.mux_connections, 0u);  // v5 tail invisible to v1
+}
+
+TEST(SnapshotCompat, V5ReaderAcceptsV1Writer) {
+  const NetworkSnapshot snap = make_v3_sample();
+  const ByteVector v1 = snap.encode_as(1);
+  const NetworkSnapshot from_v1 =
+      NetworkSnapshot::decode({v1.data(), v1.size()});
+  EXPECT_EQ(from_v1.version, 1);
+  EXPECT_EQ(from_v1.live, 1u);
+  EXPECT_EQ(from_v1.mux_connections, 0u);     // never written: default
+  EXPECT_EQ(from_v1.mux_credit_stall_ns, 0u);
 }
 
 TEST(SnapshotCompat, FutureVersionDegradesToKnownPrefix) {
-  // Synthesize a "v5" payload: today's bytes, a bumped version byte, and
+  // Synthesize a "v6" payload: today's bytes, a bumped version byte, and
   // trailing fields this build has never heard of.  The append-only rule
   // says we must parse our prefix and ignore the rest.
   const NetworkSnapshot snap = make_v3_sample();
   ByteVector bytes = snap.encode();
-  bytes[0] = 5;
+  bytes[0] = 6;
   for (int i = 0; i < 13; ++i) bytes.push_back(0xEE);
   const NetworkSnapshot copy =
       NetworkSnapshot::decode({bytes.data(), bytes.size()});
   EXPECT_EQ(copy.version, NetworkSnapshot::kVersion);
   EXPECT_EQ(copy.trace_recorded, 1000u);
   EXPECT_EQ(copy.task_rtt.count, 50u);
-  EXPECT_EQ(copy.sched_steals, 11u);  // v4 prefix parsed before the tail
+  EXPECT_EQ(copy.sched_steals, 11u);       // v4 prefix parsed before the tail
+  EXPECT_EQ(copy.mux_connections, 3u);     // v5 prefix too
   ASSERT_EQ(copy.channels.size(), 1u);
   EXPECT_EQ(copy.channels[0].write_block.count, 3u);
 }
@@ -612,6 +664,7 @@ TEST(SnapshotCompat, MergeTakesCommonDenominatorVersion) {
   EXPECT_EQ(fleet.live, 2u);            // counters still sum
   EXPECT_EQ(fleet.trace_recorded, 1000u);  // v3 side kept its own data
   EXPECT_EQ(fleet.sched_steals, 11u);      // v4 side kept its own data too
+  EXPECT_EQ(fleet.mux_connections, 3u);    // and the v5 side
   EXPECT_EQ(fleet.channels.size(), 2u);
 }
 

@@ -224,10 +224,9 @@ TEST(ComputeServer, RunAsyncHostsProcessGraph) {
 
 TEST(ComputeServer, RejectsCorruptShipment) {
   ComputeServer server{"corrupt"};
-  auto socket = std::make_shared<net::Socket>(
-      net::Socket::connect("127.0.0.1", server.port()));
-  io::DataOutputStream out{std::make_shared<net::SocketOutputStream>(socket)};
-  io::DataInputStream in{std::make_shared<net::SocketInputStream>(socket)};
+  auto stream = net::default_transport().dial("127.0.0.1", server.port(), {});
+  io::DataOutputStream out{std::make_shared<net::StreamOutput>(stream)};
+  io::DataInputStream in{std::make_shared<net::StreamInput>(stream)};
   out.write_u8(1);  // kRunProcess
   const ByteVector junk{9, 9, 9};
   out.write_bytes({junk.data(), junk.size()});
