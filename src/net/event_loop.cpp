@@ -87,13 +87,24 @@ void EventLoop::remove(int fd) {
 
 EventLoop::TimerId EventLoop::add_timer(std::chrono::milliseconds delay,
                                         std::function<void()> fn) {
+  // An idle wheel's anchor is stale by however long epoll_wait slept
+  // (unbounded when nothing was armed).  Re-anchor on the 0->1
+  // transition, or the end-of-iteration advance_wheel() "catches up" the
+  // whole idle gap and sweeps past this entry's slot, firing it
+  // instantly instead of `delay` from now.
+  if (armed_.load(std::memory_order_relaxed) == 0) {
+    wheel_time_ = std::chrono::steady_clock::now();
+  }
   // Round up: a timer must never fire early.
   const std::uint64_t ticks = static_cast<std::uint64_t>(
       (delay.count() + kTick.count() - 1) / kTick.count());
   const std::uint64_t ahead = ticks == 0 ? 1 : ticks;
   TimerEntry entry;
   entry.id = next_timer_id_++;
-  entry.rounds = static_cast<std::uint32_t>(ahead / kWheelSlots);
+  // ahead >= 1, so (ahead - 1) / kWheelSlots counts only *full* extra
+  // revolutions; plain ahead / kWheelSlots would overshoot by a whole
+  // revolution whenever ahead is an exact multiple of the slot count.
+  entry.rounds = static_cast<std::uint32_t>((ahead - 1) / kWheelSlots);
   entry.fn = std::move(fn);
   const std::size_t slot = (wheel_pos_ + ahead) % kWheelSlots;
   const TimerId id = entry.id;

@@ -246,6 +246,7 @@ class MuxConnection final : public EventLoop::Handler,
 
   bool dead() const { return dead_.load(std::memory_order_acquire); }
   const std::string& peer() const { return peer_; }
+  EventLoop& loop() { return loop_; }
 
  private:
   void register_with_loop();
@@ -367,7 +368,13 @@ class MuxTransport final : public Transport {
   const std::size_t coalesce_;
   EventLoop loop_;
 
+  /// Guards dial_locks_ only -- never held across I/O.
   std::mutex dial_mutex_;
+  /// One establishment lock per host:port, so a slow or unreachable host
+  /// cannot head-of-line-block dials to healthy hosts.  Entries are never
+  /// erased: bounded by the number of distinct peers ever dialed.
+  std::map<std::pair<std::string, std::uint16_t>, std::shared_ptr<std::mutex>>
+      dial_locks_;
   std::mutex conns_mutex_;
   std::map<std::pair<std::string, std::uint16_t>,
            std::shared_ptr<MuxConnection>>
@@ -533,10 +540,34 @@ void MuxStream::write_all(ByteSpan data) {
 }
 
 bool MuxStream::wait_readable(std::chrono::milliseconds timeout) {
-  std::unique_lock lock{mutex_};
-  return recv_cv_.wait_for(lock, timeout, [&] {
+  const auto ready = [this] {
     return !inbound_.empty() || dead_ || read_shutdown_;
+  };
+  if (!sched::on_fiber()) {
+    std::unique_lock lock{mutex_};
+    return recv_cv_.wait_for(lock, timeout, ready);
+  }
+  // Run-to-block, like read_some: a cv wait here would pin an OS worker
+  // for the whole timeout (RMI clients poll with lease.patience), which
+  // starves the M:N pool.  Park on the scheduler WaitQueue instead and
+  // arm one loop timer that kicks the readers at the deadline.  The kick
+  // runs under mutex_, so either this fiber is already parked when it
+  // fires (the kick wakes it) or the fiber's next deadline check is
+  // ordered after the kick and observes the expiry -- no lost wakeup.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  conn_->loop().post([self = shared_from_this(), timeout] {
+    self->conn_->loop().add_timer(timeout, [self] {
+      std::scoped_lock lock{self->mutex_};
+      self->wake_readers_locked();
+    });
   });
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    if (ready()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    sched::suspend_current(recv_fibers_, lock);
+    lock.lock();
+  }
 }
 
 void MuxStream::shutdown_write() {
@@ -1094,14 +1125,22 @@ std::shared_ptr<Stream> MuxTransport::dial(const std::string& host,
                                            std::uint16_t port,
                                            const DialOptions& options) {
   const auto key = std::make_pair(host, port);
+  // Establishment is serialized *per host:port*: two threads dialing the
+  // same host must not race a duplicate connection into the epoll handler
+  // table, but establish() blocks for up to the connect timeout, so dials
+  // to different hosts must not queue behind one unreachable peer.
+  // forget() takes neither dial lock, so a dying connection cannot
+  // deadlock against a dial in flight.
+  std::shared_ptr<std::mutex> key_mutex;
+  {
+    std::scoped_lock lock{dial_mutex_};
+    auto& slot = dial_locks_[key];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    key_mutex = slot;
+  }
   std::shared_ptr<MuxConnection> conn;
   {
-    // Establishment is serialized: two threads dialing the same host must
-    // not race a duplicate connection into the epoll handler table.
-    // Dials are rare (one per host pair, cached after that), so one lock
-    // is enough; forget() never takes it, so a dying connection cannot
-    // deadlock against a dial in flight.
-    std::scoped_lock dial_lock{dial_mutex_};
+    std::scoped_lock dial_lock{*key_mutex};
     {
       std::scoped_lock lock{conns_mutex_};
       const auto it = dialed_.find(key);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <future>
 #include <thread>
 
 #include "io/memory.hpp"
+#include "net/event_loop.hpp"
 #include "net/frames.hpp"
 #include "net/socket.hpp"
 
@@ -107,6 +109,56 @@ TEST(SocketStreams, StreamOverSocket) {
   ByteVector reply(message.size());
   io::read_fully(in, {reply.data(), reply.size()});
   EXPECT_EQ(to_string({reply.data(), reply.size()}), message);
+}
+
+// --- Event-loop timer wheel --------------------------------------------------
+
+TEST(EventLoopTimers, FiresAfterDelay) {
+  EventLoop loop;
+  std::promise<void> fired;
+  const auto armed_at = std::chrono::steady_clock::now();
+  loop.post([&] {
+    loop.add_timer(std::chrono::milliseconds{50}, [&] { fired.set_value(); });
+  });
+  auto done = fired.get_future();
+  ASSERT_EQ(done.wait_for(std::chrono::seconds{5}), std::future_status::ready);
+  EXPECT_GE(std::chrono::steady_clock::now() - armed_at,
+            std::chrono::milliseconds{40});
+}
+
+TEST(EventLoopTimers, ArmedAfterIdleGapFiresAfterItsDelay) {
+  EventLoop loop;
+  // Let the loop go fully idle (no timers armed, epoll_wait parked) for
+  // longer than the timer delay.  Regression: the wheel anchor went stale
+  // across the idle gap, and the end-of-iteration catch-up swept past the
+  // freshly armed entry's slot, firing it instantly -- the "first mux
+  // accept after an idle period dies with a preface timeout at t=0" bug.
+  std::this_thread::sleep_for(std::chrono::milliseconds{250});
+  std::promise<void> fired;
+  const auto armed_at = std::chrono::steady_clock::now();
+  loop.post([&] {
+    loop.add_timer(std::chrono::milliseconds{100}, [&] { fired.set_value(); });
+  });
+  auto done = fired.get_future();
+  ASSERT_EQ(done.wait_for(std::chrono::seconds{5}), std::future_status::ready);
+  EXPECT_GE(std::chrono::steady_clock::now() - armed_at,
+            std::chrono::milliseconds{90});
+}
+
+TEST(EventLoopTimers, CancelledTimerNeverFires) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  std::promise<void> cancelled;
+  loop.post([&] {
+    const auto id = loop.add_timer(std::chrono::milliseconds{30},
+                                   [&] { fired.store(true); });
+    loop.cancel_timer(id);
+    cancelled.set_value();
+  });
+  cancelled.get_future().wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds{80});
+  EXPECT_FALSE(fired.load());
+  EXPECT_EQ(loop.armed_timers(), 0u);
 }
 
 // --- Frame codec -------------------------------------------------------------
