@@ -287,20 +287,37 @@ void FrameChannelOutput::await_credit_locked() {
   if (!credit_reader_) {
     credit_reader_.emplace(std::make_shared<net::StreamInput>(stream_));
   }
-  const net::Frame frame = credit_reader_->read_frame();
-  switch (frame.type) {
-    case net::FrameType::kCredit:
-      if (frame.payload.size() != 4) {
-        throw IoError{"malformed credit frame"};
-      }
-      window_ += get_u32(frame.payload.data());
-      break;
-    case net::FrameType::kFin:
-      // The consumer is gone (orderly close or synthetic on shutdown):
-      // the writer's turn to terminate.
-      throw ChannelClosed{"remote reader closed while writer awaited credit"};
-    default:
-      throw IoError{"unexpected frame on the credit channel"};
+  // Block for the grant we need, then DRAIN every credit frame already
+  // buffered.  Reading one frame per stall lets unread grants accumulate
+  // in the transport (the consumer emits roughly one small credit frame
+  // per data frame, so their wire volume rivals the data's): once they
+  // fill the receive buffer / mux window of this reverse direction, the
+  // consumer's next grant blocks, it stops reading our data, and the
+  // connection gridlocks in both directions.  Draining to empty keeps the
+  // standing queue near zero, so the credit direction always has room.
+  bool block = true;
+  for (;;) {
+    if (!block &&
+        !stream_->wait_readable(std::chrono::milliseconds{0})) {
+      return;
+    }
+    const net::Frame frame = credit_reader_->read_frame();
+    switch (frame.type) {
+      case net::FrameType::kCredit:
+        if (frame.payload.size() != 4) {
+          throw IoError{"malformed credit frame"};
+        }
+        window_ += get_u32(frame.payload.data());
+        block = false;
+        break;
+      case net::FrameType::kFin:
+        // The consumer is gone (orderly close or synthetic on shutdown):
+        // the writer's turn to terminate.
+        throw ChannelClosed{
+            "remote reader closed while writer awaited credit"};
+      default:
+        throw IoError{"unexpected frame on the credit channel"};
+    }
   }
 }
 
@@ -314,6 +331,21 @@ void FrameChannelOutput::close() {
     ensure_connected_locked();
     writer_->write_fin();
     stream_->shutdown_write();
+    // We will never read again either: our only inbound traffic is credit
+    // frames, and the FIN above promises the consumer no more data, so any
+    // credit it sends from here on is void.  Saying so matters on the mux
+    // backend: a consumer mid-grant can be parked on this stream's credit
+    // window (its grants count against the mux window of the reverse
+    // direction, which only our await_credit reads ever replenish).  The
+    // per-stream RST that abandon_read emits there fails that write with
+    // ChannelClosed -- which FrameChannelInput::send_credit treats as
+    // "producer done" -- instead of leaving the consumer wedged until
+    // node teardown.  On the blocking backend abandon_read is a no-op
+    // (NOT a SHUT_RD: a shut-down TCP receive side answers late credit
+    // bytes with a connection-wide RST that would destroy our own
+    // undelivered tail and FIN); there the await_credit_locked
+    // drain-to-empty keeps the credit backlog from wedging anyone.
+    stream_->abandon_read();
     park_stream_locked();
   } catch (const IoError&) {
     // Consumer already gone; nothing to tell it.
@@ -361,6 +393,9 @@ void FrameChannelOutput::redirect_and_finish(std::uint64_t successor_token) {
   writer_->write_redirect(info);
   writer_->write_fin();
   stream_->shutdown_write();
+  // Same as close(): this segment never reads credits again; where the
+  // transport can say so safely (mux), unpark a consumer mid-grant.
+  stream_->abandon_read();
   park_stream_locked();
   closed_ = true;
 }

@@ -176,8 +176,25 @@ void EventLoop::run() {
       log::warn("event loop: epoll_wait: ", std::strerror(errno));
       return;
     }
-    // Drain posts first: add()/remove() posted from other threads must
-    // apply before handler dispatch sees stale registrations.
+    // Reset the wake counter BEFORE draining the post queue.  The other
+    // order loses wakeups: a post() that lands between the queue drain
+    // and the eventfd read has its wake consumed with nothing left in
+    // the queue for it, and the loop re-enters an unbounded epoll_wait
+    // with the function still queued.  One shared loop gets re-woken by
+    // unrelated traffic soon enough to hide that; a per-connection loop
+    // whose only work arrives via post() sleeps forever.  Resetting
+    // first makes any concurrent post's wake stick to the next
+    // epoll_wait (worst case one spurious wakeup).
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        break;
+      }
+    }
+    // Drain posts before handler dispatch: add()/remove() posted from
+    // other threads must apply before dispatch sees stale registrations.
     std::vector<std::function<void()>> posted;
     {
       std::scoped_lock lock{post_mutex_};
@@ -193,12 +210,7 @@ void EventLoop::run() {
     if (stopping_.load(std::memory_order_acquire)) return;
     for (int i = 0; i < std::max(n, 0); ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
-        std::uint64_t drained = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(wake_fd_, &drained, sizeof drained);
-        continue;
-      }
+      if (fd == wake_fd_) continue;
       const auto it = handlers_.find(fd);
       if (it == handlers_.end()) continue;  // removed by an earlier handler
       try {

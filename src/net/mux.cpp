@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/event_loop.hpp"
+#include "net/reactor.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sched/fiber.hpp"
@@ -131,6 +132,11 @@ class MuxStream final : public Stream,
   bool wait_readable(std::chrono::milliseconds timeout) override;
   void shutdown_write() override;
   void shutdown_read() override;
+  // A mux RST is scoped to this logical stream's receive direction: our
+  // queued outbound chunks and FIN still flush in order, so abandoning
+  // the read side is safe here (and unparks a peer stalled mid-grant on
+  // this direction's credit window).
+  void abandon_read() override { shutdown_read(); }
   void close() override {
     // Same shape as SocketStream::close: both half-closes, idempotent.
     shutdown_read();
@@ -332,9 +338,12 @@ class MuxListener final : public Listener,
 };
 
 // ---------------------------------------------------------------------------
-// MuxTransport: the backend singleton -- owns the EventLoop, the dial
-// cache (one connection per dialed host:port) and the keep-alive registry
-// for accepted connections.
+// MuxTransport: the backend singleton -- owns the dial cache (one
+// connection per dialed host:port) and the keep-alive registry for
+// accepted connections.  Connections are driven by the process-wide
+// per-core reactor() pool: each connection is assigned one loop
+// round-robin at establishment and keeps it for life, so one hot
+// connection cannot serialize every other connection's reactor work.
 
 class MuxTransport final : public Transport {
  public:
@@ -348,7 +357,8 @@ class MuxTransport final : public Transport {
                                const DialOptions& options) override;
   std::shared_ptr<Listener> listen(std::uint16_t port) override;
 
-  EventLoop& loop() { return loop_; }
+  /// The reactor loop the next established connection is pinned to.
+  EventLoop& next_loop() { return reactor().next(); }
   std::size_t stream_window() const { return stream_window_; }
   std::size_t coalesce() const { return coalesce_; }
 
@@ -366,7 +376,6 @@ class MuxTransport final : public Transport {
 
   const std::size_t stream_window_;
   const std::size_t coalesce_;
-  EventLoop loop_;
 
   /// Guards dial_locks_ only -- never held across I/O.
   std::mutex dial_mutex_;
@@ -983,7 +992,9 @@ void MuxConnection::dispatch_frame(std::uint32_t stream_id, MuxFrame type,
     const auto it = streams_.find(stream_id);
     if (it != streams_.end()) stream = it->second;
   }
-  if (!stream) return;  // closed locally; in-flight frames drop harmlessly
+  if (!stream) {  // closed locally; in-flight frames drop harmlessly
+    return;
+  }
   switch (type) {
     case MuxFrame::kData:
       stream->on_data(payload, nullptr);
@@ -1077,8 +1088,8 @@ void MuxListener::accept_loop(const std::stop_token& stop) {
     socket->set_nonblocking(true);
     std::string peer = socket->peer_description();
     auto conn = std::make_shared<MuxConnection>(
-        transport_, transport_.loop(), std::move(socket), /*dialer=*/false,
-        std::move(peer), weak_from_this());
+        transport_, transport_.next_loop(), std::move(socket),
+        /*dialer=*/false, std::move(peer), weak_from_this());
     transport_.adopt(conn);
     conn->start_acceptor();
   }
@@ -1192,7 +1203,7 @@ std::shared_ptr<MuxConnection> MuxTransport::establish(
   auto socket = std::make_shared<Socket>(std::move(raw));
   socket->set_nonblocking(true);
   auto conn = std::make_shared<MuxConnection>(
-      *this, loop_, std::move(socket), /*dialer=*/true,
+      *this, next_loop(), std::move(socket), /*dialer=*/true,
       host + ":" + std::to_string(port), std::weak_ptr<MuxListener>{});
   conn->start_dialer(peer_window);
   return conn;
@@ -1255,8 +1266,9 @@ MuxStats mux_stats() {
 }
 
 Transport& mux_transport() {
-  // Leaked on purpose (matches the blocking singleton): the EventLoop
-  // thread must not be torn down by static destruction order.
+  // Leaked on purpose (matches the blocking singleton and the reactor
+  // pool): loop threads must not be torn down by static destruction
+  // order.
   static MuxTransport* transport = new MuxTransport;
   return *transport;
 }

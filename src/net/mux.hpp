@@ -4,13 +4,17 @@
 
 #include "net/transport.hpp"
 
-/// The multiplexed transport backend (TransportKind::kMux).
+/// The multiplexed transport backend (TransportKind::kMux) -- the
+/// compiled-in default transport (DPN_TRANSPORT=blocking opts out).
 ///
 /// All logical streams between one pair of hosts share ONE TCP
-/// connection, driven by the process-wide edge-triggered EventLoop
-/// (net/event_loop.hpp).  Connection count is O(host pairs), not
-/// O(channels): 50k channels between two nodes cost two descriptors,
-/// one per direction of dialing.
+/// connection, driven by the per-core edge-triggered EventLoop pool
+/// (net/reactor.hpp): each connection is pinned to one loop of the pool
+/// at establishment (round-robin), its timers and posts stay
+/// loop-local, and separate connections scale across cores instead of
+/// serializing behind a single reactor thread.  Connection count is
+/// O(host pairs), not O(channels): 50k channels between two nodes cost
+/// two descriptors, one per direction of dialing.
 ///
 /// Wire format (docs/PROTOCOLS.md Section 8).  Each side sends a preface
 /// immediately after connect:
@@ -59,8 +63,8 @@ struct MuxStats {
 
 MuxStats mux_stats();
 
-/// The process-wide mux Transport singleton (owns the EventLoop; prefer
-/// transport_for(TransportKind::kMux)).
+/// The process-wide mux Transport singleton (drives its connections on
+/// the per-core reactor() pool; prefer transport_for(TransportKind::kMux)).
 Transport& mux_transport();
 
 }  // namespace dpn::net

@@ -13,7 +13,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/reactor.hpp"
 #include "obs/metrics.hpp"
+#include "sched/fiber.hpp"
 
 namespace dpn::net {
 namespace {
@@ -85,6 +87,24 @@ Socket Socket::connect(const std::string& host, std::uint16_t port,
         throw NetError{"connect to " + where + " timed out after " +
                        std::to_string(timeout.count()) + "ms"};
       }
+      if (sched::on_fiber()) {
+        // Run-to-block: a fiber must not pin its OS worker in poll() for
+        // up to the connect timeout (a blackholed peer would starve every
+        // sibling process on this worker).  Probe non-blocking, then park
+        // on the reactor until the descriptor turns writable.  The wait
+        // may report ready spuriously, so the probe re-runs on wake.
+        pollfd probe{};
+        probe.fd = fd;
+        probe.events = POLLOUT;
+        const int n = ::poll(&probe, 1, 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          throw_errno("poll");
+        }
+        if (n > 0) break;
+        wait_fd_ready(fd, /*want_write=*/true, remaining);
+        continue;
+      }
       pollfd pfd{};
       pfd.fd = fd;
       pfd.events = POLLOUT;
@@ -137,9 +157,19 @@ Socket connect_with_retry(const std::string& host, std::uint16_t port,
 std::size_t Socket::read_some(MutableByteSpan out) {
   if (out.empty()) return 0;
   for (;;) {
-    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    // On a fiber the receive is non-blocking and a would-block parks the
+    // *fiber* on the reactor (run-to-block): a raw blocking recv would
+    // wedge the OS worker and starve every other process scheduled on
+    // it.  Plain threads keep the classic blocking recv.
+    const bool fiber = sched::on_fiber();
+    const ssize_t n =
+        ::recv(fd_, out.data(), out.size(), fiber ? MSG_DONTWAIT : 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
+    if (fiber && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_fd_ready(fd_, /*want_write=*/false, std::nullopt);
+      continue;
+    }
     if (errno == ECONNRESET || errno == EBADF || errno == ENOTCONN) {
       // Peer vanished or we shut down locally: treat as end-of-stream so
       // the cascading-termination path runs instead of a hard error.
@@ -228,20 +258,33 @@ void Socket::write_vectored(ByteSpan a, ByteSpan b) {
 bool Socket::wait_readable(std::chrono::milliseconds timeout) const {
   if (fd_ < 0) return true;  // a read will fail immediately; don't block
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const bool fiber = sched::on_fiber();
   for (;;) {
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            deadline - std::chrono::steady_clock::now());
-    if (remaining.count() <= 0) return false;
     pollfd pfd{};
     pfd.fd = fd_;
     pfd.events = POLLIN;
-    const int n = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    // Instantaneous probe before the deadline check, so a zero timeout
+    // means "already readable?" rather than an unconditional false (the
+    // credit-drain path in dist relies on that).
+    int n = ::poll(&pfd, 1, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return true;  // let the read surface the error
     }
     if (n > 0) return true;  // readable, EOF, or error -- all "readable"
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;
+    if (fiber) {
+      // Fibers park on the reactor for the wait (the RMI lease layer
+      // polls with patience-scale timeouts -- pinning a worker in poll()
+      // for seconds would starve the M:N pool).
+      wait_fd_ready(fd_, /*want_write=*/false, remaining);
+      continue;  // re-probe: the reactor wakeup may be spurious
+    }
+    n = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (n < 0 && errno != EINTR) return true;
   }
 }
 
@@ -271,6 +314,7 @@ void Socket::close() {
 }
 
 std::uint16_t Socket::local_port() const {
+  if (fd_ < 0) return 0;  // closed: don't hand -1 to getsockname
   sockaddr_in addr{};
   socklen_t len = sizeof addr;
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -280,6 +324,7 @@ std::uint16_t Socket::local_port() const {
 }
 
 std::string Socket::peer_description() const {
+  if (fd_ < 0) return "<disconnected>";  // closed: don't query -1
   sockaddr_in addr{};
   socklen_t len = sizeof addr;
   if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -310,9 +355,13 @@ std::optional<std::size_t> Socket::try_read_some(MutableByteSpan out) {
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
-    if (errno == ECONNRESET || errno == EBADF || errno == ENOTCONN) {
+    if (errno == ECONNRESET || errno == ENOTCONN) {
       return std::size_t{0};  // end-of-stream, as in read_some
     }
+    // EBADF deliberately NOT mapped to end-of-stream here: the mux
+    // reactor only calls this on a descriptor it believes is registered,
+    // so a bad fd is a double-close or fd-recycle bug that must be loud,
+    // not a silent eof.
     throw_errno("recv");
   }
 }

@@ -42,6 +42,8 @@ class Socket {
   /// Connects to host:port within `timeout` (non-blocking connect + poll);
   /// throws NetError on failure or deadline expiry.  Consults the
   /// installed fault::Plan (drop/delay rules, kill-after-bytes arming).
+  /// Fiber-aware: from a fiber the in-progress wait parks on the reactor
+  /// instead of pinning the OS worker in poll().
   static Socket connect(const std::string& host, std::uint16_t port,
                         std::chrono::milliseconds timeout =
                             kDefaultConnectTimeout);
@@ -49,7 +51,9 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
 
   /// Reads up to out.size() bytes; 0 means orderly shutdown by the peer.
-  /// Throws NetError on hard failure.
+  /// Throws NetError on hard failure.  Fiber-aware: a read that would
+  /// block suspends the calling fiber on the reactor (freeing its OS
+  /// worker for other processes); plain threads block in recv as ever.
   std::size_t read_some(MutableByteSpan out);
 
   /// Writes all bytes; throws ChannelClosed on EPIPE/ECONNRESET (the
@@ -63,7 +67,8 @@ class Socket {
 
   /// Blocks until the socket is readable (data or EOF pending) or the
   /// timeout elapses; returns false on timeout.  The lease layer polls
-  /// this between heartbeats.
+  /// this between heartbeats.  Fiber-aware: fibers park on the reactor
+  /// for the timeout instead of occupying a worker in poll().
   bool wait_readable(std::chrono::milliseconds timeout) const;
 
   /// Half-close of the send direction (delivers EOF to the peer).

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/bytes.hpp"
+#include "support/log.hpp"
 
 namespace dpn::net {
 
@@ -29,9 +30,15 @@ const char* to_string(TransportKind kind) {
 }
 
 NetworkOptions NetworkOptions::from_env() {
-  NetworkOptions options;
+  NetworkOptions options;  // mux is the compiled-in default
   if (const char* env = std::getenv("DPN_TRANSPORT")) {
-    if (std::string{env} == "mux") options.transport = TransportKind::kMux;
+    const std::string value{env};
+    if (value == "blocking") {
+      options.transport = TransportKind::kBlocking;
+    } else if (value != "mux") {
+      log::warn("DPN_TRANSPORT='", value,
+                "' not recognized (blocking|mux); keeping mux");
+    }
   }
   return options;
 }
@@ -44,8 +51,9 @@ NetworkOptions& network_options() {
 namespace {
 
 /// The classic backend: one TCP connection per stream, blocking reads and
-/// writes on the caller's thread.  Everything PR 0-6 did, behind the new
-/// interface.
+/// writes on the caller's thread (fiber callers park on the reactor via
+/// the Socket layer).  Everything PR 0-6 did, behind the new interface;
+/// opt back in with DPN_TRANSPORT=blocking.
 class BlockingListener final : public Listener {
  public:
   explicit BlockingListener(std::uint16_t port) : server_(port) {}

@@ -15,15 +15,19 @@
 /// requests -- runs over a `Stream` obtained from a `Transport`, never
 /// over a raw Socket.  Two backends implement the interface:
 ///
-///   * kBlocking -- the classic one-TCP-connection-per-stream backend:
-///     dial() is Socket::connect, listen() wraps a ServerSocket, and every
-///     Stream owns its own descriptor.  Simple, debuggable, the default.
+///   * kMux      -- the event-loop backend (net/mux.hpp) and the
+///     compiled-in DEFAULT: all streams to the same host:port share one
+///     TCP connection, multiplexed as stream-id-tagged frames with
+///     per-stream credit windows, driven by the per-core epoll reactor
+///     pool (net/reactor.hpp).  Connection count is O(hosts), so 50k
+///     logical channels do not need 50k descriptors.
 ///
-///   * kMux      -- the event-loop backend (net/mux.hpp): all streams to
-///     the same host:port share one TCP connection, multiplexed as
-///     stream-id-tagged frames with per-stream credit windows, driven by
-///     an edge-triggered epoll EventLoop.  Connection count is O(hosts),
-///     so 50k logical channels do not need 50k descriptors.
+///   * kBlocking -- the classic one-TCP-connection-per-stream backend
+///     (DPN_TRANSPORT=blocking opts back into it): dial() is
+///     Socket::connect, listen() wraps a ServerSocket, and every Stream
+///     owns its own descriptor.  Simple and debuggable; its raw socket
+///     waits are fiber-aware (they park on the reactor), so it composes
+///     with the M:N scheduler too -- it just spends O(channels) fds.
 ///
 /// The backend is selected process-wide via NetworkOptions::transport
 /// (env: DPN_TRANSPORT=blocking|mux); both ends of a conversation must
@@ -60,6 +64,17 @@ class Stream {
   /// Half-close of the receive direction: local reads end, the peer's
   /// next write fails with ChannelClosed.
   virtual void shutdown_read() = 0;
+
+  /// "I will never read again, but everything I wrote must still be
+  /// delivered."  Where the transport can fail the peer's future writes
+  /// in this direction without endangering our own outbound bytes, it
+  /// does (mux: a per-stream RST frame, which unparks a peer stalled on
+  /// this direction's credit window); where it cannot, this is a no-op.
+  /// The default no-op is correct for TCP-per-stream: a SHUT_RD socket
+  /// answers later-arriving bytes with a connection-wide RST, which
+  /// would destroy our undelivered tail and FIN along with the peer's
+  /// void bytes.
+  virtual void abandon_read() {}
 
   /// Full close (both directions).  Idempotent.
   virtual void close() = 0;
@@ -175,7 +190,7 @@ struct DialOptions {
 /// Process-wide network configuration, read once from the environment and
 /// adjustable in code before the first transport use.
 struct NetworkOptions {
-  TransportKind transport = TransportKind::kBlocking;
+  TransportKind transport = TransportKind::kMux;
   /// Mux: default per-stream credit window (bytes a peer may send on one
   /// logical stream before the receiver's consumption grants more).
   std::size_t stream_window = std::size_t{1} << 18;
@@ -184,7 +199,8 @@ struct NetworkOptions {
   /// coalescing target for small writes.
   std::size_t coalesce_bytes = std::size_t{16} << 10;
 
-  /// DPN_TRANSPORT=blocking|mux (anything else: blocking).
+  /// DPN_TRANSPORT=blocking|mux (unset or anything else: mux, the
+  /// default; unknown values log a warning).
   static NetworkOptions from_env();
 };
 

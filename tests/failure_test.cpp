@@ -496,13 +496,16 @@ TEST(Fault, RegistryEvictsUnreachableEndpoints) {
 }
 
 TEST(Fault, LeaseExpiryFailsFastOnSilentServer) {
-  // A "server" that accepts connections and never replies: without
-  // leases, TaskFuture::get() would hang forever.
-  net::ServerSocket silent{0};
-  std::vector<net::Socket> held;
+  // A "server" that accepts streams and never replies: without leases,
+  // TaskFuture::get() would hang forever.  Accepting through the default
+  // transport (rather than a raw ServerSocket) keeps the dial handshake
+  // working under both backends -- a mux client completes its preface
+  // against a transport listener, then waits on a reply that never comes.
+  auto silent = net::default_transport().listen(0);
+  std::vector<std::shared_ptr<net::Stream>> held;
   std::jthread acceptor{[&] {
     try {
-      for (;;) held.push_back(silent.accept());
+      for (;;) held.push_back(silent->accept());
     } catch (const NetError&) {
     }
   }};
@@ -510,7 +513,7 @@ TEST(Fault, LeaseExpiryFailsFastOnSilentServer) {
   const std::uint64_t expiries_before =
       fault::stats().lease_expiries.load(std::memory_order_relaxed);
   rmi::ServerHandle handle{
-      rmi::Endpoint{"127.0.0.1", silent.port()}, nullptr,
+      rmi::Endpoint{"127.0.0.1", silent->port()}, nullptr,
       fault::LeaseOptions{std::chrono::milliseconds{50},
                           std::chrono::milliseconds{300}}};
   auto future = handle.submit(std::make_shared<par::StopSignal>());
@@ -520,7 +523,7 @@ TEST(Fault, LeaseExpiryFailsFastOnSilentServer) {
             std::chrono::seconds{10});
   EXPECT_GE(fault::stats().lease_expiries.load(std::memory_order_relaxed),
             expiries_before + 1);
-  silent.close();
+  silent->close();
 }
 
 /// A task that takes much longer than the client's patience -- only the

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <future>
 #include <thread>
 
 #include "io/memory.hpp"
 #include "net/event_loop.hpp"
 #include "net/frames.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "sched/scheduler.hpp"
 
 namespace dpn::net {
 namespace {
@@ -27,7 +31,7 @@ TEST(Socket, ConnectAndEcho) {
   while (got < reply.size()) {
     got += client.read_some({reply.data() + got, reply.size() - got});
   }
-  EXPECT_EQ(to_string({reply.data(), reply.size()}), message);
+  EXPECT_EQ(dpn::to_string(ByteSpan{reply.data(), reply.size()}), message);
 }
 
 TEST(Socket, PeerShutdownDeliversEof) {
@@ -108,7 +112,7 @@ TEST(SocketStreams, StreamOverSocket) {
   out.close();  // half-close ends the echo pump
   ByteVector reply(message.size());
   io::read_fully(in, {reply.data(), reply.size()});
-  EXPECT_EQ(to_string({reply.data(), reply.size()}), message);
+  EXPECT_EQ(dpn::to_string(ByteSpan{reply.data(), reply.size()}), message);
 }
 
 // --- Event-loop timer wheel --------------------------------------------------
@@ -145,6 +149,29 @@ TEST(EventLoopTimers, ArmedAfterIdleGapFiresAfterItsDelay) {
             std::chrono::milliseconds{90});
 }
 
+TEST(EventLoopPosts, PostDuringDrainIsNotLost) {
+  EventLoop loop;
+  // Regression: the loop read (reset) its wake eventfd AFTER draining the
+  // post queue, so a post() landing while earlier posted functions ran
+  // had its wake consumed with the function still queued, and an idle
+  // loop re-entered an unbounded epoll_wait without ever running it.
+  // One process-wide loop was re-woken by unrelated connections fast
+  // enough to hide this; a quiet per-connection loop in the reactor pool
+  // slept forever -- the "mux endpoint stops flushing credits under
+  // DPN_NET_LOOPS>1" hang.  Holding the first posted function open while
+  // posting a second lands the second post exactly in that window.
+  std::promise<void> started, release, second_ran;
+  loop.post([&] {
+    started.set_value();
+    release.get_future().wait();
+  });
+  started.get_future().wait();  // the loop is now mid-drain
+  loop.post([&] { second_ran.set_value(); });
+  release.set_value();
+  ASSERT_EQ(second_ran.get_future().wait_for(std::chrono::seconds{5}),
+            std::future_status::ready);
+}
+
 TEST(EventLoopTimers, CancelledTimerNeverFires) {
   EventLoop loop;
   std::atomic<bool> fired{false};
@@ -173,7 +200,7 @@ TEST(Frames, DataRoundTrip) {
   FrameReader reader{std::make_shared<io::MemoryInputStream>(sink->take())};
   Frame frame = reader.read_frame();
   EXPECT_EQ(frame.type, FrameType::kData);
-  EXPECT_EQ(to_string({frame.payload.data(), frame.payload.size()}), payload);
+  EXPECT_EQ(dpn::to_string(ByteSpan{frame.payload.data(), frame.payload.size()}), payload);
   EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
 }
 
@@ -298,6 +325,119 @@ TEST(Frames, ManyFramesInOrder) {
   EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
 }
 
+// --- Per-core reactor pool ---------------------------------------------------
+
+TEST(Reactor, PoolIsLazyAndRoundRobin) {
+  EventLoopPool pool{4};
+  EXPECT_EQ(pool.live_loops(), 0u);  // no loop (or thread) until first use
+  EventLoop& a = pool.next();
+  EXPECT_EQ(pool.live_loops(), 1u);
+  EventLoop& b = pool.next();
+  EXPECT_NE(&a, &b);  // round-robin spreads waiters across loops
+  EXPECT_EQ(pool.live_loops(), 2u);
+}
+
+TEST(Reactor, LoopForFdIsStable) {
+  EventLoopPool pool{4};
+  EventLoop& first = pool.loop_for(7);
+  // Same fd, same loop: concurrent waits on one fd share one epoll set.
+  EXPECT_EQ(&pool.loop_for(7), &first);
+}
+
+TEST(Reactor, SocketWaitReadableProbesAndTimesOut) {
+  ServerSocket server{0};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  Socket peer = server.accept();
+
+  // Zero timeout is an instantaneous probe, not an unconditional false.
+  EXPECT_FALSE(client.wait_readable(std::chrono::milliseconds{0}));
+  EXPECT_FALSE(client.wait_readable(std::chrono::milliseconds{30}));
+  const std::uint8_t token = 7;
+  peer.write_all({&token, 1});
+  EXPECT_TRUE(client.wait_readable(std::chrono::seconds{5}));
+  EXPECT_TRUE(client.wait_readable(std::chrono::milliseconds{0}));
+}
+
+TEST(Reactor, FiberParkedInSocketReadDoesNotStallWorker) {
+  ServerSocket server{0};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  Socket peer = server.accept();
+
+  sched::SchedulerOptions options;
+  options.mode = sched::SchedMode::kWorkSteal;
+  options.workers = 1;
+  sched::Scheduler scheduler{options};
+
+  std::promise<std::size_t> read_result;
+  std::promise<void> bystander_ran;
+  scheduler.spawn(
+      [&] {
+        std::uint8_t b = 0;
+        read_result.set_value(client.read_some({&b, 1}));
+      },
+      "parked-reader");
+  scheduler.spawn([&] { bystander_ran.set_value(); }, "bystander");
+
+  // With a single worker the bystander only runs if the blocked read
+  // parks its fiber on the reactor instead of wedging the worker in
+  // recv() -- the fiber-blind-transport regression.
+  auto ran = bystander_ran.get_future();
+  ASSERT_EQ(ran.wait_for(std::chrono::seconds{5}), std::future_status::ready);
+
+  const std::uint8_t token = 42;
+  peer.write_all({&token, 1});
+  auto result = read_result.get_future();
+  ASSERT_EQ(result.wait_for(std::chrono::seconds{5}),
+            std::future_status::ready);
+  EXPECT_EQ(result.get(), 1u);
+  scheduler.shutdown();
+}
+
+TEST(Reactor, FiberWaitReadableTimesOutWithoutStallingWorker) {
+  ServerSocket server{0};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  Socket peer = server.accept();
+
+  sched::SchedulerOptions options;
+  options.mode = sched::SchedMode::kWorkSteal;
+  options.workers = 1;
+  sched::Scheduler scheduler{options};
+
+  std::promise<bool> wait_result;
+  std::promise<void> bystander_ran;
+  scheduler.spawn(
+      [&] {
+        wait_result.set_value(
+            client.wait_readable(std::chrono::milliseconds{200}));
+      },
+      "waiter");
+  scheduler.spawn([&] { bystander_ran.set_value(); }, "bystander");
+
+  auto ran = bystander_ran.get_future();
+  ASSERT_EQ(ran.wait_for(std::chrono::seconds{5}), std::future_status::ready);
+  auto result = wait_result.get_future();
+  ASSERT_EQ(result.wait_for(std::chrono::seconds{5}),
+            std::future_status::ready);
+  EXPECT_FALSE(result.get());  // no data ever arrived: clean timeout
+  scheduler.shutdown();
+}
+
+// --- Transport selection -----------------------------------------------------
+
+TEST(Transport, MuxIsTheDefaultWithBlockingOptOut) {
+  EXPECT_EQ(NetworkOptions{}.transport, TransportKind::kMux);
+
+  unsetenv("DPN_TRANSPORT");
+  EXPECT_EQ(NetworkOptions::from_env().transport, TransportKind::kMux);
+  setenv("DPN_TRANSPORT", "blocking", 1);
+  EXPECT_EQ(NetworkOptions::from_env().transport, TransportKind::kBlocking);
+  setenv("DPN_TRANSPORT", "mux", 1);
+  EXPECT_EQ(NetworkOptions::from_env().transport, TransportKind::kMux);
+  setenv("DPN_TRANSPORT", "warp-drive", 1);  // unknown: warn, keep mux
+  EXPECT_EQ(NetworkOptions::from_env().transport, TransportKind::kMux);
+  unsetenv("DPN_TRANSPORT");
+}
+
 TEST(Frames, OverSocketEndToEnd) {
   ServerSocket server{0};
   std::jthread producer{[&] {
@@ -310,8 +450,8 @@ TEST(Frames, OverSocketEndToEnd) {
   auto client =
       std::make_shared<Socket>(Socket::connect("127.0.0.1", server.port()));
   FrameReader reader{std::make_shared<SocketInputStream>(client)};
-  EXPECT_EQ(to_string({reader.read_frame().payload.data(), 3}), "one");
-  EXPECT_EQ(to_string({reader.read_frame().payload.data(), 3}), "two");
+  EXPECT_EQ(dpn::to_string(ByteSpan{reader.read_frame().payload.data(), 3}), "one");
+  EXPECT_EQ(dpn::to_string(ByteSpan{reader.read_frame().payload.data(), 3}), "two");
   EXPECT_EQ(reader.read_frame().type, FrameType::kFin);
 }
 
