@@ -85,6 +85,10 @@ int ChannelInputStream::read() {
 
 void ChannelInputStream::close() {
   DPN_TRACE_EVENT(obs::TraceKind::kChannelClose, state_->label);
+  // Cascading termination must reach a producer parked in the typed ring,
+  // not just one parked in the byte pipe -- every teardown path (process
+  // exit, kAbortProcess, Network::abort) funnels through this close.
+  if (state_->typed) state_->typed->close_read();
   source_->close();
 }
 
@@ -161,6 +165,8 @@ void ChannelOutputStream::flush() {
 
 void ChannelOutputStream::close() {
   DPN_TRACE_EVENT(obs::TraceKind::kChannelClose, state_->label);
+  // End-of-stream for a typed consumer: drain the ring, then kEof.
+  if (state_->typed) state_->typed->close_write();
   sink_->close();
 }
 
@@ -210,6 +216,29 @@ obs::ChannelSnapshot snapshot_channel(const ChannelState& state) {
     c.write_block = s.write_block;
   } else {
     c.capacity = state.capacity;
+  }
+  if (state.typed) {
+    const io::TypedRingBase::Stats t = state.typed->stats();
+    c.has_typed = true;
+    c.typed_demoted = t.demoted;
+    c.typed_pushed = t.pushed;
+    c.typed_popped = t.popped;
+    c.typed_buffered = t.size;
+    c.typed_capacity = t.capacity;
+    if (!t.demoted) {
+      // While the ring is live it IS the channel's bound: processes park
+      // on it, the pipe stays empty.  Fold its occupancy and pressure
+      // into the standard fields (in bytes, via the codec's wire size)
+      // so the deadlock monitor's capacity-growth arithmetic works on
+      // typed channels unchanged.
+      const std::size_t vb = state.typed->value_bytes();
+      c.capacity = static_cast<std::uint64_t>(t.capacity * vb);
+      c.buffered = static_cast<std::uint64_t>(t.size * vb);
+      c.blocked_readers += static_cast<std::uint32_t>(t.blocked_readers);
+      c.blocked_writers += static_cast<std::uint32_t>(t.blocked_writers);
+      c.write_closed = c.write_closed || t.write_closed;
+      c.read_closed = c.read_closed || t.read_closed;
+    }
   }
   if (const auto out = state.output.lock()) {
     if (const auto& buffer = out->buffered_stream()) {

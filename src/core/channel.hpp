@@ -7,6 +7,7 @@
 #include "io/buffered.hpp"
 #include "io/pipe.hpp"
 #include "io/sequence.hpp"
+#include "io/typed_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "serial/serial.hpp"
@@ -97,6 +98,13 @@ struct ChannelState {
   /// Remote-segment tuning (see ChannelOptions::RemoteTuning).  Travels
   /// with shipped endpoints like the buffering config above.
   ChannelOptions::RemoteTuning remote;
+  /// Typed zero-copy fast path: while both endpoints are in-process,
+  /// values move through this ring and the pipe stays empty.  Null for
+  /// plain byte channels and for endpoints reconstructed on a remote
+  /// server (the wire is bytes, so a shipped typed channel continues on
+  /// the byte path).  Installed by make_typed_channel; demoted at the
+  /// ship cut points (see io/typed_ring.hpp).
+  std::shared_ptr<io::TypedRingBase> typed;
   /// Stable identity for snapshots (see next_channel_id above).
   std::uint64_t id = next_channel_id();
   /// Lock-free traffic counters, updated by the endpoints.  Shared_ptr so

@@ -203,11 +203,20 @@ Network::BlockedCounts Network::blocked_counts() const {
   std::scoped_lock lock{channels_mutex_};
   for (const auto& state : channels_) {
     if (!state->pipe) continue;
-    counts.blocked_readers += state->pipe->blocked_readers();
-    const std::size_t writers = state->pipe->blocked_writers();
+    std::size_t readers = state->pipe->blocked_readers();
+    std::size_t writers = state->pipe->blocked_writers();
+    std::size_t capacity = state->pipe->capacity();
+    if (state->typed && !state->typed->demoted()) {
+      // Typed fast path live: processes park on the ring, the pipe idles.
+      // The ring's bound (in bytes, via the codec's wire size) is the
+      // channel's effective capacity for the growth arithmetic.
+      readers += state->typed->blocked_readers();
+      writers += state->typed->blocked_writers();
+      capacity = state->typed->capacity() * state->typed->value_bytes();
+    }
+    counts.blocked_readers += readers;
     counts.blocked_writers += writers;
     if (writers > 0) {
-      const std::size_t capacity = state->pipe->capacity();
       if (!counts.has_write_blocked ||
           capacity < counts.smallest_blocked_capacity) {
         counts.smallest_blocked_capacity = capacity;
@@ -219,24 +228,50 @@ Network::BlockedCounts Network::blocked_counts() const {
 }
 
 bool Network::grow_smallest_blocked(double factor, std::size_t max_capacity) {
-  std::shared_ptr<io::Pipe> victim;
+  // The victim may be a byte pipe or a live typed ring; both are compared
+  // and grown in bytes (ring slots x wire size) so Parks' smallest-first
+  // rule treats mixed networks uniformly.
+  std::shared_ptr<io::Pipe> pipe_victim;
+  std::shared_ptr<io::TypedRingBase> ring_victim;
+  std::size_t victim_bytes = 0;
   {
     std::scoped_lock lock{channels_mutex_};
     for (const auto& state : channels_) {
-      if (!state->pipe || state->pipe->blocked_writers() == 0) continue;
-      if (!victim || state->pipe->capacity() < victim->capacity()) {
-        victim = state->pipe;
+      if (!state->pipe) continue;
+      if (state->typed && !state->typed->demoted()) {
+        if (state->typed->blocked_writers() == 0) continue;
+        const std::size_t bytes =
+            state->typed->capacity() * state->typed->value_bytes();
+        if ((!pipe_victim && !ring_victim) || bytes < victim_bytes) {
+          ring_victim = state->typed;
+          pipe_victim = nullptr;
+          victim_bytes = bytes;
+        }
+        continue;
+      }
+      if (state->pipe->blocked_writers() == 0) continue;
+      const std::size_t bytes = state->pipe->capacity();
+      if ((!pipe_victim && !ring_victim) || bytes < victim_bytes) {
+        pipe_victim = state->pipe;
+        ring_victim = nullptr;
+        victim_bytes = bytes;
       }
     }
   }
-  if (!victim) return false;
-  const std::size_t old_capacity = victim->capacity();
+  if (!pipe_victim && !ring_victim) return false;
+  const std::size_t old_capacity = victim_bytes;
   const auto grown =
       static_cast<std::size_t>(static_cast<double>(old_capacity) * factor);
   const std::size_t new_capacity =
       std::min(std::max(grown, old_capacity + 1), max_capacity);
   if (new_capacity <= old_capacity) return false;
-  victim->grow(new_capacity);
+  if (ring_victim) {
+    const std::size_t vb = ring_victim->value_bytes();
+    ring_victim->grow(
+        std::max(new_capacity / vb, ring_victim->capacity() + 1));
+  } else {
+    pipe_victim->grow(new_capacity);
+  }
   growth_events_.fetch_add(1);
   DPN_TRACE_EVENT(obs::TraceKind::kMonitorGrow, "ddm", old_capacity,
                   new_capacity);
@@ -246,6 +281,7 @@ bool Network::grow_smallest_blocked(double factor, std::size_t max_capacity) {
 void Network::abort() {
   std::scoped_lock lock{channels_mutex_};
   for (const auto& state : channels_) {
+    if (state->typed) state->typed->abort();
     if (state->pipe) state->pipe->abort();
   }
 }
@@ -319,16 +355,35 @@ bool Network::apply_growth(const obs::NetworkSnapshot& stall, double factor,
   // from a live count that is no longer true.
   if (live_.load() != stall.live) return false;
   std::shared_ptr<io::Pipe> victim;
+  std::shared_ptr<io::TypedRingBase> ring;
   {
     std::scoped_lock lock{channels_mutex_};
     for (const auto& state : channels_) {
       if (state->id == victim_row->id && state->pipe) {
         victim = state->pipe;
+        if (state->typed && !state->typed->demoted()) ring = state->typed;
         break;
       }
     }
   }
-  if (!victim) return false;                     // channel went remote/away
+  if (!victim) return false;  // channel went remote/away
+  if (ring) {
+    // Typed fast path: the writer is parked on the ring, so grow the ring
+    // (same byte arithmetic; slots = bytes / wire size).
+    if (ring->blocked_writers() == 0) return false;  // writer moved on
+    const std::size_t vb = ring->value_bytes();
+    const std::size_t old_capacity = ring->capacity() * vb;
+    const auto grown =
+        static_cast<std::size_t>(static_cast<double>(old_capacity) * factor);
+    const std::size_t new_capacity =
+        std::min(std::max(grown, old_capacity + 1), max_capacity);
+    if (new_capacity <= old_capacity) return false;
+    ring->grow(std::max(new_capacity / vb, ring->capacity() + 1));
+    growth_events_.fetch_add(1);
+    DPN_TRACE_EVENT(obs::TraceKind::kMonitorGrow, victim_row->label,
+                    old_capacity, new_capacity);
+    return true;
+  }
   if (victim->blocked_writers() == 0) return false;  // writer moved on
   const std::size_t old_capacity = victim->capacity();
   const auto grown =

@@ -15,6 +15,7 @@ namespace dpn::dist {
 namespace {
 
 constexpr std::uint32_t kHelloMagic = 0x44504e43;  // "DPNC"
+constexpr std::uint32_t kCloseMagic = 0x44504e58;  // "DPNX"
 
 /// HELLO: magic, token, dialer rendezvous host + port.
 void write_hello(net::Stream& stream, std::uint64_t token,
@@ -29,32 +30,41 @@ void write_hello(net::Stream& stream, std::uint64_t token,
   stream.write_all({bytes.data(), bytes.size()});
 }
 
+/// Adapts a freshly accepted stream for DataInputStream; the dialer
+/// writes its opening message immediately, so blocking reads are fine.
+class StreamReader final : public io::InputStream {
+ public:
+  explicit StreamReader(net::Stream& s) : stream_(s) {}
+  std::size_t read_some(MutableByteSpan out) override {
+    return stream_.read_some(out);
+  }
+  void close() override {}
+
+ private:
+  net::Stream& stream_;
+};
+
 struct Hello {
   std::uint64_t token = 0;
   PeerAddress dialer;
+  bool close = false;  // a CLOSE notification, not a channel handshake
 };
 
 Hello read_hello(net::Stream& stream) {
-  // Streams are handed to us freshly accepted; the dialer writes the
-  // HELLO immediately, so a blocking read here is fine.
-  class StreamReader final : public io::InputStream {
-   public:
-    explicit StreamReader(net::Stream& s) : stream_(s) {}
-    std::size_t read_some(MutableByteSpan out) override {
-      return stream_.read_some(out);
-    }
-    void close() override {}
-
-   private:
-    net::Stream& stream_;
-  };
   auto reader = std::make_shared<StreamReader>(stream);
   io::DataInputStream data{reader};
   const std::uint32_t magic = data.read_u32();
+  Hello hello;
+  if (magic == kCloseMagic) {
+    // CLOSE: magic, token.  Out-of-band "the consumer bound to this token
+    // entered teardown" -- no dialer address, no stream handoff.
+    hello.token = data.read_u64();
+    hello.close = true;
+    return hello;
+  }
   if (magic != kHelloMagic) {
     throw NetError{"rendezvous: bad HELLO magic"};
   }
-  Hello hello;
   hello.token = data.read_u64();
   hello.dialer.host = data.read_string();
   hello.dialer.port = data.read_u16();
@@ -157,6 +167,25 @@ std::shared_ptr<net::Stream> RendezvousService::dial(const std::string& host,
   return stream;
 }
 
+std::shared_ptr<net::Stream> RendezvousService::send_close(
+    const std::string& host, std::uint16_t port, std::uint64_t token) {
+  auto stream = net::default_transport().dial(host, port);
+  auto sink = std::make_shared<io::MemoryOutputStream>();
+  io::DataOutputStream data{sink};
+  data.write_u32(kCloseMagic);
+  data.write_u64(token);
+  const ByteVector& bytes = sink->data();
+  stream->write_all({bytes.data(), bytes.size()});
+  stream->shutdown_write();
+  return stream;
+}
+
+void RendezvousService::set_close_handler(
+    std::function<void(std::uint64_t)> handler) {
+  std::scoped_lock lock{mutex_};
+  close_handler_ = std::move(handler);
+}
+
 void RendezvousService::accept_loop() {
   for (;;) {
     std::shared_ptr<net::Stream> stream;
@@ -168,6 +197,15 @@ void RendezvousService::accept_loop() {
     }
     try {
       const Hello hello = read_hello(*stream);
+      if (hello.close) {
+        std::function<void(std::uint64_t)> handler;
+        {
+          std::scoped_lock lock{mutex_};
+          handler = close_handler_;
+        }
+        if (handler) handler(hello.token);
+        continue;  // notification only; the stream carries nothing else
+      }
       std::shared_ptr<StreamPromise> promise;
       {
         std::scoped_lock lock{mutex_};
@@ -201,7 +239,30 @@ std::uint64_t random_seed() {
 }  // namespace
 
 NodeContext::NodeContext(std::string advertised_host)
-    : host_(std::move(advertised_host)), token_state_(random_seed()) {}
+    : host_(std::move(advertised_host)), token_state_(random_seed()) {
+  // The handler captures only the shared registry, never `this`: the
+  // acceptor can still be dispatching a late CLOSE while the rest of this
+  // NodeContext is being destroyed.
+  rendezvous_.set_close_handler(
+      [registry = credit_waiters_](std::uint64_t token) {
+        std::shared_ptr<FrameChannelOutput> waiter;
+        {
+          std::scoped_lock lock{registry->mutex};
+          const auto it = registry->waiters.find(token);
+          if (it != registry->waiters.end()) {
+            waiter = it->second.lock();
+            registry->waiters.erase(it);
+          }
+        }
+        if (waiter) {
+          log::debug("rendezvous: CLOSE wakes credit waiter for token ",
+                     token);
+          waiter->peer_closed();
+        } else {
+          log::debug("rendezvous: CLOSE for unknown token ", token);
+        }
+      });
+}
 
 std::shared_ptr<NodeContext> NodeContext::create(std::string advertised_host) {
   // Installs the channel-endpoint serialization hooks on first use.
@@ -243,6 +304,15 @@ void NodeContext::abort_remote_channels() {
 void NodeContext::park_stream(std::shared_ptr<net::Stream> stream) {
   std::scoped_lock lock{streams_mutex_};
   parked_streams_.push_back(std::move(stream));
+}
+
+void NodeContext::register_credit_waiter(
+    std::uint64_t token, const std::shared_ptr<FrameChannelOutput>& output) {
+  std::scoped_lock lock{credit_waiters_->mutex};
+  std::erase_if(credit_waiters_->waiters, [](const auto& entry) {
+    return entry.second.expired();
+  });
+  credit_waiters_->waiters[token] = output;
 }
 
 void NodeContext::register_remote_input(

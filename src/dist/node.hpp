@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,6 +106,21 @@ class RendezvousService {
                                            const PeerAddress& self,
                                            std::size_t stream_window = 0);
 
+  /// Dials a remote rendezvous and delivers a CLOSE notification for
+  /// `token`: "the consumer bound to this token has entered teardown".
+  /// Single attempt, no retry -- this is a courtesy wakeup, not data.
+  /// Returns the stream so the caller can park it (dropping it
+  /// immediately could reset the message out of existence on the mux
+  /// backend before the acceptor reads it).
+  static std::shared_ptr<net::Stream> send_close(const std::string& host,
+                                                 std::uint16_t port,
+                                                 std::uint64_t token);
+
+  /// Installs the handler the acceptor invokes for each CLOSE
+  /// notification (NodeContext routes it to the registered credit
+  /// waiter).  Call once, before any peer learns this node's port.
+  void set_close_handler(std::function<void(std::uint64_t)> handler);
+
  private:
   void accept_loop();
 
@@ -117,6 +133,7 @@ class RendezvousService {
   std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<StreamPromise>> pending_;
   std::unordered_map<std::uint64_t, Parked> parked_;
+  std::function<void(std::uint64_t)> close_handler_;
   std::jthread acceptor_;
   std::atomic<bool> shutting_down_{false};
 };
@@ -191,6 +208,14 @@ class NodeContext : public std::enable_shared_from_this<NodeContext> {
   void register_remote_input(const std::shared_ptr<class FrameChannelInput>&
                                  input);
 
+  /// Registers the producer side of a remote segment under its rendezvous
+  /// token so a consumer-side CLOSE notification (delivered out-of-band
+  /// through this node's rendezvous listener) can wake a writer parked in
+  /// its credit wait.  Entries are weak; dead ones are pruned.
+  void register_credit_waiter(
+      std::uint64_t token,
+      const std::shared_ptr<class FrameChannelOutput>& output);
+
   /// Grants one bonus window of credits on every live consumer-side
   /// segment of this node -- the distributed equivalent of growing a full
   /// channel's buffer (Parks' rule applied to a remote channel).
@@ -198,6 +223,19 @@ class NodeContext : public std::enable_shared_from_this<NodeContext> {
 
  private:
   explicit NodeContext(std::string advertised_host);
+
+  /// token -> producer endpoint awaiting that token's consumer.  Lives in
+  /// a shared_ptr because the rendezvous acceptor's close handler captures
+  /// it by value: the handler may still run while the NodeContext's later
+  /// members are being destroyed (the acceptor joins only when rendezvous_
+  /// itself is destroyed).
+  struct CreditWaiters {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t,
+                       std::weak_ptr<class FrameChannelOutput>> waiters;
+  };
+  std::shared_ptr<CreditWaiters> credit_waiters_ =
+      std::make_shared<CreditWaiters>();
 
   std::string host_;
   RendezvousService rendezvous_;

@@ -9,8 +9,11 @@ namespace dpn::dist {
 
 FrameChannelInput::FrameChannelInput(std::shared_ptr<net::Stream> stream,
                                      std::shared_ptr<NodeContext> node,
-                                     std::uint32_t credit_batch)
+                                     std::uint32_t credit_batch,
+                                     PeerAddress producer,
+                                     std::uint64_t close_token)
     : node_(std::move(node)), stream_(std::move(stream)),
+      producer_addr_(std::move(producer)), close_token_(close_token),
       credit_batch_(credit_batch != 0 ? credit_batch : kCreditBatch) {
   if (node_) node_->register_remote_stream(stream_);
   reader_.emplace(std::make_shared<net::StreamInput>(stream_));
@@ -49,6 +52,11 @@ class BlockedScope {
 void FrameChannelInput::ensure_connected() {
   if (reader_) return;
   stream_ = promise_->wait();
+  // The producer's HELLO told us its rendezvous; its credit waiter is
+  // registered under the token it dialed with -- exactly what an early
+  // close() needs to deliver the out-of-band CLOSE.
+  producer_addr_ = promise_->dialer();
+  close_token_ = pending_token_;
   promise_.reset();
   if (node_) node_->register_remote_stream(stream_);
   reader_.emplace(std::make_shared<net::StreamInput>(stream_));
@@ -207,6 +215,33 @@ void FrameChannelInput::close() {
     // connection/stream is released when the last reference drops.
     stream_->shutdown_read();
     stream_->shutdown_write();
+    // Closing before the producer's FIN means it may still be running --
+    // possibly parked in its credit wait, where the shutdowns above are
+    // not guaranteed to reach it: on the blocking backend both TCP
+    // directions of this connection can already be wedged (the seed-era
+    // teardown gridlock: writer in FIN-WAIT-1 behind ~116 KB we never
+    // read), and abandon_read is deliberately a no-op there.  Deliver the
+    // news out-of-band instead: a fresh connection to the producer's
+    // rendezvous carrying a CLOSE for our token.
+    if (!eof_.load() && close_token_ != 0 && producer_addr_.valid() &&
+        (!node_ || !node_->aborting())) {
+      notify_producer_closed();
+    }
+  }
+}
+
+void FrameChannelInput::notify_producer_closed() noexcept {
+  try {
+    auto stream = RendezvousService::send_close(
+        producer_addr_.host, producer_addr_.port, close_token_);
+    // Park the notification stream: dropping it immediately could reset
+    // the message away (mux) before the acceptor reads it.
+    if (node_) node_->park_stream(std::move(stream));
+    log::debug("dist CLOSE sent for token ", close_token_, " to ",
+               producer_addr_.host, ":", producer_addr_.port);
+  } catch (...) {
+    // Producer node already gone; there is nobody left to wake.
+    log::debug("dist CLOSE for token ", close_token_, " undeliverable");
   }
 }
 
@@ -221,6 +256,10 @@ FrameChannelOutput::FrameChannelOutput(std::shared_ptr<net::Stream> stream,
       : node_               ? node_->remote_window()
                             : (std::size_t{1} << 18));
   if (node_) node_->register_remote_stream(stream_);
+  {
+    std::scoped_lock wake_lock{wake_mutex_};
+    wake_stream_ = stream_;
+  }
   writer_.emplace(std::make_shared<net::StreamOutput>(stream_));
 }
 
@@ -243,6 +282,10 @@ void FrameChannelOutput::ensure_connected_locked() {
   peer_ = promise_->dialer();
   promise_.reset();
   if (node_) node_->register_remote_stream(stream_);
+  {
+    std::scoped_lock wake_lock{wake_mutex_};
+    wake_stream_ = stream_;
+  }
   writer_.emplace(std::make_shared<net::StreamOutput>(stream_));
 }
 
@@ -257,6 +300,11 @@ void FrameChannelOutput::write(ByteSpan data) {
     // consumer credits -- the cross-machine equivalent of a full pipe.
     std::size_t offset = 0;
     while (offset < data.size()) {
+      if (peer_closed_.load(std::memory_order_acquire)) {
+        // Out-of-band CLOSE already told us the consumer is gone; don't
+        // push more bytes at a receive queue nobody will drain.
+        throw ChannelClosed{"remote reader closed the channel"};
+      }
       while (window_ <= 0) await_credit_locked();
       const std::size_t chunk = std::min<std::size_t>(
           static_cast<std::size_t>(window_), data.size() - offset);
@@ -278,30 +326,59 @@ void FrameChannelOutput::write(ByteSpan data) {
       }
       window_ -= static_cast<std::int64_t>(chunk);
       offset += chunk;
+      // A producer whose window outpaces the data volume (large
+      // credit_window, short run) can otherwise go the whole stream
+      // without ever stalling -- and the stall path above is the only
+      // place credits are read.  The consumer's per-token grants then
+      // pile up unread until they overflow this end's receive buffer,
+      // and on the blocking backend the whole TCP connection collapses
+      // into mutual retransmission backoff: our own tail (and FIN!)
+      // never delivers, the consumer waits forever (the seed-era
+      // teardown gridlock).  Poll the backlog off periodically so the
+      // standing credit queue stays bounded regardless of window size.
+      since_drain_ += static_cast<std::int64_t>(chunk);
+      if (since_drain_ >= kDrainEveryBytes) {
+        since_drain_ = 0;
+        drain_credits_locked(/*block=*/false);
+      }
     }
   }
   if (stats != nullptr) stats->bytes_sent.fetch_add(data.size());
 }
 
-void FrameChannelOutput::await_credit_locked() {
+void FrameChannelOutput::drain_credits_locked(bool block) {
   if (!credit_reader_) {
     credit_reader_.emplace(std::make_shared<net::StreamInput>(stream_));
   }
-  // Block for the grant we need, then DRAIN every credit frame already
-  // buffered.  Reading one frame per stall lets unread grants accumulate
-  // in the transport (the consumer emits roughly one small credit frame
-  // per data frame, so their wire volume rivals the data's): once they
-  // fill the receive buffer / mux window of this reverse direction, the
-  // consumer's next grant blocks, it stops reading our data, and the
-  // connection gridlocks in both directions.  Draining to empty keeps the
-  // standing queue near zero, so the credit direction always has room.
-  bool block = true;
+  // Block for the grant we need (when the window is exhausted), then
+  // DRAIN every credit frame already buffered.  Reading one frame per
+  // stall lets unread grants accumulate in the transport (the consumer
+  // emits roughly one small credit frame per data frame, so their wire
+  // volume rivals the data's): once they fill the receive buffer / mux
+  // window of this reverse direction, the consumer's next grant blocks,
+  // it stops reading our data, and the connection gridlocks in both
+  // directions.  Draining to empty keeps the standing queue near zero,
+  // so the credit direction always has room.
   for (;;) {
     if (!block &&
         !stream_->wait_readable(std::chrono::milliseconds{0})) {
       return;
     }
-    const net::Frame frame = credit_reader_->read_frame();
+    const net::Frame frame = [&] {
+      try {
+        return credit_reader_->read_frame();
+      } catch (const IoError&) {
+        // peer_closed() wakes this read by shutting down our receive
+        // side; an end-of-stream that lands mid-frame surfaces as
+        // IoError rather than the synthetic FIN.  Either way the meaning
+        // is the consumer's: it is gone.
+        if (peer_closed_.load(std::memory_order_acquire)) {
+          throw ChannelClosed{
+              "remote reader closed while writer awaited credit"};
+        }
+        throw;
+      }
+    }();
     switch (frame.type) {
       case net::FrameType::kCredit:
         if (frame.payload.size() != 4) {
@@ -329,6 +406,10 @@ void FrameChannelOutput::close() {
     // Deliver FIN even if the consumer has not dialed in yet: the stream
     // contract promises the consumer an explicit end-of-stream.
     ensure_connected_locked();
+    // Clear any credit backlog first: unread grants sitting in our
+    // receive buffer are exactly what keeps the FIN below from reaching
+    // the consumer (see the drain in write()).
+    drain_credits_locked(/*block=*/false);
     writer_->write_fin();
     stream_->shutdown_write();
     // We will never read again either: our only inbound traffic is credit
@@ -350,6 +431,24 @@ void FrameChannelOutput::close() {
   } catch (const IoError&) {
     // Consumer already gone; nothing to tell it.
   }
+}
+
+void FrameChannelOutput::peer_closed() {
+  // Out-of-band CLOSE from the consumer's teardown.  mutex_ may be held
+  // by a writer parked inside await_credit_locked's blocking credit read,
+  // so only the separately-locked wake handle is touched here: shutting
+  // down our receive side makes that read return end-of-stream, which the
+  // frame reader turns into a synthetic FIN -> ChannelClosed.  The RST
+  // hazard that keeps Stream::abandon_read a no-op on the blocking
+  // backend does not apply: anything a SHUT_RD here could destroy was
+  // addressed to a consumer that already stopped reading for good.
+  peer_closed_.store(true, std::memory_order_release);
+  std::shared_ptr<net::Stream> stream;
+  {
+    std::scoped_lock lock{wake_mutex_};
+    stream = wake_stream_;
+  }
+  if (stream) stream->shutdown_read();
 }
 
 void FrameChannelOutput::park_stream_locked() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -39,9 +40,14 @@ class FrameChannelInput final : public io::InputStream {
   /// An established connection (this endpoint dialed the producer's node).
   /// `credit_batch` overrides the consumption-credit coalescing threshold
   /// (0 = default; see ChannelOptions::remote.coalesce_bytes).
+  /// `producer` and `close_token` name the producer node's rendezvous and
+  /// the token this segment was dialed with, enabling the out-of-band
+  /// CLOSE notification on teardown (zero/empty disables it).
   FrameChannelInput(std::shared_ptr<net::Stream> stream,
                     std::shared_ptr<NodeContext> node,
-                    std::uint32_t credit_batch = 0);
+                    std::uint32_t credit_batch = 0,
+                    PeerAddress producer = {},
+                    std::uint64_t close_token = 0);
 
   /// A connection that will arrive at this node's rendezvous (this
   /// endpoint stayed put / was redirected to).  The first read blocks
@@ -68,6 +74,7 @@ class FrameChannelInput final : public io::InputStream {
   void ensure_connected();
   void handle_redirect(const net::RedirectInfo& info);
   void send_credit(std::uint32_t bytes);
+  void notify_producer_closed() noexcept;
 
   std::shared_ptr<NodeContext> node_;
   std::weak_ptr<io::SequenceInputStream> parent_;
@@ -76,6 +83,13 @@ class FrameChannelInput final : public io::InputStream {
   std::shared_ptr<StreamPromise> promise_;
   std::uint64_t pending_token_ = 0;
   std::optional<net::FrameReader> reader_;
+
+  // Where an early close() sends the out-of-band CLOSE notification: the
+  // producer node's rendezvous + the token its credit waiter is
+  // registered under.  Learned from the stub (dialing side) or from the
+  // producer's HELLO (promise side).
+  PeerAddress producer_addr_;
+  std::uint64_t close_token_ = 0;
 
   // Reverse-direction flow control (see net::FrameType::kCredit).
   // Consumption credits below this size coalesce into one grant instead
@@ -89,7 +103,9 @@ class FrameChannelInput final : public io::InputStream {
 
   ByteVector buffer_;
   std::size_t position_ = 0;
-  bool eof_ = false;
+  // Atomic: written by the reader, consulted by a close() from another
+  // thread to decide whether the producer still needs a CLOSE nudge.
+  std::atomic<bool> eof_{false};
   std::atomic<bool> closed_{false};
 };
 
@@ -131,20 +147,42 @@ class FrameChannelOutput final : public io::OutputStream {
   /// then ends this segment with a FIN.  The endpoint is unusable after.
   void redirect_and_finish(std::uint64_t successor_token);
 
+  /// Out-of-band notification (dist CLOSE frame, delivered through the
+  /// node's rendezvous): the consumer of this segment entered teardown
+  /// and will never read or grant again.  Wakes a writer parked in
+  /// await_credit_locked by surfacing end-of-stream on its credit read.
+  /// Deliberately does NOT take mutex_ -- the parked writer holds it.
+  void peer_closed();
+
  private:
   void ensure_connected_locked();
-  void await_credit_locked();
+  /// Reads frames off the credit direction.  With block=true, waits for at
+  /// least one grant (the window is exhausted); either way it then drains
+  /// every frame already queued.  See write() for why the non-blocking
+  /// drain must also run while the window still has room.
+  void drain_credits_locked(bool block);
+  void await_credit_locked() { drain_credits_locked(/*block=*/true); }
   void park_stream_locked();
 
   mutable std::mutex mutex_;
   std::shared_ptr<NodeContext> node_;
   std::shared_ptr<net::Stream> stream_;
+  // Duplicate handle for peer_closed(), under its own lock: the wake must
+  // not contend for mutex_ (held across the parked credit read).
+  std::mutex wake_mutex_;
+  std::shared_ptr<net::Stream> wake_stream_;
+  std::atomic<bool> peer_closed_{false};
   std::shared_ptr<StreamPromise> promise_;
   std::uint64_t pending_token_ = 0;
   std::optional<net::FrameWriter> writer_;
   // Flow-control window: payload bytes this producer may still send
   // before it must block for consumer credits (bounded remote channels).
   std::int64_t window_ = 0;
+  // Payload bytes sent since the credit direction was last drained; at
+  // kDrainEveryBytes the next write polls the queued grants off even
+  // though the window is not exhausted (teardown-gridlock fix).
+  std::int64_t since_drain_ = 0;
+  static constexpr std::int64_t kDrainEveryBytes = 32 << 10;
   std::optional<net::FrameReader> credit_reader_;
   PeerAddress peer_;
   bool closed_ = false;

@@ -122,7 +122,8 @@ class RemoteInputStub final : public serial::Serializable {
           ctx->node->address(), static_cast<std::size_t>(credit_window));
       auto segment = std::make_shared<FrameChannelInput>(
           std::move(stream), ctx->node,
-          static_cast<std::uint32_t>(coalesce_bytes));
+          static_cast<std::uint32_t>(coalesce_bytes),
+          PeerAddress{host, static_cast<std::uint16_t>(port)}, token);
       segment->set_parent_sequence(sequence);
       ctx->node->register_remote_input(segment);
       sequence->append(std::move(segment));
@@ -207,10 +208,14 @@ class RemoteOutputStub final : public serial::Serializable {
       auto stream = RendezvousService::dial(
           host, static_cast<std::uint16_t>(port), token,
           ctx->node->address());
-      sink = std::make_shared<FrameChannelOutput>(
+      auto remote = std::make_shared<FrameChannelOutput>(
           std::move(stream),
           PeerAddress{host, static_cast<std::uint16_t>(port)}, ctx->node,
           static_cast<std::size_t>(credit_window));
+      // The consumer knows us by the token we just dialed with; its
+      // teardown CLOSE must find this endpoint's credit wait.
+      ctx->node->register_credit_waiter(token, remote);
+      sink = std::move(remote);
     }
     auto sequence =
         std::make_shared<io::SequenceOutputStream>(std::move(sink));
@@ -352,6 +357,36 @@ ByteVector drain_unconsumed(const std::shared_ptr<core::ChannelState>& state) {
   return out;
 }
 
+/// Retires a channel's typed fast path at a ship cut (io/typed_ring.hpp):
+/// the ring's backlog is encoded into the byte plane -- in order, ahead of
+/// anything the producer writes after the demotion -- and both typed
+/// endpoints fall back to byte streams.  Normally the backlog lands in the
+/// pipe (unbounded first, so a full ring cannot wedge the cut) where the
+/// [read-ahead][pipe] unconsumed-history machinery picks it up; when the
+/// producer already closed, the pipe rejects writes, so the bytes are
+/// returned for the caller to append after the drained history instead (no
+/// racing writer exists then, so the order is still exact).  A demotion
+/// that throws mid-encode poisons the ring -- the consumer sees WorkerLost,
+/// never a silently truncated stream -- and fails the shipment.
+ByteVector demote_typed(const std::shared_ptr<core::ChannelState>& state) {
+  if (!state->typed || state->typed->demoted()) return {};
+  if (state->pipe->read_closed()) {
+    // Reader gone: the backlog would be discarded on arrival anyway.
+    io::MemoryOutputStream discard;
+    state->typed->demote_into(discard);
+    return {};
+  }
+  if (state->pipe->write_closed()) {
+    io::MemoryOutputStream sink;
+    state->typed->demote_into(sink);
+    return sink.take();
+  }
+  state->pipe->set_unbounded();
+  io::LocalOutputStream sink{state->pipe};
+  state->typed->demote_into(sink);
+  return {};
+}
+
 std::shared_ptr<serial::Serializable> make_pair_stub(
     SendContext& ctx, const std::shared_ptr<core::ChannelState>& state,
     std::uint8_t role) {
@@ -389,7 +424,10 @@ std::shared_ptr<serial::Serializable> make_pair_stub(
       state->pipe->set_unbounded();  // nobody is draining; don't block
       flush_producer(state);
     }
+    const ByteVector typed_tail = demote_typed(state);
     stub->buffered = drain_unconsumed(state);
+    stub->buffered.insert(stub->buffered.end(), typed_tail.begin(),
+                          typed_tail.end());
     stub->write_closed = state->pipe->write_closed();
     stub->read_closed = state->pipe->read_closed();
   }
@@ -439,7 +477,10 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
     // producer flushed on close, so the pipe already holds its bytes; the
     // moving consumer's read-ahead is the older prefix.
     stub->live = false;
+    const ByteVector typed_tail = demote_typed(state);
     stub->buffered = drain_unconsumed(state);
+    stub->buffered.insert(stub->buffered.end(), typed_tail.begin(),
+                          typed_tail.end());
   } else {
     // Live cut: the staying producer is switched onto a pending socket;
     // whatever is still in the pipe travels with the stub.  Order is
@@ -451,8 +492,14 @@ std::shared_ptr<serial::Serializable> replace_input_endpoint(
     auto promise = node.rendezvous().expect(token);
     auto stream_out = std::make_shared<FrameChannelOutput>(
         promise, token, ctx->node, state->remote.credit_window);
+    node.register_credit_waiter(token, stream_out);
     state->pipe->set_unbounded();  // unwedge any in-flight producer write
     flush_producer(state);
+    // Typed channel: flush the ring's backlog into the pipe before the
+    // switch, so it travels with the stub ahead of any socket bytes; the
+    // producer's next push sees kDemoted and encodes through the (now
+    // switched) sequence.
+    demote_typed(state);
     producer->sequence().switch_to(std::move(stream_out),
                                    /*close_old=*/false);
     stub->buffered = drain_unconsumed(state);
@@ -505,6 +552,12 @@ std::shared_ptr<serial::Serializable> replace_output_endpoint(
     stub->tokens_written =
         state->metrics->tokens_written.load(std::memory_order_relaxed);
     DPN_TRACE_EVENT(obs::TraceKind::kShip, state->label, stub->bytes_written);
+    // Typed channel with the producer leaving: flush the ring backlog into
+    // the pipe so the staying consumer drains [ring backlog][socket bytes]
+    // in order.  A producer that already closed keeps its ring live
+    // instead -- the consumer pops the backlog straight to kEof, and the
+    // shipped endpoint is closed anyway.
+    if (!state->pipe->write_closed()) demote_typed(state);
     auto consumer = state->input.lock();
     if (!consumer || state->pipe->read_closed()) {
       stub->dead = true;  // reader already terminated

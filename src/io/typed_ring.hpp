@@ -1,0 +1,562 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <thread>
+#include <type_traits>
+
+#include "io/memory.hpp"
+#include "io/stream.hpp"
+#include "sched/fiber.hpp"
+#include "support/asym_barrier.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+/// Typed zero-copy fast path for in-process channels.
+///
+/// While both endpoints of a channel live in the same address space there
+/// is no reason to serialize every token into the byte pipe and parse it
+/// back out: a TypedRing<T> moves the values themselves through a bounded
+/// SPSC ring, preserving the channel contract exactly -- reads block while
+/// empty, writes block while full (Parks' rule; the ring is growable by
+/// the deadlock monitor), closing the read end fails the writer with
+/// ChannelClosed, closing the write end drains to end-of-stream.
+///
+/// The moment an endpoint is shipped to another server the fast path must
+/// end: the wire carries bytes.  The cut-point machinery *demotes* the
+/// ring -- every buffered value is encoded through the channel's Codec
+/// into the byte pipe, in order, and the ring permanently reports
+/// kDemoted.  Both typed endpoints then fall back to the byte-stream
+/// layers underneath them, which the ship protocols already know how to
+/// cut, so a typed channel ships exactly like a byte channel.  The Codec
+/// produces the same bytes the endpoint would have written without the
+/// fast path, so the consumer-visible history is identical either way
+/// (the determinacy matrix asserts this).
+namespace dpn::io {
+
+/// Type-erased handle on a TypedRing<T>, held by core::ChannelState and
+/// used by the ship cut points, the deadlock monitor and the snapshot
+/// code, none of which know T.
+class TypedRingBase {
+ public:
+  enum class PushResult : std::uint8_t {
+    kOk,       // value is in the ring
+    kDemoted,  // fast path over; encode to the byte stream instead
+  };
+  enum class PopResult : std::uint8_t {
+    kOk,       // a value was produced
+    kDemoted,  // fast path over; decode from the byte stream instead
+    kEof,      // write end closed and every value consumed
+  };
+
+  struct Stats {
+    std::size_t size = 0;      // values currently buffered
+    std::size_t capacity = 0;  // slots
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    std::size_t blocked_readers = 0;
+    std::size_t blocked_writers = 0;
+    bool demoted = false;
+    bool write_closed = false;
+    bool read_closed = false;
+  };
+
+  virtual ~TypedRingBase() = default;
+
+  virtual Stats stats() const = 0;
+  virtual std::size_t blocked_readers() const = 0;
+  virtual std::size_t blocked_writers() const = 0;
+  /// Capacity in slots (values, not bytes).
+  virtual std::size_t capacity() const = 0;
+  /// Wire bytes one value encodes to; the monitor uses it to compare ring
+  /// and pipe capacities in one unit and obs to keep byte totals
+  /// meaningful.
+  virtual std::size_t value_bytes() const = 0;
+  /// Grows to `new_slots` (never shrinks); wakes blocked writers.
+  virtual void grow(std::size_t new_slots) = 0;
+  /// Wakes every waiter with Interrupted; abnormal shutdown.
+  virtual void abort() = 0;
+  virtual bool demoted() const = 0;
+  /// True when a demotion lost buffered values (throwing encode).  A
+  /// poisoned ring stays attached to new typed readers so their pop can
+  /// raise WorkerLost -- the byte plane has no record of the hole.
+  virtual bool poisoned() const = 0;
+  /// Consumer endpoint closed: discard buffered values and fail the
+  /// producer's next push with ChannelClosed (cascading termination).
+  virtual void close_read() = 0;
+  /// Producer endpoint closed: remaining values drain, then pops kEof.
+  virtual void close_write() = 0;
+
+  /// The ship cut: encodes every buffered value into `sink` in FIFO order
+  /// and flips the ring into the demoted state.  All-or-nothing: the
+  /// values are staged through a scratch buffer, so a throwing encode
+  /// puts nothing on the wire -- the ring drops its values, poisons
+  /// itself (the consumer's next pop throws WorkerLost: its history has a
+  /// hole, which must not be mistaken for clean end-of-stream), and the
+  /// exception propagates to the shipper.  `sink` must not block: the
+  /// callers unbound the pipe first.
+  virtual void demote_into(OutputStream& sink) = 0;
+};
+
+/// The SPSC ring.  Codec provides
+///   static constexpr std::size_t kWireSize;
+///   static void encode(const T&, OutputStream&);
+/// and must write exactly the bytes the typed endpoint would have written
+/// on the byte path (core/typed.hpp's Codec<T> is the canonical one).
+///
+/// Concurrency design: one producer, one consumer (Kahn discipline), both
+/// lock-free while the ring is neither empty nor full.  head_/tail_ are
+/// monotonic counters; a slot is counter & mask_.  The rare transitions
+/// (demote/grow/abort/close) must observe a quiescent ring: they set
+/// gate_ and spin until the in_push_/in_pop_ in-flight flags clear --
+/// Dekker-style -- while fast-path entries that see gate_ back off onto
+/// the mutex.  Empty/full parking uses the mutex + cv, or the scheduler's
+/// WaitQueue on an M:N fiber (same protocol as io::Pipe).  Both Dekker
+/// pairs (gate handshake, sleeper wake-up check) are asymmetric: the
+/// per-token side runs with compiler-only ordering and the rare side
+/// (transition, park) issues a process-wide membarrier -- see
+/// support/asym_barrier.hpp for the scheme and its fence fallback.
+template <typename T, typename Codec>
+class TypedRing final : public TypedRingBase {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "ring transit requires a nothrow move");
+  static_assert(std::is_nothrow_move_assignable_v<T>,
+                "ring transit requires a nothrow move");
+
+ public:
+  explicit TypedRing(std::size_t slots) {
+    std::size_t cap = 16;
+    while (cap < slots) cap *= 2;
+    storage_ = std::allocator<T>{}.allocate(cap);
+    mask_ = cap - 1;
+  }
+
+  TypedRing(const TypedRing&) = delete;
+  TypedRing& operator=(const TypedRing&) = delete;
+
+  ~TypedRing() override {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = h; i != t; ++i) slot(i)->~T();
+    std::allocator<T>{}.deallocate(storage_, mask_ + 1);
+  }
+
+  /// Blocks while full.  Throws ChannelClosed once the read end closed,
+  /// Interrupted on abort.
+  PushResult push(T&& value) {
+    for (;;) {
+      in_push_.store(true, std::memory_order_relaxed);
+      support::light_barrier();
+      if (gate_.load(std::memory_order_relaxed)) {
+        in_push_.store(false, std::memory_order_release);
+        wait_gate();
+        continue;
+      }
+      if (flags_.load(std::memory_order_acquire) != 0) {
+        in_push_.store(false, std::memory_order_release);
+        if (const auto r = push_edge()) return *r;
+        continue;
+      }
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      // head_cache_ is a stale lower bound of head_ (it only grows), so a
+      // pass on the cached value is always safe; reload only when the
+      // ring looks full.  This keeps the consumer's head_ line out of the
+      // producer's steady-state loop -- the classic SPSC anti-ping-pong.
+      if (t - head_cache_ > mask_) {
+        head_cache_ = head_.load(std::memory_order_acquire);
+      }
+      if (t - head_cache_ <= mask_) {
+        new (slot(t)) T(std::move(value));
+        tail_.store(t + 1, std::memory_order_release);
+        in_push_.store(false, std::memory_order_release);
+        support::light_barrier();
+        if (sleeping_readers_.load(std::memory_order_relaxed) != 0) {
+          wake_readers();
+        }
+        return PushResult::kOk;
+      }
+      in_push_.store(false, std::memory_order_release);
+      park_writer();
+    }
+  }
+
+  /// Blocks while empty.  Throws Interrupted on abort, WorkerLost if a
+  /// demotion failed mid-encode (the stream has a hole, not an end).
+  PopResult pop(T& out) {
+    for (;;) {
+      in_pop_.store(true, std::memory_order_relaxed);
+      support::light_barrier();
+      if (gate_.load(std::memory_order_relaxed)) {
+        in_pop_.store(false, std::memory_order_release);
+        wait_gate();
+        continue;
+      }
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      // Mirror of head_cache_: slots below a previously acquired tail_
+      // are already visible, so the cached bound needs no fresh acquire.
+      // Compare as a bound, not for equality -- a demotion can advance
+      // head_ past a stale cache, which must read as empty, never as a
+      // ring full of destroyed slots.
+      if (tail_cache_ <= h) {
+        tail_cache_ = tail_.load(std::memory_order_acquire);
+      }
+      if (tail_cache_ > h) {
+        T* s = slot(h);
+        out = std::move(*s);
+        s->~T();
+        head_.store(h + 1, std::memory_order_release);
+        in_pop_.store(false, std::memory_order_release);
+        support::light_barrier();
+        if (sleeping_writers_.load(std::memory_order_relaxed) != 0) {
+          wake_writers();
+        }
+        return PopResult::kOk;
+      }
+      in_pop_.store(false, std::memory_order_release);
+      const std::uint8_t flags = flags_.load(std::memory_order_acquire);
+      if ((flags & kPoisoned) != 0) {
+        throw WorkerLost{
+            "typed ring demotion failed; buffered values were lost"};
+      }
+      if ((flags & kAborted) != 0) {
+        throw Interrupted{"typed ring aborted during pop"};
+      }
+      if ((flags & kDemoted) != 0) return PopResult::kDemoted;
+      if ((flags & kWriteClosed) != 0) return PopResult::kEof;
+      park_reader();
+    }
+  }
+
+  // --- TypedRingBase ---
+
+  Stats stats() const override {
+    Stats s;
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    s.size = static_cast<std::size_t>(t - h);
+    s.capacity = mask_ + 1;
+    s.pushed = t;
+    s.popped = h;
+    const std::uint8_t flags = flags_.load(std::memory_order_relaxed);
+    s.demoted = (flags & (kDemoted | kPoisoned)) != 0;
+    s.write_closed = (flags & kWriteClosed) != 0;
+    s.read_closed = (flags & kReadClosed) != 0;
+    std::scoped_lock lock{mutex_};
+    s.blocked_readers = blocked_readers_;
+    s.blocked_writers = blocked_writers_;
+    return s;
+  }
+
+  std::size_t blocked_readers() const override {
+    std::scoped_lock lock{mutex_};
+    return blocked_readers_;
+  }
+
+  std::size_t blocked_writers() const override {
+    std::scoped_lock lock{mutex_};
+    return blocked_writers_;
+  }
+
+  std::size_t capacity() const override {
+    std::scoped_lock lock{mutex_};
+    return mask_ + 1;
+  }
+
+  std::size_t value_bytes() const override { return Codec::kWireSize; }
+
+  void grow(std::size_t new_slots) override {
+    transition([&] {
+      std::size_t cap = mask_ + 1;
+      if (new_slots <= cap) return;
+      while (cap < new_slots) cap *= 2;
+      T* fresh = std::allocator<T>{}.allocate(cap);
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      const std::size_t new_mask = cap - 1;
+      for (std::uint64_t i = h; i != t; ++i) {
+        new (fresh + static_cast<std::size_t>(i & new_mask))
+            T(std::move(*slot(i)));
+        slot(i)->~T();
+      }
+      std::allocator<T>{}.deallocate(storage_, mask_ + 1);
+      storage_ = fresh;
+      mask_ = new_mask;
+    });
+  }
+
+  void abort() override {
+    transition([&] { set_flag(kAborted); });
+  }
+
+  bool demoted() const override {
+    return (flags_.load(std::memory_order_acquire) &
+            (kDemoted | kPoisoned)) != 0;
+  }
+
+  bool poisoned() const override {
+    return (flags_.load(std::memory_order_acquire) & kPoisoned) != 0;
+  }
+
+  void demote_into(OutputStream& sink) override {
+    transition([&] {
+      if ((flags_.load(std::memory_order_relaxed) &
+           (kDemoted | kPoisoned)) != 0) {
+        return;
+      }
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      ByteVector staged;
+      try {
+        MemoryOutputStream scratch;
+        for (std::uint64_t i = h; i != t; ++i) Codec::encode(*slot(i), scratch);
+        staged = std::move(scratch).take();
+      } catch (...) {
+        // Defined state on a throwing encode: nothing partial reached the
+        // sink (all staging), the values are gone, and the consumer sees
+        // WorkerLost instead of a silently truncated history.
+        for (std::uint64_t i = h; i != t; ++i) slot(i)->~T();
+        head_.store(t, std::memory_order_release);
+        set_flag(kPoisoned);
+        throw;
+      }
+      for (std::uint64_t i = h; i != t; ++i) slot(i)->~T();
+      head_.store(t, std::memory_order_release);
+      // Publish the bytes while the ring is still gated: once kDemoted is
+      // visible the producer may encode new values straight to the byte
+      // stream, and those must land *after* the ring's backlog.
+      if (!staged.empty()) sink.write({staged.data(), staged.size()});
+      set_flag(kDemoted);
+    });
+  }
+
+  /// The consumer closed its endpoint: discard buffered values (the
+  /// reader is gone) and fail the producer's next push with
+  /// ChannelClosed -- cascading termination, same as Pipe::close_read.
+  void close_read() override {
+    transition([&] {
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      for (std::uint64_t i = h; i != t; ++i) slot(i)->~T();
+      head_.store(t, std::memory_order_release);
+      set_flag(kReadClosed);
+    });
+  }
+
+  /// The producer closed: remaining values drain, then pops report kEof.
+  void close_write() override {
+    transition([&] { set_flag(kWriteClosed); });
+  }
+
+ private:
+  static constexpr std::uint8_t kDemoted = 1;
+  static constexpr std::uint8_t kPoisoned = 2;
+  static constexpr std::uint8_t kWriteClosed = 4;
+  static constexpr std::uint8_t kReadClosed = 8;
+  static constexpr std::uint8_t kAborted = 16;
+
+  T* slot(std::uint64_t i) {
+    return storage_ + static_cast<std::size_t>(i & mask_);
+  }
+
+  void set_flag(std::uint8_t flag) {
+    flags_.store(
+        static_cast<std::uint8_t>(flags_.load(std::memory_order_relaxed) |
+                                  flag),
+        std::memory_order_release);
+  }
+
+  /// Handles a push that found a state flag set.  Returns the result to
+  /// surface, or nullopt to retry the fast path (flag turned out to be
+  /// one that does not affect writers).
+  std::optional<PushResult> push_edge() {
+    const std::uint8_t flags = flags_.load(std::memory_order_acquire);
+    if ((flags & kAborted) != 0) {
+      throw Interrupted{"typed ring aborted during push"};
+    }
+    if ((flags & kReadClosed) != 0) throw ChannelClosed{};
+    if ((flags & (kDemoted | kPoisoned)) != 0) return PushResult::kDemoted;
+    if ((flags & kWriteClosed) != 0) {
+      throw IoError{"push to closed typed ring"};
+    }
+    return std::nullopt;
+  }
+
+  /// A fast-path entry saw gate_: a transition is in progress.  Block on
+  /// the mutex until it finishes (the transition holds it throughout).
+  void wait_gate() {
+    std::scoped_lock lock{mutex_};
+  }
+
+  /// Runs f with the ring quiescent: mutex held (no parked waiter races,
+  /// no concurrent transition), gate up, and both in-flight flags drained.
+  /// Always lowers the gate and wakes every waiter, even when f throws --
+  /// waiters must re-check the flags f just set.
+  template <typename F>
+  void transition(F&& f) {
+    std::unique_lock lock{mutex_};
+    gate_.store(true, std::memory_order_relaxed);
+    // Heavy half of the gate handshake: after this barrier every thread
+    // has either retired its in_push_/in_pop_ store (we will see it
+    // below) or will see gate_ and back off.  The acquire loads in the
+    // spin also pull in the slot writes of any push we waited out.
+    support::heavy_barrier();
+    while (in_push_.load(std::memory_order_acquire) ||
+           in_pop_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    try {
+      f();
+    } catch (...) {
+      gate_.store(false, std::memory_order_release);
+      wake_all_locked();
+      lock.unlock();
+      readable_.notify_all();
+      writable_.notify_all();
+      throw;
+    }
+    gate_.store(false, std::memory_order_release);
+    wake_all_locked();
+    lock.unlock();
+    readable_.notify_all();
+    writable_.notify_all();
+  }
+
+  void park_reader() {
+    std::unique_lock lock{mutex_};
+    // Re-check under the lock: a push, close or transition may have
+    // slipped in between the fast-path probe and this acquire.
+    if (head_.load(std::memory_order_relaxed) !=
+            tail_.load(std::memory_order_relaxed) ||
+        flags_.load(std::memory_order_relaxed) != 0 ||
+        gate_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    ++blocked_readers_;
+    sleeping_readers_.store(static_cast<std::uint32_t>(blocked_readers_),
+                            std::memory_order_relaxed);
+    support::heavy_barrier();
+    if (head_.load(std::memory_order_relaxed) !=
+        tail_.load(std::memory_order_relaxed)) {
+      // The producer published between our registration and the fence;
+      // its wake check may have missed us.
+      --blocked_readers_;
+      sleeping_readers_.store(static_cast<std::uint32_t>(blocked_readers_),
+                              std::memory_order_relaxed);
+      return;
+    }
+    if (sched::on_fiber()) {
+      sched::suspend_current(reader_fibers_, lock);
+      lock.lock();
+    } else {
+      readable_.wait(lock, [&] {
+        return head_.load(std::memory_order_relaxed) !=
+                   tail_.load(std::memory_order_relaxed) ||
+               flags_.load(std::memory_order_relaxed) != 0 ||
+               gate_.load(std::memory_order_relaxed);
+      });
+    }
+    --blocked_readers_;
+    sleeping_readers_.store(static_cast<std::uint32_t>(blocked_readers_),
+                            std::memory_order_relaxed);
+  }
+
+  void park_writer() {
+    std::unique_lock lock{mutex_};
+    if (tail_.load(std::memory_order_relaxed) -
+                head_.load(std::memory_order_relaxed) <=
+            mask_ ||
+        flags_.load(std::memory_order_relaxed) != 0 ||
+        gate_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    ++blocked_writers_;
+    sleeping_writers_.store(static_cast<std::uint32_t>(blocked_writers_),
+                            std::memory_order_relaxed);
+    support::heavy_barrier();
+    if (tail_.load(std::memory_order_relaxed) -
+            head_.load(std::memory_order_relaxed) <=
+        mask_) {
+      --blocked_writers_;
+      sleeping_writers_.store(static_cast<std::uint32_t>(blocked_writers_),
+                              std::memory_order_relaxed);
+      return;
+    }
+    if (sched::on_fiber()) {
+      sched::suspend_current(writer_fibers_, lock);
+      lock.lock();
+    } else {
+      writable_.wait(lock, [&] {
+        return tail_.load(std::memory_order_relaxed) -
+                       head_.load(std::memory_order_relaxed) <=
+                   mask_ ||
+               flags_.load(std::memory_order_relaxed) != 0 ||
+               gate_.load(std::memory_order_relaxed);
+      });
+    }
+    --blocked_writers_;
+    sleeping_writers_.store(static_cast<std::uint32_t>(blocked_writers_),
+                            std::memory_order_relaxed);
+  }
+
+  void wake_readers() {
+    std::scoped_lock lock{mutex_};
+    while (sched::Fiber* fiber = reader_fibers_.pop()) {
+      sched::make_runnable(fiber);
+    }
+    readable_.notify_all();
+  }
+
+  void wake_writers() {
+    std::scoped_lock lock{mutex_};
+    while (sched::Fiber* fiber = writer_fibers_.pop()) {
+      sched::make_runnable(fiber);
+    }
+    writable_.notify_all();
+  }
+
+  void wake_all_locked() {
+    while (sched::Fiber* fiber = reader_fibers_.pop()) {
+      sched::make_runnable(fiber);
+    }
+    while (sched::Fiber* fiber = writer_fibers_.pop()) {
+      sched::make_runnable(fiber);
+    }
+  }
+
+  T* storage_ = nullptr;
+  std::size_t mask_ = 0;
+
+  // Hot indices on their own cache lines: the producer writes tail_, the
+  // consumer writes head_, and each polls the other's with acquire --
+  // through a same-side cached lower bound, so the steady-state loop
+  // touches the other side's line only at the empty/full boundary.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;  // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;  // producer-owned
+  // In-flight flags for the transition gate (see class comment).  Each is
+  // written by exactly one side; sharing a line with that side's index
+  // keeps the fast path to two hot lines.
+  alignas(64) std::atomic<bool> in_push_{false};
+  std::atomic<bool> in_pop_{false};
+  std::atomic<bool> gate_{false};
+  std::atomic<std::uint8_t> flags_{0};
+  std::atomic<std::uint32_t> sleeping_readers_{0};
+  std::atomic<std::uint32_t> sleeping_writers_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  sched::WaitQueue reader_fibers_;
+  sched::WaitQueue writer_fibers_;
+  std::size_t blocked_readers_ = 0;
+  std::size_t blocked_writers_ = 0;
+};
+
+}  // namespace dpn::io

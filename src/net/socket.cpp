@@ -182,9 +182,19 @@ std::size_t Socket::read_some(MutableByteSpan out) {
 void Socket::write_all(ByteSpan data) {
   if (kill_after_ >= 0) return write_metered(data);
   while (!data.empty()) {
-    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    // Mirror of read_some: on a fiber the send is non-blocking and a full
+    // send buffer parks the *fiber* on the reactor's writable edge
+    // (run-to-block) -- a raw blocking send would pin the OS worker and
+    // starve every other process scheduled on it.
+    const bool fiber = sched::on_fiber();
+    const ssize_t n = ::send(fd_, data.data(), data.size(),
+                             MSG_NOSIGNAL | (fiber ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (fiber && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_fd_ready(fd_, /*want_write=*/true, std::nullopt);
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
       throw_errno("send");
     }
@@ -205,9 +215,15 @@ void Socket::write_metered(ByteSpan data) {
         data.size(), static_cast<std::size_t>(kill_after_));
     ByteSpan head = data.subspan(0, chunk);
     while (!head.empty()) {
-      const ssize_t n = ::send(fd_, head.data(), head.size(), MSG_NOSIGNAL);
+      const bool fiber = sched::on_fiber();
+      const ssize_t n = ::send(fd_, head.data(), head.size(),
+                               MSG_NOSIGNAL | (fiber ? MSG_DONTWAIT : 0));
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (fiber && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          wait_fd_ready(fd_, /*want_write=*/true, std::nullopt);
+          continue;
+        }
         if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
         throw_errno("send");
       }
@@ -238,9 +254,15 @@ void Socket::write_vectored(ByteSpan a, ByteSpan b) {
   msg.msg_iovlen = 2;
   std::size_t skip = 0;  // bytes of `a` already sent
   for (;;) {
-    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    const bool fiber = sched::on_fiber();
+    const ssize_t n =
+        ::sendmsg(fd_, &msg, MSG_NOSIGNAL | (fiber ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (fiber && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_fd_ready(fd_, /*want_write=*/true, std::nullopt);
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET) throw ChannelClosed{};
       throw_errno("sendmsg");
     }

@@ -192,6 +192,19 @@ ByteVector NetworkSnapshot::encode_as(std::uint8_t want_version) const {
     out.write_u64(mux_credit_stalls);
     out.write_u64(mux_credit_stall_ns);
   }
+
+  // Version 6: per-channel typed fast-path records, aligned by channel
+  // index like the version-3 histograms.
+  if (v >= 6) {
+    for (const ChannelSnapshot& c : channels) {
+      out.write_bool(c.has_typed);
+      out.write_bool(c.typed_demoted);
+      out.write_varint(c.typed_pushed);
+      out.write_varint(c.typed_popped);
+      out.write_varint(c.typed_buffered);
+      out.write_varint(c.typed_capacity);
+    }
+  }
   return sink->take();
 }
 
@@ -293,6 +306,16 @@ NetworkSnapshot NetworkSnapshot::decode_prefix(ByteSpan bytes,
     snapshot.mux_streams_total = in.read_u64();
     snapshot.mux_credit_stalls = in.read_u64();
     snapshot.mux_credit_stall_ns = in.read_u64();
+  }
+  if (version >= 6) {
+    for (ChannelSnapshot& c : snapshot.channels) {
+      c.has_typed = in.read_bool();
+      c.typed_demoted = in.read_bool();
+      c.typed_pushed = in.read_varint();
+      c.typed_popped = in.read_varint();
+      c.typed_buffered = in.read_varint();
+      c.typed_capacity = in.read_varint();
+    }
   }
   return snapshot;
 }
@@ -424,6 +447,13 @@ std::string NetworkSnapshot::to_string() const {
       out += ", ";
       out += std::to_string(c.flushes) + " flushes/" +
              std::to_string(c.coalesced_writes) + " coalesced";
+    }
+    if (c.has_typed) {
+      out += c.typed_demoted ? ", typed (demoted)" : ", typed";
+      out += " " + std::to_string(c.typed_buffered) + "/" +
+             std::to_string(c.typed_capacity) + " values, " +
+             std::to_string(c.typed_pushed) + " pushed/" +
+             std::to_string(c.typed_popped) + " popped";
     }
     if (c.write_closed) out += ", writer closed";
     if (c.read_closed) out += ", reader closed";

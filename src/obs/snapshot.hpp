@@ -69,6 +69,18 @@ struct ChannelSnapshot {
   // log2 histograms add the shape, so p50/p95/p99 are reportable.
   HistogramSnapshot read_block;
   HistogramSnapshot write_block;
+
+  // --- typed fast path (version >= 6; channels built with
+  // make_typed_channel only).  While the ring is live the byte pipe is
+  // empty, so occupancy/pressure above describe the ring (merged in by
+  // snapshot_channel); these add the ring's own accounting.  After a
+  // demotion typed_demoted flips and the byte-plane fields take over. ---
+  bool has_typed = false;
+  bool typed_demoted = false;
+  std::uint64_t typed_pushed = 0;    // values that entered the ring
+  std::uint64_t typed_popped = 0;    // values that left the ring
+  std::uint64_t typed_buffered = 0;  // values in the ring right now
+  std::uint64_t typed_capacity = 0;  // ring capacity, in values
 };
 
 struct ProcessSnapshot {
@@ -96,10 +108,10 @@ struct NetworkSnapshot {
   /// Current wire-format version.  v2 appended the fault counters, v3
   /// appended the trace accounting, the runtime histograms and the
   /// per-channel wait histograms, v4 appended the M:N scheduler counters,
-  /// v5 appends the mux transport counters -- all at top level, after
-  /// everything the previous version wrote, so old readers prefix-parse
-  /// newer payloads.
-  static constexpr std::uint8_t kVersion = 5;
+  /// v5 appended the mux transport counters, v6 appends the per-channel
+  /// typed fast-path records -- all at top level, after everything the
+  /// previous version wrote, so old readers prefix-parse newer payloads.
+  static constexpr std::uint8_t kVersion = 6;
 
   /// The version this snapshot was decoded from (kVersion for locally
   /// built ones).  fleet_stats logs it per peer and merges the common

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+/// Asymmetric memory barriers (the sys_membarrier / folly-asymmetric
+/// technique): a hot path that must publish-then-check against a rare
+/// path pays only compiler ordering, while the rare side issues a
+/// process-wide barrier syscall that interrupts every running thread of
+/// the process, squashing speculative loads and draining store buffers.
+/// The classic Dekker guarantee (light: W(a); R(b) vs heavy: W(b);
+/// heavy_barrier(); R(a) -- at least one side sees the other's write)
+/// holds without any fence instruction on the light side.
+///
+/// The typed ring's fast path uses this twice per operation: the
+/// transition gate handshake and the sleeper wake-up check.  When the
+/// syscall is unavailable (non-Linux, old kernel, seccomp) -- or under
+/// TSan, which models neither membarrier nor its effects -- both sides
+/// degrade to symmetric seq_cst fences, which is the textbook-correct
+/// slow form.
+namespace dpn::support {
+
+#if defined(__SANITIZE_THREAD__)
+#define DPN_ASYM_BARRIER_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPN_ASYM_BARRIER_DISABLED 1
+#endif
+#endif
+
+namespace detail {
+
+#if defined(__linux__) && defined(SYS_membarrier) && \
+    !defined(DPN_ASYM_BARRIER_DISABLED)
+// From linux/membarrier.h, spelled out so the header is not a build
+// dependency (the values are kernel ABI, fixed forever).
+inline constexpr int kMembarrierRegisterPrivateExpedited = 1 << 4;
+inline constexpr int kMembarrierPrivateExpedited = 1 << 3;
+
+inline bool register_membarrier() {
+  return syscall(SYS_membarrier, kMembarrierRegisterPrivateExpedited, 0, 0) ==
+         0;
+}
+
+inline void membarrier() {
+  syscall(SYS_membarrier, kMembarrierPrivateExpedited, 0, 0);
+}
+#else
+inline bool register_membarrier() { return false; }
+inline void membarrier() {}
+#endif
+
+}  // namespace detail
+
+/// True once the process is registered for expedited membarrier;
+/// registration happens on the first call, so the first ring construction
+/// pays it, not process start-up.
+inline bool asym_barrier_available() {
+  static const bool available = detail::register_membarrier();
+  return available;
+}
+
+/// Light side: between a relaxed store and the relaxed load that must
+/// not pass it.  Free at run time when the heavy side uses
+/// heavy_barrier(); a full fence otherwise.
+inline void light_barrier() {
+  if (asym_barrier_available()) {
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  } else {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+}
+
+/// Heavy side: a full barrier on every thread of the process.  Microsecond
+/// cost (IPI round); callers are rare paths -- parking a waiter, gating a
+/// ring transition.
+inline void heavy_barrier() {
+  if (asym_barrier_available()) {
+    detail::membarrier();
+  } else {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace dpn::support

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <cstdlib>
 #include <future>
 #include <thread>
@@ -390,6 +392,55 @@ TEST(Reactor, FiberParkedInSocketReadDoesNotStallWorker) {
   ASSERT_EQ(result.wait_for(std::chrono::seconds{5}),
             std::future_status::ready);
   EXPECT_EQ(result.get(), 1u);
+  scheduler.shutdown();
+}
+
+TEST(Reactor, FiberParkedInSocketWriteDoesNotStallWorker) {
+  ServerSocket server{0};
+  Socket client = Socket::connect("127.0.0.1", server.port());
+  Socket peer = server.accept();
+  // Shrink the send buffer so a modest burst fills it; the peer never
+  // reads, so write_all must park on writability.
+  const int sndbuf = 4096;
+  ASSERT_EQ(setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                       sizeof sndbuf),
+            0);
+
+  sched::SchedulerOptions options;
+  options.mode = sched::SchedMode::kWorkSteal;
+  options.workers = 1;
+  sched::Scheduler scheduler{options};
+
+  std::promise<void> write_done;
+  std::promise<void> bystander_ran;
+  const ByteVector burst(1u << 20, 0xAB);
+  scheduler.spawn(
+      [&] {
+        client.write_all({burst.data(), burst.size()});
+        write_done.set_value();
+      },
+      "parked-writer");
+  scheduler.spawn([&] { bystander_ran.set_value(); }, "bystander");
+
+  // The write-side twin of FiberParkedInSocketReadDoesNotStallWorker:
+  // with one worker the bystander only runs if the full send buffer
+  // parks the writing fiber on the reactor instead of wedging the worker
+  // in send().
+  auto ran = bystander_ran.get_future();
+  ASSERT_EQ(ran.wait_for(std::chrono::seconds{5}), std::future_status::ready);
+
+  std::jthread drainer{[&] {
+    ByteVector sink(1u << 16);
+    std::size_t total = 0;
+    while (total < burst.size()) {
+      const std::size_t n = peer.read_some({sink.data(), sink.size()});
+      if (n == 0) break;
+      total += n;
+    }
+  }};
+  auto done = write_done.get_future();
+  ASSERT_EQ(done.wait_for(std::chrono::seconds{10}),
+            std::future_status::ready);
   scheduler.shutdown();
 }
 
